@@ -1,0 +1,53 @@
+// Ablation (beyond the paper): which NWCache benefit matters?
+//   full        = staging + victim reads + mesh bypass
+//   no-victim   = faults never snoop the ring (wait for the drain instead)
+//   no-bypass   = swap metadata charged as full page traffic on the mesh
+//   staging-only= both of the above disabled
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nwc;
+  auto opt = bench::parseArgs(argc, argv, "ablation_features", 1.0, {"sor", "mg"});
+
+  struct Variant {
+    const char* name;
+    bool victim;
+    bool bypass;
+  };
+  const Variant variants[] = {
+      {"full", true, true},
+      {"no-victim", false, true},
+      {"no-bypass", true, false},
+      {"staging-only", false, false},
+  };
+
+  std::printf("NWCache feature ablation under optimal prefetching "
+              "(execution time in Mpcycles, scale=%.2f)\n", opt.scale);
+  util::AsciiTable t({"Application", "standard", "full", "no-victim", "no-bypass",
+                      "staging-only"});
+  std::vector<std::vector<std::string>> rows;
+
+  for (const std::string& app : bench::appList(opt)) {
+    std::vector<std::string> row = {app};
+    const auto std_s = bench::run(bench::configFor(machine::SystemKind::kStandard,
+                                                   machine::Prefetch::kOptimal, opt),
+                                  app, opt);
+    row.push_back(util::AsciiTable::fmt(static_cast<double>(std_s.exec_time) / 1e6));
+    for (const Variant& v : variants) {
+      machine::MachineConfig cfg = bench::configFor(machine::SystemKind::kNWCache,
+                                                    machine::Prefetch::kOptimal, opt);
+      cfg.ring_victim_reads = v.victim;
+      cfg.ring_bypass_network = v.bypass;
+      const auto s = bench::run(cfg, app, opt);
+      row.push_back(util::AsciiTable::fmt(static_cast<double>(s.exec_time) / 1e6));
+    }
+    t.addRow(row);
+    rows.push_back(row);
+  }
+  bench::emit(opt, t, {"app", "standard", "full", "no_victim", "no_bypass",
+                       "staging_only"},
+              rows);
+  return 0;
+}

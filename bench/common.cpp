@@ -1,0 +1,122 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "apps/registry.hpp"
+
+namespace nwc::bench {
+
+namespace {
+
+std::vector<std::string> splitCsvList(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string item = s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Options parseArgs(int argc, char** argv, const std::string& bench_name,
+                  double default_scale, const std::vector<std::string>& default_apps) {
+  Options opt;
+  opt.scale = default_scale;
+  opt.apps = default_apps;
+  opt.csv_path = bench_name + ".csv";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--scale=", 0) == 0) {
+      opt.scale = std::atof(a.c_str() + 8);
+    } else if (a.rfind("--apps=", 0) == 0) {
+      opt.apps = splitCsvList(a.substr(7));
+    } else if (a.rfind("--csv=", 0) == 0) {
+      opt.csv_path = a.substr(6);
+    } else if (a.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(a.c_str() + 7, nullptr, 0);
+    } else if (a == "--help" || a == "-h") {
+      std::printf("usage: %s [--scale=F] [--apps=a,b] [--csv=PATH] [--seed=N]\n",
+                  bench_name.c_str());
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s (see --help)\n", bench_name.c_str(),
+                   a.c_str());
+      std::exit(2);
+    }
+  }
+  if (opt.scale <= 0.0 || opt.scale > 1.0) {
+    std::fprintf(stderr, "%s: --scale must be in (0, 1]\n", bench_name.c_str());
+    std::exit(2);
+  }
+  return opt;
+}
+
+std::vector<std::string> appList(const Options& opt) {
+  if (!opt.apps.empty()) {
+    for (const auto& a : opt.apps) {
+      if (apps::findApp(a) == nullptr) {
+        std::fprintf(stderr, "unknown application: %s\n", a.c_str());
+        std::exit(2);
+      }
+    }
+    return opt.apps;
+  }
+  std::vector<std::string> all;
+  for (const auto& a : apps::appRegistry()) all.push_back(a.name);
+  return all;
+}
+
+machine::MachineConfig configFor(machine::SystemKind sys, machine::Prefetch pf,
+                                 const Options& opt) {
+  machine::MachineConfig cfg;
+  cfg.withSystem(sys, pf);
+  cfg.seed = opt.seed;
+  return cfg;
+}
+
+apps::RunSummary run(const machine::MachineConfig& cfg, const std::string& app,
+                     const Options& opt) {
+  std::fprintf(stderr, "  running %-6s on %s ...\n", app.c_str(), cfg.describe().c_str());
+  apps::RunSummary s = apps::runApp(cfg, app, opt.scale);
+  if (!s.verified) {
+    std::fprintf(stderr, "  WARNING: %s numerical verification FAILED\n", app.c_str());
+  }
+  if (!s.invariant_violations.empty()) {
+    std::fprintf(stderr, "  WARNING: invariant violations:\n%s",
+                 s.invariant_violations.c_str());
+  }
+  return s;
+}
+
+void emit(const Options& opt, const util::AsciiTable& table,
+          const std::vector<std::string>& headers,
+          const std::vector<std::vector<std::string>>& rows) {
+  table.print(std::cout);
+  if (opt.csv_path.empty()) return;
+  try {
+    util::CsvWriter csv(opt.csv_path, headers);
+    for (const auto& r : rows) csv.addRow(r);
+    std::printf("(csv: %s)\n", opt.csv_path.c_str());
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "csv write failed: %s\n", ex.what());
+  }
+}
+
+std::string bar(double fraction, int width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const int filled = static_cast<int>(fraction * width + 0.5);
+  std::string s(static_cast<std::size_t>(filled), '#');
+  s.resize(static_cast<std::size_t>(width), ' ');
+  return s;
+}
+
+}  // namespace nwc::bench

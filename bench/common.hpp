@@ -1,0 +1,53 @@
+// Shared benchmark harness: CLI options, run helpers, table/CSV emission.
+//
+// Every table/figure bench accepts:
+//   --scale=<f>   input scale factor (1.0 = the paper's Table 2 inputs)
+//   --apps=a,b,c  restrict to a comma-separated subset of applications
+//   --csv=<path>  where to mirror the rows as CSV (default: ./<bench>.csv)
+//   --seed=<n>    machine seed
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/runner.hpp"
+#include "machine/config.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace nwc::bench {
+
+struct Options {
+  double scale = 1.0;
+  std::vector<std::string> apps;  // empty = all seven
+  std::string csv_path;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Parses the common flags; unknown flags abort with a usage message.
+Options parseArgs(int argc, char** argv, const std::string& bench_name,
+                  double default_scale = 1.0,
+                  const std::vector<std::string>& default_apps = {});
+
+/// The application list the bench will run.
+std::vector<std::string> appList(const Options& opt);
+
+/// Builds a config for (system, prefetch) with the paper's best min-free
+/// setting and the bench seed applied.
+machine::MachineConfig configFor(machine::SystemKind sys, machine::Prefetch pf,
+                                 const Options& opt);
+
+/// Runs one application; prints a one-line progress note to stderr.
+apps::RunSummary run(const machine::MachineConfig& cfg, const std::string& app,
+                     const Options& opt);
+
+/// Prints the table to stdout and mirrors it to the options' CSV path.
+void emit(const Options& opt, const util::AsciiTable& table,
+          const std::vector<std::string>& headers,
+          const std::vector<std::vector<std::string>>& rows);
+
+/// Renders fraction in [0,1] as a crude ASCII bar (for the figure benches).
+std::string bar(double fraction, int width = 40);
+
+}  // namespace nwc::bench

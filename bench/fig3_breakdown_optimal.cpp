@@ -1,0 +1,10 @@
+// Figure 3: performance of standard vs NWCache multiprocessor under
+// OPTIMAL prefetching — normalized execution time breakdown.
+#include "fig_breakdown.hpp"
+
+int main(int argc, char** argv) {
+  return nwc::bench::runBreakdownFigure(
+      argc, argv, "fig3_breakdown_optimal", nwc::machine::Prefetch::kOptimal,
+      "Figure 3: Standard vs NWCache MP Under Optimal Prefetching "
+      "(execution time normalized to the standard machine)");
+}

@@ -1,0 +1,10 @@
+// Figure 4: performance of standard vs NWCache multiprocessor under
+// NAIVE prefetching — normalized execution time breakdown.
+#include "fig_breakdown.hpp"
+
+int main(int argc, char** argv) {
+  return nwc::bench::runBreakdownFigure(
+      argc, argv, "fig4_breakdown_naive", nwc::machine::Prefetch::kNaive,
+      "Figure 4: Standard vs NWCache MP Under Naive Prefetching "
+      "(execution time normalized to the standard machine)");
+}

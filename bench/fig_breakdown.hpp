@@ -1,0 +1,71 @@
+// Shared implementation for Figures 3 and 4: normalized execution-time
+// breakdown (NoFree / Transit / Fault / TLB / Other) of the standard and
+// NWCache machines, each bar normalized to the standard machine's time.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+namespace nwc::bench {
+
+inline int runBreakdownFigure(int argc, char** argv, const std::string& name,
+                              machine::Prefetch pf, const char* title) {
+  auto opt = parseArgs(argc, argv, name);
+
+  std::printf("%s (scale=%.2f)\n", title, opt.scale);
+  util::AsciiTable t({"Application", "System", "NoFree", "Transit", "Fault", "TLB",
+                      "Other", "Total"});
+  std::vector<std::vector<std::string>> rows;
+
+  for (const std::string& app : appList(opt)) {
+    const auto std_s =
+        run(configFor(machine::SystemKind::kStandard, pf, opt), app, opt);
+    const auto nwc_s =
+        run(configFor(machine::SystemKind::kNWCache, pf, opt), app, opt);
+
+    // Normalize each per-category cpu-sum by (#cpus x standard exec time),
+    // so the standard bar totals 1.00 as in the paper's figures.
+    const double denom = static_cast<double>(std_s.metrics.numCpus()) *
+                         static_cast<double>(std_s.exec_time);
+    auto pct = [&](sim::Tick v) { return static_cast<double>(v) / denom; };
+
+    struct Bar {
+      const char* sys;
+      const apps::RunSummary* s;
+    } bars[] = {{"standard", &std_s}, {"nwcache", &nwc_s}};
+    for (const Bar& b : bars) {
+      const auto& m = b.s->metrics;
+      // Average per-cpu idle tail (cpu finished before the last one) counts
+      // as neither category; report measured categories directly.
+      const double nofree = pct(m.totalNoFree());
+      const double transit = pct(m.totalTransit());
+      const double fault = pct(m.totalFault());
+      const double tlb = pct(m.totalTlb());
+      const double other = pct(m.totalOther());
+      const double total =
+          static_cast<double>(b.s->exec_time) / static_cast<double>(std_s.exec_time);
+      std::vector<std::string> row = {app,
+                                      b.sys,
+                                      util::AsciiTable::fmt(nofree, 3),
+                                      util::AsciiTable::fmt(transit, 3),
+                                      util::AsciiTable::fmt(fault, 3),
+                                      util::AsciiTable::fmt(tlb, 3),
+                                      util::AsciiTable::fmt(other, 3),
+                                      util::AsciiTable::fmt(total, 3)};
+      t.addRow(row);
+      rows.push_back(row);
+      std::printf("%-6s %-8s |%s| %.2f\n", app.c_str(), b.sys,
+                  bar(total).c_str(), total);
+    }
+  }
+  emit(opt, t,
+       {"app", "system", "nofree", "transit", "fault", "tlb", "other",
+        "total_normalized"},
+       rows);
+  return 0;
+}
+
+}  // namespace nwc::bench

@@ -1,0 +1,134 @@
+// Google-benchmark microbenchmarks for the simulation substrate: event
+// throughput, coroutine primitives, analytical servers, model components.
+#include <benchmark/benchmark.h>
+
+#include "mem/cache.hpp"
+#include "mem/tlb.hpp"
+#include "net/mesh.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/fifo_server.hpp"
+#include "sim/random.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using namespace nwc;
+
+sim::Task<> pingTask(sim::Engine& e, int hops) {
+  for (int i = 0; i < hops; ++i) co_await e.delay(1);
+}
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    e.spawn(pingTask(e, static_cast<int>(state.range(0))));
+    e.run();
+    benchmark::DoNotOptimize(e.now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_EngineManyTasks(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < state.range(0); ++i) e.spawn(pingTask(e, 10));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 10);
+}
+BENCHMARK(BM_EngineManyTasks)->Arg(1000);
+
+sim::Task<> mutexLoop(sim::Engine& e, sim::CoMutex& m, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await m.lock();
+    co_await e.delay(1);
+    m.unlock();
+  }
+}
+
+void BM_CoMutexContention(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::CoMutex m(e);
+    for (int t = 0; t < 4; ++t) e.spawn(mutexLoop(e, m, 1000));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_CoMutexContention);
+
+void BM_FifoServerRequest(benchmark::State& state) {
+  sim::FifoServer s;
+  sim::Tick now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.request(now, 10));
+    now += 5;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FifoServerRequest);
+
+void BM_MeshTransfer(benchmark::State& state) {
+  net::MeshParams p;
+  net::MeshNetwork m(p);
+  sim::Tick now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.transfer(now, 0, 7, 4096, net::TrafficClass::kPageRead));
+    now += 100;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeshTransfer);
+
+void BM_CacheAccess(benchmark::State& state) {
+  mem::SetAssocCache c(mem::CacheParams{64 * 1024, 32, 4});
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access(rng.below(1 << 22), false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_TlbLookup(benchmark::State& state) {
+  mem::Tlb t(64);
+  for (sim::PageId p = 0; p < 64; ++p) t.insert(p);
+  sim::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.lookup(static_cast<sim::PageId>(rng.below(80))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbLookup);
+
+void BM_RngNext(benchmark::State& state) {
+  sim::Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+sim::Task<> chanProducer(sim::Channel<int>& ch, int n) {
+  for (int i = 0; i < n; ++i) co_await ch.send(i);
+}
+sim::Task<> chanConsumer(sim::Channel<int>& ch, int n) {
+  for (int i = 0; i < n; ++i) (void)co_await ch.recv();
+}
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::Channel<int> ch(e, 16);
+    e.spawn(chanProducer(ch, 2000));
+    e.spawn(chanConsumer(ch, 2000));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_ChannelPingPong);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+// Paper-vs-measured comparison: runs each application once per
+// (system, prefetch) combination and prints every table of the paper's
+// evaluation side by side with the 1999 numbers. This is the harness that
+// generates the record in EXPERIMENTS.md.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace nwc;
+
+struct PaperRow {
+  // Table 3 (Mpcycles) and Table 4 (Kpcycles): swap-out times.
+  double t3_std, t3_nwc;
+  double t4_std, t4_nwc;
+  // Tables 5/6: write combining.
+  double t5_std, t5_nwc;
+  double t6_std, t6_nwc;
+  // Table 7: ring hit rates (%).
+  double t7_naive, t7_optimal;
+  // Table 8: disk-cache-hit fault latency (Kpcycles).
+  double t8_std, t8_nwc;
+};
+
+// Values transcribed from the paper's Tables 3-8.
+const std::map<std::string, PaperRow> kPaper = {
+    {"em3d", {49.2, 1.8, 180.4, 2.8, 1.11, 1.12, 1.10, 1.10, 8.5, 10.0, 13.4, 9.7}},
+    {"fft", {86.6, 3.1, 318.1, 31.8, 1.20, 1.39, 1.35, 1.38, 9.8, 13.0, 25.9, 19.6}},
+    {"gauss", {30.9, 1.0, 789.8, 86.3, 1.06, 1.07, 1.03, 1.04, 49.9, 58.3, 16.7, 10.4}},
+    {"lu", {39.6, 2.0, 455.0, 24.3, 1.13, 1.24, 1.05, 1.05, 13.5, 19.5, 21.5, 20.3}},
+    {"mg", {33.1, 0.6, 150.8, 19.2, 1.11, 1.16, 1.05, 1.11, 41.1, 59.1, 19.1, 6.7}},
+    {"radix", {48.4, 2.7, 1776.9, 2.8, 1.08, 1.12, 1.05, 1.07, 17.2, 22.6, 12.6, 9.2}},
+    {"sor", {31.8, 1.3, 819.4, 12.5, 1.46, 2.30, 1.18, 1.37, 25.8, 24.1, 14.3, 10.2}},
+};
+
+struct Measured {
+  apps::RunSummary std_opt, nwc_opt, std_naive, nwc_naive;
+};
+
+std::string f1(double v) { return util::AsciiTable::fmt(v); }
+std::string f2(double v) { return util::AsciiTable::fmt(v, 2); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::parseArgs(argc, argv, "paper_comparison");
+
+  std::map<std::string, Measured> runs;
+  for (const std::string& app : bench::appList(opt)) {
+    Measured m;
+    m.std_opt = bench::run(bench::configFor(machine::SystemKind::kStandard,
+                                            machine::Prefetch::kOptimal, opt),
+                           app, opt);
+    m.nwc_opt = bench::run(bench::configFor(machine::SystemKind::kNWCache,
+                                            machine::Prefetch::kOptimal, opt),
+                           app, opt);
+    m.std_naive = bench::run(bench::configFor(machine::SystemKind::kStandard,
+                                              machine::Prefetch::kNaive, opt),
+                             app, opt);
+    m.nwc_naive = bench::run(bench::configFor(machine::SystemKind::kNWCache,
+                                              machine::Prefetch::kNaive, opt),
+                             app, opt);
+    runs.emplace(app, std::move(m));
+  }
+
+  auto table = [&](const char* title, const std::vector<std::string>& headers,
+                   auto&& row_fn) {
+    std::printf("\n%s\n", title);
+    util::AsciiTable t(headers);
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [app, m] : runs) {
+      const auto pit = kPaper.find(app);
+      if (pit == kPaper.end()) continue;
+      std::vector<std::string> row = row_fn(app, pit->second, m);
+      t.addRow(row);
+      rows.push_back(std::move(row));
+    }
+    t.print(std::cout);
+  };
+
+  table("Table 3: avg swap-out, optimal prefetch (Mpcycles)",
+        {"App", "paper std", "ours std", "paper nwc", "ours nwc", "paper ratio",
+         "ours ratio"},
+        [](const std::string& app, const PaperRow& p, const Measured& m) {
+          const double os = m.std_opt.metrics.swap_out_ticks.mean() / 1e6;
+          const double on = m.nwc_opt.metrics.swap_out_ticks.mean() / 1e6;
+          return std::vector<std::string>{
+              app, f1(p.t3_std), f1(os), f2(p.t3_nwc), f2(on),
+              f1(p.t3_std / p.t3_nwc) + "x", on > 0 ? f1(os / on) + "x" : "-"};
+        });
+
+  table("Table 4: avg swap-out, naive prefetch (Kpcycles)",
+        {"App", "paper std", "ours std", "paper nwc", "ours nwc", "paper ratio",
+         "ours ratio"},
+        [](const std::string& app, const PaperRow& p, const Measured& m) {
+          const double os = m.std_naive.metrics.swap_out_ticks.mean() / 1e3;
+          const double on = m.nwc_naive.metrics.swap_out_ticks.mean() / 1e3;
+          return std::vector<std::string>{
+              app, f1(p.t4_std), f1(os), f1(p.t4_nwc), f1(on),
+              f1(p.t4_std / p.t4_nwc) + "x", on > 0 ? f1(os / on) + "x" : "-"};
+        });
+
+  table("Table 5: write combining, optimal prefetch",
+        {"App", "paper std", "ours std", "paper nwc", "ours nwc"},
+        [](const std::string& app, const PaperRow& p, const Measured& m) {
+          return std::vector<std::string>{
+              app, f2(p.t5_std), f2(m.std_opt.metrics.write_combining.mean()),
+              f2(p.t5_nwc), f2(m.nwc_opt.metrics.write_combining.mean())};
+        });
+
+  table("Table 6: write combining, naive prefetch",
+        {"App", "paper std", "ours std", "paper nwc", "ours nwc"},
+        [](const std::string& app, const PaperRow& p, const Measured& m) {
+          return std::vector<std::string>{
+              app, f2(p.t6_std), f2(m.std_naive.metrics.write_combining.mean()),
+              f2(p.t6_nwc), f2(m.nwc_naive.metrics.write_combining.mean())};
+        });
+
+  table("Table 7: NWCache read hit rates (%)",
+        {"App", "paper naive", "ours naive", "paper optimal", "ours optimal"},
+        [](const std::string& app, const PaperRow& p, const Measured& m) {
+          return std::vector<std::string>{
+              app, f1(p.t7_naive), f1(m.nwc_naive.metrics.ring_read_hits.rate() * 100),
+              f1(p.t7_optimal), f1(m.nwc_opt.metrics.ring_read_hits.rate() * 100)};
+        });
+
+  table("Table 8: disk-cache-hit fault latency, naive prefetch (Kpcycles)",
+        {"App", "paper std", "ours std", "paper nwc", "ours nwc"},
+        [](const std::string& app, const PaperRow& p, const Measured& m) {
+          return std::vector<std::string>{
+              app, f1(p.t8_std),
+              f1(m.std_naive.metrics.disk_cache_hit_fault_ticks.mean() / 1e3),
+              f1(p.t8_nwc),
+              f1(m.nwc_naive.metrics.disk_cache_hit_fault_ticks.mean() / 1e3)};
+        });
+
+  // Figures 3/4: overall execution-time improvement of the NWCache machine.
+  std::printf("\nFigures 3/4: NWCache execution-time improvement\n");
+  std::printf("(paper: optimal 23-64%% avg 41%%; naive -3%% to 42%%)\n");
+  util::AsciiTable t({"App", "optimal (ours)", "naive (ours)"});
+  for (const auto& [app, m] : runs) {
+    const double i_opt = 1.0 - static_cast<double>(m.nwc_opt.exec_time) /
+                                   static_cast<double>(m.std_opt.exec_time);
+    const double i_naive = 1.0 - static_cast<double>(m.nwc_naive.exec_time) /
+                                     static_cast<double>(m.std_naive.exec_time);
+    t.addRow({app, util::AsciiTable::fmtPct(i_opt), util::AsciiTable::fmtPct(i_naive)});
+  }
+  t.print(std::cout);
+
+  bool all_ok = true;
+  for (const auto& [app, m] : runs) {
+    for (const auto* s : {&m.std_opt, &m.nwc_opt, &m.std_naive, &m.nwc_naive}) {
+      if (!s->ok()) {
+        std::printf("WARNING: %s failed verification on %s\n", app.c_str(),
+                    s->cfg.describe().c_str());
+        all_ok = false;
+      }
+    }
+  }
+  std::printf("\nall runs verified: %s\n", all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// Extension: machine-size scaling. The paper's conclusion argues the
+// NWCache suits small-to-medium machines today and larger ones as optics
+// get cheaper (4n optical components, n channels). Sweep the node count and
+// watch whether the benefit persists as I/O pressure per disk grows.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nwc;
+  auto opt = bench::parseArgs(argc, argv, "sweep_nodes", 1.0, {"sor", "mg"});
+
+  std::printf("Machine-size sweep under optimal prefetching (execution time in "
+              "Mpcycles, scale=%.2f)\n", opt.scale);
+  util::AsciiTable t({"Application", "Nodes", "I/O nodes", "Standard", "NWCache",
+                      "Improvement"});
+  std::vector<std::vector<std::string>> rows;
+
+  struct Shape {
+    int nodes;
+    int io;
+  };
+  const Shape shapes[] = {{4, 2}, {8, 4}, {16, 4}};
+
+  for (const std::string& app : bench::appList(opt)) {
+    for (const Shape& sh : shapes) {
+      double exec[2] = {0, 0};
+      int idx = 0;
+      for (auto sys : {machine::SystemKind::kStandard, machine::SystemKind::kNWCache}) {
+        machine::MachineConfig cfg =
+            bench::configFor(sys, machine::Prefetch::kOptimal, opt);
+        cfg.num_nodes = sh.nodes;
+        cfg.num_io_nodes = sh.io;
+        cfg.ring_channels = sh.nodes;
+        const auto s = bench::run(cfg, app, opt);
+        exec[idx++] = static_cast<double>(s.exec_time);
+      }
+      std::vector<std::string> row = {
+          app,
+          util::AsciiTable::fmtInt(sh.nodes),
+          util::AsciiTable::fmtInt(sh.io),
+          util::AsciiTable::fmt(exec[0] / 1e6),
+          util::AsciiTable::fmt(exec[1] / 1e6),
+          util::AsciiTable::fmtPct(1.0 - exec[1] / exec[0])};
+      t.addRow(row);
+      rows.push_back(row);
+    }
+  }
+  bench::emit(opt, t, {"app", "nodes", "io_nodes", "standard_mpc", "nwcache_mpc",
+                       "improvement"},
+              rows);
+  return 0;
+}

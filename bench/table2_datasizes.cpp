@@ -1,0 +1,31 @@
+// Table 2: application descriptions, input parameters and total data sizes.
+#include <cstdio>
+
+#include "apps/app_context.hpp"
+#include "apps/registry.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nwc;
+  auto opt = bench::parseArgs(argc, argv, "table2_datasizes");
+
+  std::printf("Table 2: Application Description and Main Input Parameters "
+              "(scale=%.2f)\n", opt.scale);
+  util::AsciiTable t({"Program", "Description", "Input Size", "Data (MB)"});
+  std::vector<std::vector<std::string>> rows;
+  for (const std::string& name : bench::appList(opt)) {
+    const apps::AppInfo* info = apps::findApp(name);
+    auto app = info->make(opt.scale);
+    machine::MachineConfig cfg;
+    machine::Machine m(cfg);
+    apps::AppContext ctx(m);
+    app->setup(ctx);
+    const double mb = static_cast<double>(app->dataBytes()) / (1024.0 * 1024.0);
+    std::vector<std::string> row = {info->name, info->description, info->input,
+                                    util::AsciiTable::fmt(mb)};
+    t.addRow(row);
+    rows.push_back(row);
+  }
+  bench::emit(opt, t, {"program", "description", "input", "data_mb"}, rows);
+  return 0;
+}

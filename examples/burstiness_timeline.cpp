@@ -1,0 +1,76 @@
+// Burstiness timeline: visualize the claim at the heart of the paper —
+// "page swap-outs are often very bursty" — by sampling machine state over a
+// run and rendering ASCII sparklines of free frames, in-flight swap-outs,
+// controller-cache pressure, and (on the NWCache machine) ring occupancy.
+//
+//   ./burstiness_timeline [app] [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/app_context.hpp"
+#include "apps/registry.hpp"
+#include "machine/machine.hpp"
+
+namespace {
+
+using namespace nwc;
+
+sim::Task<> cpuMain(apps::AppContext& ctx, apps::AppInstance& app, int cpu) {
+  co_await app.run(ctx, cpu);
+  co_await ctx.machine().fence(cpu);
+  ctx.machine().cpuDone(cpu);
+}
+
+void runOnce(machine::SystemKind sys, const std::string& app_name, double scale) {
+  machine::MachineConfig cfg;
+  cfg.withSystem(sys, machine::Prefetch::kOptimal);
+  machine::Machine m(cfg);
+  m.enableTimeline();
+
+  auto app = apps::findApp(app_name)->make(scale);
+  apps::AppContext ctx(m);
+  app->setup(ctx);
+  m.start();
+  for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
+    m.engine().spawn(cpuMain(ctx, *app, cpu));
+  }
+  m.engine().run();
+
+  const auto* tl = m.timeline();
+  std::printf("%s machine (exec %.0f Mpcycles, %llu swap-outs, verified=%s)\n",
+              machine::toString(sys),
+              static_cast<double>(m.metrics().executionTime()) / 1e6,
+              static_cast<unsigned long long>(m.metrics().swap_outs),
+              app->verify() ? "yes" : "NO");
+  std::printf("  free frames     |%s| peak %.0f\n",
+              tl->free_frames.sparkline().c_str(), tl->free_frames.maxValue());
+  std::printf("  swaps in flight |%s| peak %.0f\n",
+              tl->swaps_in_flight.sparkline().c_str(),
+              tl->swaps_in_flight.maxValue());
+  std::printf("  dirty ctl slots |%s| peak %.0f\n",
+              tl->dirty_slots.sparkline().c_str(), tl->dirty_slots.maxValue());
+  if (sys == machine::SystemKind::kNWCache) {
+    std::printf("  ring occupancy  |%s| peak %.0f of %d\n",
+                tl->ring_occupancy.sparkline().c_str(),
+                tl->ring_occupancy.maxValue(),
+                cfg.ring_channels * m.ring()->capacityPages());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string app = argc > 1 ? argv[1] : "sor";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  std::printf("Swap-out burstiness of %s at scale %.2f under optimal "
+              "prefetching\n(time runs left to right; each column shows the "
+              "bucket peak)\n\n", app.c_str(), scale);
+  runOnce(nwc::machine::SystemKind::kStandard, app, scale);
+  runOnce(nwc::machine::SystemKind::kNWCache, app, scale);
+  std::printf("The standard machine's in-flight swap-outs saturate during\n"
+              "bursts while free frames crater; the NWCache absorbs the same\n"
+              "bursts into the ring within microseconds.\n");
+  return 0;
+}

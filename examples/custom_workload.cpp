@@ -1,0 +1,110 @@
+// Custom workload: how to write your own out-of-core application against
+// the public API (AppContext + MappedFile) instead of using the built-in
+// registry. The workload is an out-of-core blocked matrix transpose — a
+// write-heavy access pattern the paper's introduction motivates.
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+
+#include "apps/app_context.hpp"
+#include "machine/machine.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nwc;
+
+struct Transpose {
+  std::size_t n = 768;  // 768x768 doubles = 4.5 MB: pages heavily
+  std::size_t block = 64;
+  apps::MappedFile<double> src, dst;
+
+  void setup(apps::AppContext& ctx) {
+    src = ctx.map<double>(n * n, "transpose_src");
+    dst = ctx.map<double>(n * n, "transpose_dst");
+    for (std::size_t i = 0; i < n * n; ++i) {
+      src.raw(i) = static_cast<double>(i);
+    }
+  }
+
+  // Each cpu transposes a strided set of blocks; no synchronization is
+  // needed beyond the implicit end-of-run join (writes are disjoint).
+  sim::Task<> run(apps::AppContext& ctx, int cpu) {
+    const std::size_t nb = n / block;
+    std::size_t tile = 0;
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      for (std::size_t bj = 0; bj < nb; ++bj, ++tile) {
+        if (tile % static_cast<std::size_t>(ctx.numCpus()) !=
+            static_cast<std::size_t>(cpu)) {
+          continue;
+        }
+        for (std::size_t i = bi * block; i < (bi + 1) * block; ++i) {
+          for (std::size_t j = bj * block; j < (bj + 1) * block; ++j) {
+            const double v = co_await src.get(cpu, i * n + j);
+            co_await dst.set(cpu, j * n + i, v);
+            ctx.compute(cpu, 2);
+          }
+        }
+      }
+    }
+  }
+
+  bool verify() const {
+    for (std::size_t i = 0; i < n; i += 97) {
+      for (std::size_t j = 0; j < n; j += 89) {
+        if (dst.raw(j * n + i) != src.raw(i * n + j)) return false;
+      }
+    }
+    return true;
+  }
+};
+
+sim::Task<> cpuMain(apps::AppContext& ctx, Transpose& t, int cpu) {
+  co_await t.run(ctx, cpu);
+  co_await ctx.machine().fence(cpu);
+  ctx.machine().cpuDone(cpu);
+}
+
+machine::Metrics runOn(machine::SystemKind sys, bool* ok, sim::Tick* exec) {
+  machine::MachineConfig cfg;
+  cfg.withSystem(sys, machine::Prefetch::kOptimal);
+  machine::Machine m(cfg);
+  apps::AppContext ctx(m);
+  Transpose t;
+  t.setup(ctx);
+  m.start();
+  for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
+    m.engine().spawn(cpuMain(ctx, t, cpu));
+  }
+  m.engine().run();
+  *ok = t.verify() && m.checkInvariants().empty();
+  *exec = m.metrics().executionTime();
+  return m.metrics();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Custom out-of-core workload: 768x768 blocked matrix transpose\n"
+              "(4.5 MB of data against 2 MB of total machine memory)\n\n");
+
+  util::AsciiTable t({"System", "Exec (Mpcycles)", "Faults", "Swap-outs",
+                      "Avg swap-out (Kpc)", "NoFree (Mpc)", "OK"});
+  for (auto sys : {machine::SystemKind::kStandard, machine::SystemKind::kNWCache}) {
+    bool ok = false;
+    sim::Tick exec = 0;
+    const machine::Metrics met = runOn(sys, &ok, &exec);
+    t.addRow({machine::toString(sys),
+              util::AsciiTable::fmt(static_cast<double>(exec) / 1e6),
+              util::AsciiTable::fmtInt(static_cast<long long>(met.faults)),
+              util::AsciiTable::fmtInt(static_cast<long long>(met.swap_outs)),
+              util::AsciiTable::fmt(met.swap_out_ticks.mean() / 1e3),
+              util::AsciiTable::fmt(static_cast<double>(met.totalNoFree()) / 1e6),
+              ok ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::printf("\nA transpose dirties every destination page exactly once, so the\n"
+              "run is one long swap-out burst: ideal territory for the NWCache's\n"
+              "write staging.\n");
+  return 0;
+}

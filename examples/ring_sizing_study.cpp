@@ -1,0 +1,42 @@
+// Ring sizing study: sweep the NWCache channel capacity (i.e. fiber length)
+// and watch the trade-off the paper discusses in section 4 — more storage
+// absorbs bigger swap bursts, but a longer ring raises the circulation
+// latency paid by victim reads and interface drains.
+//
+//   ./ring_sizing_study [app] [scale]
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+
+#include "apps/runner.hpp"
+#include "nwcache/optical_ring.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nwc;
+  const std::string app = argc > 1 ? argv[1] : "sor";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  std::printf("NWCache ring sizing study: %s at scale %.2f\n"
+              "(round-trip latency scales with per-channel capacity: the ring\n"
+              "IS the storage medium)\n\n", app.c_str(), scale);
+
+  util::AsciiTable t({"Channel KB", "Pages/ch", "Round trip (us)", "Exec (Mpc)",
+                      "Ring hit rate", "Avg swap-out (Kpc)"});
+  for (std::uint64_t kb : {16, 32, 64, 128, 256}) {
+    machine::MachineConfig cfg;
+    cfg.withSystem(machine::SystemKind::kNWCache, machine::Prefetch::kOptimal);
+    cfg.ring_channel_bytes = kb * 1024;
+    // Fiber length (and thus circulation time) scales with capacity.
+    cfg.ring_round_trip_us = 52.0 * static_cast<double>(kb) / 64.0;
+    const apps::RunSummary s = apps::runApp(cfg, app, scale);
+    t.addRow({util::AsciiTable::fmtInt(static_cast<long long>(kb)),
+              util::AsciiTable::fmtInt(static_cast<long long>(kb / 4)),
+              util::AsciiTable::fmt(cfg.ring_round_trip_us),
+              util::AsciiTable::fmt(static_cast<double>(s.exec_time) / 1e6),
+              util::AsciiTable::fmtPct(s.metrics.ring_read_hits.rate()),
+              util::AsciiTable::fmt(s.metrics.swap_out_ticks.mean() / 1e3)});
+  }
+  t.print(std::cout);
+  return 0;
+}

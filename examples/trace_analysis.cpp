@@ -1,0 +1,90 @@
+// Trace analysis: record every page-grain event of a run and mine it
+// offline — fault source mix, page re-fault behaviour (reuse), inter-fault
+// gaps, the hottest pages — then dump the raw trace to CSV.
+//
+//   ./trace_analysis [app] [scale] [standard|nwcache]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/runner.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nwc;
+  const std::string app = argc > 1 ? argv[1] : "sor";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const bool nwcache = argc > 3 ? std::string(argv[3]) == "nwcache" : true;
+
+  machine::MachineConfig cfg;
+  cfg.withSystem(nwcache ? machine::SystemKind::kNWCache
+                         : machine::SystemKind::kStandard,
+                 machine::Prefetch::kNaive);
+
+  machine::TraceBuffer trace;
+  std::printf("Tracing %s (%s, naive prefetch, scale %.2f)...\n", app.c_str(),
+              nwcache ? "nwcache" : "standard", scale);
+  const apps::RunSummary s = apps::runApp(cfg, app, scale, &trace);
+  std::printf("run complete: exec=%.1f Mpcycles, %zu trace events, verified=%s\n\n",
+              static_cast<double>(s.exec_time) / 1e6, trace.size(),
+              s.verified ? "yes" : "NO");
+
+  // Event mix.
+  util::AsciiTable mix({"Event", "Count"});
+  for (auto k : {machine::TraceKind::kFaultDiskHit, machine::TraceKind::kFaultDiskMiss,
+                 machine::TraceKind::kFaultRingHit, machine::TraceKind::kSwapOutDisk,
+                 machine::TraceKind::kSwapOutRing, machine::TraceKind::kCleanEviction,
+                 machine::TraceKind::kNack}) {
+    mix.addRow({machine::toString(k),
+                util::AsciiTable::fmtInt(static_cast<long long>(trace.count(k)))});
+  }
+  mix.print(std::cout);
+
+  // Per-page fault counts: how much page re-fetching (thrashing) happened?
+  std::map<sim::PageId, int> fault_counts;
+  std::map<sim::PageId, sim::Tick> last_fault;
+  sim::Accumulator refault_gap;
+  for (const auto& e : trace.events()) {
+    if (e.kind != machine::TraceKind::kFaultDiskHit &&
+        e.kind != machine::TraceKind::kFaultDiskMiss &&
+        e.kind != machine::TraceKind::kFaultRingHit) {
+      continue;
+    }
+    auto [it, fresh] = last_fault.try_emplace(e.page, e.at);
+    if (!fresh) {
+      refault_gap.add(static_cast<double>(e.at - it->second));
+      it->second = e.at;
+    }
+    fault_counts[e.page]++;
+  }
+  std::size_t refaulted = 0;
+  int max_faults = 0;
+  sim::PageId hottest = sim::kNoPage;
+  for (const auto& [page, n] : fault_counts) {
+    if (n > 1) ++refaulted;
+    if (n > max_faults) {
+      max_faults = n;
+      hottest = page;
+    }
+  }
+  std::printf("\n%zu distinct pages faulted; %zu were re-faulted after eviction.\n",
+              fault_counts.size(), refaulted);
+  if (hottest != sim::kNoPage) {
+    std::printf("hottest page: %lld, faulted %d times\n",
+                static_cast<long long>(hottest), max_faults);
+  }
+  if (refault_gap.count() > 0) {
+    std::printf("re-fault gap: mean %.0f Kpcycles (min %.0f, max %.0f)\n",
+                refault_gap.mean() / 1e3, refault_gap.min() / 1e3,
+                refault_gap.max() / 1e3);
+  }
+
+  const std::string csv = "trace_" + app + ".csv";
+  trace.dumpCsv(csv);
+  std::printf("\nraw trace written to %s\n", csv.c_str());
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "apps/batch.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "apps/registry.hpp"
+#include "machine/config_io.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace nwc::apps {
+
+namespace {
+
+std::vector<std::string> splitList(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const auto comma = s.find(',', pos);
+    const std::string item =
+        util::trim(s.substr(pos, comma == std::string::npos ? comma : comma - pos));
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+BatchSpec BatchSpec::fromIni(const util::IniFile& ini) {
+  BatchSpec spec;
+  machine::applyIni(ini, spec.base);
+
+  if (const auto v = ini.get("batch.apps")) {
+    spec.apps = splitList(*v);
+    for (const auto& a : spec.apps) {
+      if (findApp(a) == nullptr) throw std::runtime_error("batch: unknown app " + a);
+    }
+  } else {
+    for (const auto& a : appRegistry()) spec.apps.push_back(a.name);
+  }
+
+  if (const auto v = ini.get("batch.systems")) {
+    for (const auto& s : splitList(*v)) {
+      spec.systems.push_back(machine::systemKindFromString(s));
+    }
+  } else {
+    spec.systems = {machine::SystemKind::kStandard, machine::SystemKind::kNWCache};
+  }
+
+  if (const auto v = ini.get("batch.prefetch")) {
+    for (const auto& p : splitList(*v)) {
+      spec.prefetches.push_back(machine::prefetchFromString(p));
+    }
+  } else {
+    spec.prefetches = {machine::Prefetch::kOptimal, machine::Prefetch::kNaive};
+  }
+
+  if (const auto v = ini.get("batch.seeds")) {
+    for (const auto& s : splitList(*v)) {
+      spec.seeds.push_back(std::strtoull(s.c_str(), nullptr, 0));
+    }
+  } else {
+    spec.seeds = {spec.base.seed};
+  }
+
+  if (const auto v = ini.getDouble("batch.scale")) spec.scale = *v;
+  if (spec.scale <= 0.0 || spec.scale > 1.0) {
+    throw std::runtime_error("batch: scale must be in (0, 1]");
+  }
+  if (const auto v = ini.getBool("batch.best_min_free")) spec.best_min_free = *v;
+  if (const auto v = ini.get("batch.csv")) spec.csv_path = *v;
+  if (const auto v = ini.get("batch.jsonl")) spec.jsonl_path = *v;
+  return spec;
+}
+
+std::string summaryJson(const RunSummary& s, double scale) {
+  const auto& m = s.metrics;
+  util::JsonObject o;
+  o.add("app", s.app)
+      .add("system", machine::toString(s.cfg.system))
+      .add("prefetch", machine::toString(s.cfg.prefetch))
+      .add("seed", static_cast<std::uint64_t>(s.cfg.seed))
+      .add("scale", scale)
+      .add("verified", s.verified)
+      .add("invariants_ok", s.invariant_violations.empty())
+      .add("exec_pcycles", static_cast<std::uint64_t>(s.exec_time))
+      .add("faults", static_cast<std::uint64_t>(m.faults))
+      .add("swap_outs", static_cast<std::uint64_t>(m.swap_outs))
+      .add("clean_evictions", static_cast<std::uint64_t>(m.clean_evictions))
+      .add("nacks", static_cast<std::uint64_t>(m.nacks))
+      .add("shootdowns", static_cast<std::uint64_t>(m.shootdowns))
+      .add("swap_out_mean_pcycles", m.swap_out_ticks.mean())
+      .add("fault_mean_pcycles", m.fault_ticks.mean())
+      .add("write_combining", m.write_combining.mean())
+      .add("ring_hit_rate", m.ring_read_hits.rate())
+      .add("remote_stores", static_cast<std::uint64_t>(m.remote_stores))
+      .add("nofree_pcycles", static_cast<std::uint64_t>(m.totalNoFree()))
+      .add("transit_pcycles", static_cast<std::uint64_t>(m.totalTransit()))
+      .add("fault_pcycles", static_cast<std::uint64_t>(m.totalFault()))
+      .add("tlb_pcycles", static_cast<std::uint64_t>(m.totalTlb()))
+      .add("other_pcycles", static_cast<std::uint64_t>(m.totalOther()))
+      .add("accesses", static_cast<std::uint64_t>(m.totalAccesses()))
+      .add("engine_events", static_cast<std::uint64_t>(s.engine_events));
+  return o.str();
+}
+
+std::vector<std::string> summaryCsvHeader() {
+  return {"app",       "system",    "prefetch",      "seed",
+          "scale",     "verified",  "exec_pcycles",  "faults",
+          "swap_outs", "nacks",     "swap_out_mean", "fault_mean",
+          "combining", "ring_rate", "nofree",        "transit",
+          "fault",     "tlb",       "other"};
+}
+
+std::vector<std::string> summaryCsvRow(const RunSummary& s, double scale) {
+  const auto& m = s.metrics;
+  auto d = [](double v) { return std::to_string(v); };
+  auto u = [](std::uint64_t v) { return std::to_string(v); };
+  return {s.app,
+          machine::toString(s.cfg.system),
+          machine::toString(s.cfg.prefetch),
+          u(s.cfg.seed),
+          d(scale),
+          s.verified ? "1" : "0",
+          u(s.exec_time),
+          u(m.faults),
+          u(m.swap_outs),
+          u(m.nacks),
+          d(m.swap_out_ticks.mean()),
+          d(m.fault_ticks.mean()),
+          d(m.write_combining.mean()),
+          d(m.ring_read_hits.rate()),
+          u(m.totalNoFree()),
+          u(m.totalTransit()),
+          u(m.totalFault()),
+          u(m.totalTlb()),
+          u(m.totalOther())};
+}
+
+BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
+  BatchResult result;
+  result.runs.reserve(spec.runCount());
+
+  std::unique_ptr<util::CsvWriter> csv;
+  if (!spec.csv_path.empty()) {
+    csv = std::make_unique<util::CsvWriter>(spec.csv_path, summaryCsvHeader());
+  }
+  std::ofstream jsonl;
+  if (!spec.jsonl_path.empty()) {
+    jsonl.open(spec.jsonl_path);
+    if (!jsonl) throw std::runtime_error("batch: cannot open " + spec.jsonl_path);
+  }
+
+  std::size_t done = 0;
+  for (const std::string& app : spec.apps) {
+    for (machine::SystemKind sys : spec.systems) {
+      for (machine::Prefetch pf : spec.prefetches) {
+        for (std::uint64_t seed : spec.seeds) {
+          machine::MachineConfig cfg = spec.base;
+          cfg.system = sys;
+          cfg.prefetch = pf;
+          cfg.seed = seed;
+          if (spec.best_min_free) {
+            cfg.min_free_frames = machine::MachineConfig::bestMinFree(sys, pf);
+          }
+          if (progress != nullptr) {
+            *progress << "[" << ++done << "/" << spec.runCount() << "] " << app
+                      << " on " << cfg.describe() << "\n";
+            progress->flush();
+          }
+          RunSummary s = runApp(cfg, app, spec.scale);
+          result.all_ok = result.all_ok && s.ok();
+          if (csv) csv->addRow(summaryCsvRow(s, spec.scale));
+          if (jsonl.is_open()) jsonl << summaryJson(s, spec.scale) << "\n";
+          result.runs.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace nwc::apps

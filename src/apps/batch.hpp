@@ -1,0 +1,54 @@
+// Batch experiment driver: run a grid of (app x system x prefetch x seed)
+// configurations described by an INI file, collecting summaries as CSV
+// and/or JSON-lines. Used by tools/nwcbatch; unit-testable directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "apps/runner.hpp"
+#include "machine/config.hpp"
+#include "util/ini.hpp"
+
+namespace nwc::apps {
+
+struct BatchSpec {
+  machine::MachineConfig base;  // [machine] section applied on top of defaults
+  std::vector<std::string> apps;
+  std::vector<machine::SystemKind> systems;
+  std::vector<machine::Prefetch> prefetches;
+  std::vector<std::uint64_t> seeds;
+  double scale = 1.0;
+  bool best_min_free = true;  // re-derive min-free per (system, prefetch)
+  std::string csv_path;       // empty = no CSV
+  std::string jsonl_path;     // empty = no JSON lines
+
+  /// Parses the [machine] and [batch] sections. [batch] keys:
+  ///   apps, systems, prefetch (comma lists), scale, seeds, csv, jsonl,
+  ///   best_min_free. Missing keys default to the full matrix of the
+  ///   standard+nwcache systems over all seven applications.
+  static BatchSpec fromIni(const util::IniFile& ini);
+
+  std::size_t runCount() const {
+    return apps.size() * systems.size() * prefetches.size() * seeds.size();
+  }
+};
+
+struct BatchResult {
+  std::vector<RunSummary> runs;
+  bool all_ok = true;
+};
+
+/// Executes the grid in a deterministic order (apps outermost, seeds
+/// innermost). Progress lines go to `progress` when non-null.
+BatchResult runBatch(const BatchSpec& spec, std::ostream* progress = nullptr);
+
+/// One-line JSON rendering of a run summary (shared with tools/nwcsim).
+std::string summaryJson(const RunSummary& s, double scale);
+
+/// CSV header/row for summaries.
+std::vector<std::string> summaryCsvHeader();
+std::vector<std::string> summaryCsvRow(const RunSummary& s, double scale);
+
+}  // namespace nwc::apps

@@ -1,0 +1,292 @@
+// Mg: 3-D Poisson solver using multigrid techniques (Table 2: 32 x 32 x 64
+// grid, 10 iterations, ~2.4 MB).
+//
+// Each iteration is a two-level V-cycle: Jacobi pre-smoothing on the fine
+// grid, residual restriction to the coarse grid, coarse Jacobi sweeps,
+// prolongation+correction, and post-smoothing. Sweeps ping-pong between two
+// arrays, so the phases are race-free; work is partitioned in z-slabs.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "apps/app_context.hpp"
+#include "apps/registry.hpp"
+#include "sim/random.hpp"
+
+namespace nwc::apps {
+
+namespace {
+
+struct Grid {
+  std::size_t nx, ny, nz;
+  std::size_t idx(std::size_t x, std::size_t y, std::size_t z) const {
+    return (z * ny + y) * nx + x;
+  }
+  std::size_t size() const { return nx * ny * nz; }
+};
+
+class Mg final : public AppInstance {
+ public:
+  explicit Mg(double scale) {
+    auto dim = [&](std::size_t full) {
+      std::size_t d = std::max<std::size_t>(8, static_cast<std::size_t>(
+                                                   static_cast<double>(full) * scale));
+      d &= ~std::size_t{1};  // even, so the coarse grid is exact
+      return d;
+    };
+    fine_ = Grid{dim(32), dim(32), dim(64)};
+    coarse_ = Grid{fine_.nx / 2, fine_.ny / 2, fine_.nz / 2};
+    iters_ = 10;
+  }
+
+  void setup(AppContext& ctx) override {
+    ncpus_ = ctx.numCpus();
+    u_ = ctx.map<double>(fine_.size(), "mg_u");
+    tmp_ = ctx.map<double>(fine_.size(), "mg_tmp");
+    rhs_ = ctx.map<double>(fine_.size(), "mg_rhs");
+    res_ = ctx.map<double>(fine_.size(), "mg_res");
+    uc_ = ctx.map<double>(coarse_.size(), "mg_uc");
+    tmpc_ = ctx.map<double>(coarse_.size(), "mg_tmpc");
+    rc_ = ctx.map<double>(coarse_.size(), "mg_rc");
+
+    sim::Rng rng(0x36);
+    for (std::size_t i = 0; i < fine_.size(); ++i) {
+      u_.raw(i) = 0.0;
+      tmp_.raw(i) = 0.0;
+      res_.raw(i) = 0.0;
+      rhs_.raw(i) = rng.uniform() - 0.5;
+    }
+    for (std::size_t i = 0; i < coarse_.size(); ++i) {
+      uc_.raw(i) = tmpc_.raw(i) = rc_.raw(i) = 0.0;
+    }
+    computeReference();
+  }
+
+  sim::Task<> run(AppContext& ctx, int cpu) override {
+    for (int it = 0; it < iters_; ++it) {
+      co_await smoothFine(ctx, cpu, u_, tmp_);  // pre-smooth (2 sweeps)
+      co_await residual(ctx, cpu);
+      co_await restrictResidual(ctx, cpu);
+      co_await clearCoarse(ctx, cpu);
+      for (int s = 0; s < 2; ++s) {
+        co_await jacobi(ctx, cpu, coarse_, uc_, tmpc_, rc_);
+        co_await jacobi(ctx, cpu, coarse_, tmpc_, uc_, rc_);
+      }
+      co_await prolongCorrect(ctx, cpu);
+      co_await smoothFine(ctx, cpu, u_, tmp_);  // post-smooth (2 sweeps)
+    }
+  }
+
+  bool verify() const override {
+    for (std::size_t i = 0; i < fine_.size(); ++i) {
+      if (std::abs(u_.raw(i) - ref_[i]) > 1e-9) return false;
+    }
+    return true;
+  }
+
+  std::uint64_t dataBytes() const override {
+    return (4 * fine_.size() + 3 * coarse_.size()) * sizeof(double);
+  }
+
+ private:
+  // z-slab bounds for `cpu`, interior points only.
+  void slab(const Grid& g, int cpu, std::size_t* z0, std::size_t* z1) const {
+    const std::size_t span = (g.nz + static_cast<std::size_t>(ncpus_) - 1) /
+                             static_cast<std::size_t>(ncpus_);
+    *z0 = std::max<std::size_t>(1, static_cast<std::size_t>(cpu) * span);
+    *z1 = std::min(g.nz - 1, static_cast<std::size_t>(cpu + 1) * span);
+    if (*z0 > *z1) *z0 = *z1;
+  }
+
+  sim::Task<> jacobi(AppContext& ctx, int cpu, const Grid& g, MappedFile<double>& src,
+                     MappedFile<double>& dst, MappedFile<double>& f) {
+    std::size_t z0, z1;
+    slab(g, cpu, &z0, &z1);
+    for (std::size_t z = z0; z < z1; ++z) {
+      for (std::size_t y = 1; y + 1 < g.ny; ++y) {
+        for (std::size_t x = 1; x + 1 < g.nx; ++x) {
+          const double s = (co_await src.get(cpu, g.idx(x - 1, y, z))) +
+                           (co_await src.get(cpu, g.idx(x + 1, y, z))) +
+                           (co_await src.get(cpu, g.idx(x, y - 1, z))) +
+                           (co_await src.get(cpu, g.idx(x, y + 1, z))) +
+                           (co_await src.get(cpu, g.idx(x, y, z - 1))) +
+                           (co_await src.get(cpu, g.idx(x, y, z + 1)));
+          const double fv = co_await f.get(cpu, g.idx(x, y, z));
+          co_await dst.set(cpu, g.idx(x, y, z), (s + fv) / 6.0);
+          ctx.compute(cpu, 8);
+        }
+      }
+    }
+    co_await ctx.barrier(cpu);
+  }
+
+  sim::Task<> smoothFine(AppContext& ctx, int cpu, MappedFile<double>& a,
+                         MappedFile<double>& b) {
+    co_await jacobi(ctx, cpu, fine_, a, b, rhs_);
+    co_await jacobi(ctx, cpu, fine_, b, a, rhs_);
+  }
+
+  sim::Task<> residual(AppContext& ctx, int cpu) {
+    std::size_t z0, z1;
+    slab(fine_, cpu, &z0, &z1);
+    const Grid& g = fine_;
+    for (std::size_t z = z0; z < z1; ++z) {
+      for (std::size_t y = 1; y + 1 < g.ny; ++y) {
+        for (std::size_t x = 1; x + 1 < g.nx; ++x) {
+          const double s = (co_await u_.get(cpu, g.idx(x - 1, y, z))) +
+                           (co_await u_.get(cpu, g.idx(x + 1, y, z))) +
+                           (co_await u_.get(cpu, g.idx(x, y - 1, z))) +
+                           (co_await u_.get(cpu, g.idx(x, y + 1, z))) +
+                           (co_await u_.get(cpu, g.idx(x, y, z - 1))) +
+                           (co_await u_.get(cpu, g.idx(x, y, z + 1)));
+          const double c = co_await u_.get(cpu, g.idx(x, y, z));
+          const double fv = co_await rhs_.get(cpu, g.idx(x, y, z));
+          co_await res_.set(cpu, g.idx(x, y, z), fv - (6.0 * c - s));
+          ctx.compute(cpu, 9);
+        }
+      }
+    }
+    co_await ctx.barrier(cpu);
+  }
+
+  sim::Task<> restrictResidual(AppContext& ctx, int cpu) {
+    std::size_t z0, z1;
+    slab(coarse_, cpu, &z0, &z1);
+    for (std::size_t z = z0; z < z1; ++z) {
+      for (std::size_t y = 1; y + 1 < coarse_.ny; ++y) {
+        for (std::size_t x = 1; x + 1 < coarse_.nx; ++x) {
+          double s = 0;
+          for (std::size_t dz = 0; dz < 2; ++dz) {
+            for (std::size_t dy = 0; dy < 2; ++dy) {
+              for (std::size_t dx = 0; dx < 2; ++dx) {
+                s += co_await res_.get(cpu, fine_.idx(2 * x + dx, 2 * y + dy, 2 * z + dz));
+              }
+            }
+          }
+          co_await rc_.set(cpu, coarse_.idx(x, y, z), s / 8.0);
+          ctx.compute(cpu, 10);
+        }
+      }
+    }
+    co_await ctx.barrier(cpu);
+  }
+
+  sim::Task<> clearCoarse(AppContext& ctx, int cpu) {
+    const std::size_t chunk = (coarse_.size() + static_cast<std::size_t>(ncpus_) - 1) /
+                              static_cast<std::size_t>(ncpus_);
+    const std::size_t lo = static_cast<std::size_t>(cpu) * chunk;
+    const std::size_t hi = std::min(coarse_.size(), lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) {
+      co_await uc_.set(cpu, i, 0.0);
+      co_await tmpc_.set(cpu, i, 0.0);
+    }
+    co_await ctx.barrier(cpu);
+  }
+
+  sim::Task<> prolongCorrect(AppContext& ctx, int cpu) {
+    std::size_t z0, z1;
+    slab(fine_, cpu, &z0, &z1);
+    const Grid& g = fine_;
+    for (std::size_t z = z0; z < z1; ++z) {
+      for (std::size_t y = 1; y + 1 < g.ny; ++y) {
+        for (std::size_t x = 1; x + 1 < g.nx; ++x) {
+          const std::size_t cx = std::min(coarse_.nx - 1, x / 2);
+          const std::size_t cy = std::min(coarse_.ny - 1, y / 2);
+          const std::size_t cz = std::min(coarse_.nz - 1, z / 2);
+          const double c = co_await uc_.get(cpu, coarse_.idx(cx, cy, cz));
+          const double v = co_await u_.get(cpu, g.idx(x, y, z));
+          co_await u_.set(cpu, g.idx(x, y, z), v + c);
+          ctx.compute(cpu, 3);
+        }
+      }
+    }
+    co_await ctx.barrier(cpu);
+  }
+
+  // Host reference mirrors every phase exactly.
+  void computeReference();
+
+  Grid fine_{}, coarse_{};
+  int iters_;
+  int ncpus_ = 1;
+  MappedFile<double> u_, tmp_, rhs_, res_, uc_, tmpc_, rc_;
+  std::vector<double> ref_;
+};
+
+void Mg::computeReference() {
+  const Grid& g = fine_;
+  const Grid& c = coarse_;
+  std::vector<double> u(g.size(), 0.0), tmp(g.size(), 0.0), res(g.size(), 0.0);
+  std::vector<double> rhs(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) rhs[i] = rhs_.raw(i);
+  std::vector<double> uc(c.size(), 0.0), tmpc(c.size(), 0.0), rc(c.size(), 0.0);
+
+  auto jac = [](const Grid& gr, const std::vector<double>& src, std::vector<double>& dst,
+                const std::vector<double>& f) {
+    for (std::size_t z = 1; z + 1 < gr.nz; ++z) {
+      for (std::size_t y = 1; y + 1 < gr.ny; ++y) {
+        for (std::size_t x = 1; x + 1 < gr.nx; ++x) {
+          const double s = src[gr.idx(x - 1, y, z)] + src[gr.idx(x + 1, y, z)] +
+                           src[gr.idx(x, y - 1, z)] + src[gr.idx(x, y + 1, z)] +
+                           src[gr.idx(x, y, z - 1)] + src[gr.idx(x, y, z + 1)];
+          dst[gr.idx(x, y, z)] = (s + f[gr.idx(x, y, z)]) / 6.0;
+        }
+      }
+    }
+  };
+
+  for (int it = 0; it < iters_; ++it) {
+    jac(g, u, tmp, rhs);
+    jac(g, tmp, u, rhs);
+    for (std::size_t z = 1; z + 1 < g.nz; ++z) {
+      for (std::size_t y = 1; y + 1 < g.ny; ++y) {
+        for (std::size_t x = 1; x + 1 < g.nx; ++x) {
+          const double s = u[g.idx(x - 1, y, z)] + u[g.idx(x + 1, y, z)] +
+                           u[g.idx(x, y - 1, z)] + u[g.idx(x, y + 1, z)] +
+                           u[g.idx(x, y, z - 1)] + u[g.idx(x, y, z + 1)];
+          res[g.idx(x, y, z)] = rhs[g.idx(x, y, z)] - (6.0 * u[g.idx(x, y, z)] - s);
+        }
+      }
+    }
+    for (std::size_t z = 1; z + 1 < c.nz; ++z) {
+      for (std::size_t y = 1; y + 1 < c.ny; ++y) {
+        for (std::size_t x = 1; x + 1 < c.nx; ++x) {
+          double s = 0;
+          for (std::size_t dz = 0; dz < 2; ++dz)
+            for (std::size_t dy = 0; dy < 2; ++dy)
+              for (std::size_t dx = 0; dx < 2; ++dx)
+                s += res[g.idx(2 * x + dx, 2 * y + dy, 2 * z + dz)];
+          rc[c.idx(x, y, z)] = s / 8.0;
+        }
+      }
+    }
+    std::fill(uc.begin(), uc.end(), 0.0);
+    std::fill(tmpc.begin(), tmpc.end(), 0.0);
+    for (int s = 0; s < 2; ++s) {
+      jac(c, uc, tmpc, rc);
+      jac(c, tmpc, uc, rc);
+    }
+    for (std::size_t z = 1; z + 1 < g.nz; ++z) {
+      for (std::size_t y = 1; y + 1 < g.ny; ++y) {
+        for (std::size_t x = 1; x + 1 < g.nx; ++x) {
+          const std::size_t cx = std::min(c.nx - 1, x / 2);
+          const std::size_t cy = std::min(c.ny - 1, y / 2);
+          const std::size_t cz = std::min(c.nz - 1, z / 2);
+          u[g.idx(x, y, z)] += uc[c.idx(cx, cy, cz)];
+        }
+      }
+    }
+    jac(g, u, tmp, rhs);
+    jac(g, tmp, u, rhs);
+  }
+  ref_ = std::move(u);
+}
+
+}  // namespace
+
+std::unique_ptr<AppInstance> makeMg(double scale) {
+  return std::make_unique<Mg>(scale);
+}
+
+}  // namespace nwc::apps

@@ -1,0 +1,26 @@
+#include "apps/registry.hpp"
+
+namespace nwc::apps {
+
+const std::vector<AppInfo>& appRegistry() {
+  static const std::vector<AppInfo> kApps = {
+      {"em3d", "Electromagnetic wave propagation", "32 K nodes, 5% remote, 10 iters",
+       makeEm3d},
+      {"fft", "1D Fast Fourier Transform", "64 K points", makeFft},
+      {"gauss", "Unblocked Gaussian Elimination", "570 x 512 doubles", makeGauss},
+      {"lu", "Blocked LU factorization", "576 x 576 doubles", makeLu},
+      {"mg", "3D Poisson solver using multigrid techs", "32 x 32 x 64, 10 iters", makeMg},
+      {"radix", "Integer Radix sort", "320 K keys, radix 1024", makeRadix},
+      {"sor", "Successive Over-Relaxation", "640 x 512 doubles, 10 iters", makeSor},
+  };
+  return kApps;
+}
+
+const AppInfo* findApp(const std::string& name) {
+  for (const AppInfo& a : appRegistry()) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace nwc::apps

@@ -1,0 +1,60 @@
+// Application registry: the paper's seven out-of-core parallel programs
+// (Table 2), each with its input parameters and a post-run numerical check.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "sim/task.hpp"
+
+namespace nwc::apps {
+
+class AppContext;
+
+/// One runnable workload instance. Lifecycle: construct -> setup() ->
+/// one run(cpu) coroutine per processor -> verify().
+class AppInstance {
+ public:
+  virtual ~AppInstance() = default;
+
+  /// Allocates regions on the machine and fills initial data.
+  virtual void setup(AppContext& ctx) = 0;
+
+  /// Per-processor kernel.
+  virtual sim::Task<> run(AppContext& ctx, int cpu) = 0;
+
+  /// Numerical correctness check after the run.
+  virtual bool verify() const = 0;
+
+  /// Total mapped bytes (Table 2's "Data (MB)" column).
+  virtual std::uint64_t dataBytes() const = 0;
+};
+
+struct AppInfo {
+  std::string name;
+  std::string description;  // Table 2 description
+  std::string input;        // Table 2 input parameters
+  /// `scale` in (0, 1] shrinks the input (for fast tests); 1.0 = paper size.
+  std::function<std::unique_ptr<AppInstance>(double scale)> make;
+};
+
+/// All seven applications, in the paper's order.
+const std::vector<AppInfo>& appRegistry();
+
+/// Lookup by name; nullptr if unknown.
+const AppInfo* findApp(const std::string& name);
+
+// Factories (also usable directly).
+std::unique_ptr<AppInstance> makeEm3d(double scale);
+std::unique_ptr<AppInstance> makeFft(double scale);
+std::unique_ptr<AppInstance> makeGauss(double scale);
+std::unique_ptr<AppInstance> makeLu(double scale);
+std::unique_ptr<AppInstance> makeMg(double scale);
+std::unique_ptr<AppInstance> makeRadix(double scale);
+std::unique_ptr<AppInstance> makeSor(double scale);
+
+}  // namespace nwc::apps

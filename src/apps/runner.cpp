@@ -1,0 +1,50 @@
+#include "apps/runner.hpp"
+
+#include <stdexcept>
+
+#include "apps/app_context.hpp"
+
+namespace nwc::apps {
+
+namespace {
+
+sim::Task<> cpuMain(AppContext& ctx, AppInstance& app, int cpu) {
+  co_await app.run(ctx, cpu);
+  co_await ctx.machine().fence(cpu);
+  ctx.machine().cpuDone(cpu);
+}
+
+}  // namespace
+
+RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name,
+                  double scale, machine::TraceBuffer* trace) {
+  const AppInfo* info = findApp(app_name);
+  if (info == nullptr) {
+    throw std::invalid_argument("unknown application: " + app_name);
+  }
+
+  machine::Machine m(cfg);
+  if (trace != nullptr) m.attachTrace(trace);
+  std::unique_ptr<AppInstance> app = info->make(scale);
+  AppContext ctx(m);
+  app->setup(ctx);
+  m.start();
+
+  for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
+    m.engine().spawn(cpuMain(ctx, *app, cpu));
+  }
+  m.engine().run();
+
+  RunSummary s;
+  s.app = info->name;
+  s.cfg = cfg;
+  s.metrics = m.metrics();
+  s.exec_time = m.metrics().executionTime();
+  s.verified = app->verify();
+  s.invariant_violations = m.checkInvariants();
+  s.engine_events = m.engine().eventsProcessed();
+  s.data_bytes = app->dataBytes();
+  return s;
+}
+
+}  // namespace nwc::apps

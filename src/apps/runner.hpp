@@ -1,0 +1,33 @@
+// One-call experiment driver: build a machine, run one application on it,
+// collect metrics and check invariants.
+#pragma once
+
+#include <string>
+
+#include "apps/registry.hpp"
+#include "machine/config.hpp"
+#include "machine/metrics.hpp"
+#include "machine/trace.hpp"
+
+namespace nwc::apps {
+
+struct RunSummary {
+  std::string app;
+  machine::MachineConfig cfg;
+  machine::Metrics metrics{0};
+  sim::Tick exec_time = 0;        // max per-cpu finish time
+  bool verified = false;          // numerical result check
+  std::string invariant_violations;  // empty when consistent
+  std::uint64_t engine_events = 0;
+  std::uint64_t data_bytes = 0;
+
+  bool ok() const { return verified && invariant_violations.empty(); }
+};
+
+/// Runs `app_name` at input `scale` on a machine built from `cfg`.
+/// If `trace` is non-null, page-grain events are recorded into it.
+/// Throws std::invalid_argument for an unknown application name.
+RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name,
+                  double scale = 1.0, machine::TraceBuffer* trace = nullptr);
+
+}  // namespace nwc::apps

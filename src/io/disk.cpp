@@ -1,0 +1,45 @@
+#include "io/disk.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace nwc::io {
+
+DiskModel::DiskModel(const DiskParams& p, sim::Rng rng) : params_(p), rng_(rng) {
+  min_seek_ticks_ = util::msToTicks(p.min_seek_ms, p.pcycle_ns);
+  max_seek_ticks_ = util::msToTicks(p.max_seek_ms, p.pcycle_ns);
+  rot_mean_ticks_ = util::msToTicks(p.rot_ms, p.pcycle_ns);
+  page_xfer_ticks_ = sim::transferTicks(p.page_bytes, p.bytes_per_sec, p.pcycle_ns);
+}
+
+sim::Tick DiskModel::opTime(std::uint64_t block, int count) {
+  const std::uint64_t cyl = (block / params_.pages_per_cylinder) % params_.cylinders;
+  const std::uint64_t dist = cyl > head_cyl_ ? cyl - head_cyl_ : head_cyl_ - cyl;
+
+  sim::Tick seek = 0;
+  if (dist > 0) {
+    const double frac = static_cast<double>(dist) / static_cast<double>(params_.cylinders - 1);
+    seek = min_seek_ticks_ +
+           static_cast<sim::Tick>(frac * static_cast<double>(max_seek_ticks_ - min_seek_ticks_));
+  }
+  seek_stats_.add(static_cast<double>(seek));
+  head_cyl_ = cyl;
+
+  // Uniform in [0, 2*mean): the parameter is the average rotational delay.
+  const sim::Tick rot = rng_.below(2 * rot_mean_ticks_);
+  pages_xfer_ += static_cast<std::uint64_t>(count);
+  return seek + rot + static_cast<sim::Tick>(count) * page_xfer_ticks_;
+}
+
+sim::Tick DiskModel::readTime(std::uint64_t block, int count) {
+  ++reads_;
+  return opTime(block, count);
+}
+
+sim::Tick DiskModel::writeTime(std::uint64_t block, int count) {
+  ++writes_;
+  return opTime(block, count);
+}
+
+}  // namespace nwc::io

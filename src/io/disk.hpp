@@ -1,0 +1,70 @@
+// Mechanical disk timing model.
+//
+// Seek time scales linearly with cylinder distance between Table 1's min
+// (2 ms) and max (22 ms); rotational delay is drawn uniformly in
+// [0, 2 x mean); transfers run at the fixed media rate (20 MB/s). The disk
+// arm is a FIFO resource: operations are serialized by the caller through
+// the embedded `FifoServer`.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/fifo_server.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace nwc::io {
+
+struct DiskParams {
+  double min_seek_ms = 2.0;    // Table 1
+  double max_seek_ms = 22.0;   // Table 1
+  double rot_ms = 4.0;         // Table 1 (mean rotational latency)
+  double bytes_per_sec = 20e6; // Table 1: 20 MBytes/sec
+  double pcycle_ns = 5.0;
+  std::uint64_t page_bytes = 4096;
+  std::uint64_t pages_per_cylinder = 64;
+  std::uint64_t cylinders = 2048;
+};
+
+class DiskModel {
+ public:
+  DiskModel(const DiskParams& p, sim::Rng rng);
+
+  /// Service time for reading `count` consecutive pages starting at
+  /// disk-local block `block` (moves the head).
+  sim::Tick readTime(std::uint64_t block, int count = 1);
+
+  /// Service time for writing `count` consecutive pages at `block`.
+  sim::Tick writeTime(std::uint64_t block, int count = 1);
+
+  /// The arm: serialize operations through it.
+  sim::FifoServer& arm() { return arm_; }
+  const sim::FifoServer& arm() const { return arm_; }
+
+  std::uint64_t currentCylinder() const { return head_cyl_; }
+  const sim::Accumulator& seekStats() const { return seek_stats_; }
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t pagesTransferred() const { return pages_xfer_; }
+
+  sim::Tick pageTransferTicks() const { return page_xfer_ticks_; }
+
+ private:
+  sim::Tick opTime(std::uint64_t block, int count);
+
+  DiskParams params_;
+  sim::Rng rng_;
+  sim::FifoServer arm_{"disk_arm"};
+  std::uint64_t head_cyl_ = 0;
+  sim::Tick min_seek_ticks_;
+  sim::Tick max_seek_ticks_;
+  sim::Tick rot_mean_ticks_;
+  sim::Tick page_xfer_ticks_;
+  sim::Accumulator seek_stats_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t pages_xfer_ = 0;
+};
+
+}  // namespace nwc::io

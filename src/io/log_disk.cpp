@@ -1,0 +1,43 @@
+#include "io/log_disk.hpp"
+
+#include "util/units.hpp"
+
+namespace nwc::io {
+
+LogDisk::LogDisk(const DiskParams& p, sim::Rng rng)
+    : disk_(p, rng),
+      // Amortized head/track-switch cost per append burst: a fraction of a
+      // rotation, far below a full seek + rotational delay.
+      append_overhead_(util::msToTicks(0.2, p.pcycle_ns)) {}
+
+sim::Tick LogDisk::appendTime(int count) {
+  ++appends_;
+  return append_overhead_ + static_cast<sim::Tick>(count) * disk_.pageTransferTicks();
+}
+
+void LogDisk::recordAppend(const std::vector<sim::PageId>& pages) {
+  for (sim::PageId p : pages) {
+    block_of_[p] = head_;
+    order_.emplace_back(p, head_);
+    ++head_;
+  }
+}
+
+sim::Tick LogDisk::readTime(sim::PageId page) {
+  ++log_reads_;
+  const auto it = block_of_.find(page);
+  const std::uint64_t block = it != block_of_.end() ? it->second : head_;
+  return disk_.readTime(block, 1);
+}
+
+std::optional<sim::PageId> LogDisk::oldestLive() {
+  while (!order_.empty()) {
+    const auto& [page, block] = order_.front();
+    const auto it = block_of_.find(page);
+    if (it != block_of_.end() && it->second == block) return page;
+    order_.pop_front();  // superseded by a later append (or destaged)
+  }
+  return std::nullopt;
+}
+
+}  // namespace nwc::io

@@ -1,0 +1,62 @@
+// Log disk for the DCD (Disk Caching Disk) baseline [Hu & Yang, ISCA'96].
+//
+// A dedicated spindle written strictly sequentially: staged pages append at
+// the head with no seek and negligible rotational cost, which frees the
+// controller cache far faster than in-place data-disk writes. Reading a
+// logged page back (or destaging it to the data disk) pays normal seek and
+// rotation on the log spindle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "io/disk.hpp"
+#include "sim/types.hpp"
+
+namespace nwc::io {
+
+class LogDisk {
+ public:
+  LogDisk(const DiskParams& p, sim::Rng rng);
+
+  /// Service time of appending `count` pages at the log head (sequential:
+  /// transfer plus a small amortized track-switch overhead).
+  sim::Tick appendTime(int count);
+
+  /// Registers the pages just appended (head advances one block each).
+  void recordAppend(const std::vector<sim::PageId>& pages);
+
+  /// True if the current version of `page` lives in the log.
+  bool contains(sim::PageId page) const { return block_of_.contains(page); }
+
+  /// Service time of a random-access read of a logged page.
+  sim::Tick readTime(sim::PageId page);
+
+  /// Oldest still-live logged page (skips superseded entries), if any.
+  std::optional<sim::PageId> oldestLive();
+
+  /// Drops `page` from the log (destaged to the data disk).
+  void remove(sim::PageId page) { block_of_.erase(page); }
+
+  /// The log spindle arm (serialize appends/reads/destage reads on it).
+  sim::FifoServer& arm() { return disk_.arm(); }
+
+  std::size_t liveCount() const { return block_of_.size(); }
+  std::uint64_t appends() const { return appends_; }
+  std::uint64_t logReads() const { return log_reads_; }
+  std::uint64_t head() const { return head_; }
+
+ private:
+  DiskModel disk_;
+  sim::Tick append_overhead_;
+  std::uint64_t head_ = 0;
+  std::unordered_map<sim::PageId, std::uint64_t> block_of_;
+  std::deque<std::pair<sim::PageId, std::uint64_t>> order_;  // append order
+  std::uint64_t appends_ = 0;
+  std::uint64_t log_reads_ = 0;
+};
+
+}  // namespace nwc::io

@@ -1,0 +1,32 @@
+#include "io/pfs.hpp"
+
+#include <cassert>
+
+namespace nwc::io {
+
+ParallelFileSystem::ParallelFileSystem(std::vector<sim::NodeId> io_nodes, int pages_per_group)
+    : io_nodes_(std::move(io_nodes)), pages_per_group_(pages_per_group) {
+  assert(!io_nodes_.empty());
+  assert(pages_per_group_ > 0);
+}
+
+int ParallelFileSystem::diskOf(sim::PageId page) const {
+  const auto group = page / pages_per_group_;
+  return static_cast<int>(group % static_cast<sim::PageId>(io_nodes_.size()));
+}
+
+std::uint64_t ParallelFileSystem::blockOf(sim::PageId page) const {
+  const auto group = page / pages_per_group_;
+  const auto offset = page % pages_per_group_;
+  const auto local_group = group / static_cast<sim::PageId>(io_nodes_.size());
+  return static_cast<std::uint64_t>(local_group * pages_per_group_ + offset);
+}
+
+sim::PageId ParallelFileSystem::nextOnSameDisk(sim::PageId page) const {
+  const auto offset = page % pages_per_group_;
+  if (offset + 1 < pages_per_group_) return page + 1;
+  // Jump to the first page of this disk's next group.
+  return page + 1 + static_cast<sim::PageId>((io_nodes_.size() - 1)) * pages_per_group_;
+}
+
+}  // namespace nwc::io

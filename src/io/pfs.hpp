@@ -1,0 +1,42 @@
+// Parallel file system page placement.
+//
+// Pages are stored in groups of 32 consecutive pages; groups are assigned
+// round-robin to the I/O-enabled nodes' disks (paper 3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace nwc::io {
+
+class ParallelFileSystem {
+ public:
+  /// `io_nodes` lists the NodeIds that host a disk, in striping order.
+  ParallelFileSystem(std::vector<sim::NodeId> io_nodes, int pages_per_group = 32);
+
+  /// Index (0..num_disks-1) of the disk storing `page`.
+  int diskOf(sim::PageId page) const;
+
+  /// NodeId hosting the disk that stores `page`.
+  sim::NodeId ioNodeOf(sim::PageId page) const { return io_nodes_[static_cast<std::size_t>(diskOf(page))]; }
+
+  /// Disk-local block number of `page` (groups laid out contiguously per
+  /// disk, preserving intra-group order).
+  std::uint64_t blockOf(sim::PageId page) const;
+
+  /// Next page stored on the same disk after `page` (sequential prefetch
+  /// order: rest of the group, then the disk's next group).
+  sim::PageId nextOnSameDisk(sim::PageId page) const;
+
+  int numDisks() const { return static_cast<int>(io_nodes_.size()); }
+  int pagesPerGroup() const { return pages_per_group_; }
+  const std::vector<sim::NodeId>& ioNodes() const { return io_nodes_; }
+
+ private:
+  std::vector<sim::NodeId> io_nodes_;
+  int pages_per_group_;
+};
+
+}  // namespace nwc::io

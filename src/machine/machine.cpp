@@ -1,0 +1,232 @@
+#include "machine/machine.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace nwc::machine {
+
+Machine::NodeCtx::NodeCtx(sim::Engine& eng, const MachineConfig& cfg)
+    : tlb(cfg.tlb_entries),
+      l1(cfg.l1),
+      l2(cfg.l2),
+      wb(cfg.write_buffer_entries),
+      mem_bus("mem_bus"),
+      io_bus("io_bus"),
+      frames(cfg.framesPerNode(), cfg.min_free_frames),
+      frame_freed(eng),
+      replace_kick(eng) {}
+
+Machine::DiskCtx::DiskCtx(sim::Engine& eng, const MachineConfig& cfg, sim::NodeId node,
+                          sim::Rng rng)
+    : node(node),
+      disk(
+          [&] {
+            io::DiskParams p;
+            p.min_seek_ms = cfg.min_seek_ms;
+            p.max_seek_ms = cfg.max_seek_ms;
+            p.rot_ms = cfg.rot_ms;
+            p.bytes_per_sec = cfg.disk_bps;
+            p.pcycle_ns = cfg.pcycle_ns;
+            p.page_bytes = cfg.page_bytes;
+            p.pages_per_cylinder = cfg.pages_per_cylinder;
+            p.cylinders = cfg.disk_cylinders;
+            return p;
+          }(),
+          rng),
+      cache(cfg.diskCacheSlots()),
+      work(eng) {}
+
+Machine::Machine(const MachineConfig& cfg)
+    : cfg_(cfg),
+      eng_(std::make_unique<sim::Engine>()),
+      metrics_(cfg.num_nodes),
+      rng_(cfg.seed) {
+  for (int n = 0; n < cfg_.num_nodes; ++n) {
+    nodes_.push_back(std::make_unique<NodeCtx>(*eng_, cfg_));
+  }
+
+  net::MeshParams mp;
+  mp.num_nodes = cfg_.num_nodes;
+  mp.link_bytes_per_sec = cfg_.net_link_bps;
+  mp.pcycle_ns = cfg_.pcycle_ns;
+  mp.hop_latency = cfg_.hop_latency;
+  mesh_ = std::make_unique<net::MeshNetwork>(mp);
+
+  dir_ = std::make_unique<mem::Directory>(cfg_.num_nodes);
+  pt_ = std::make_unique<vm::PageTable>(*eng_, 0);
+
+  pfs_ = std::make_unique<io::ParallelFileSystem>(cfg_.ioNodes(), cfg_.pages_per_group);
+  int d = 0;
+  for (sim::NodeId io_node : cfg_.ioNodes()) {
+    disks_.push_back(
+        std::make_unique<DiskCtx>(*eng_, cfg_, io_node, rng_.fork(0x10 + static_cast<std::uint64_t>(d))));
+    if (cfg_.system == SystemKind::kDCD) {
+      io::DiskParams lp;
+      lp.min_seek_ms = cfg_.min_seek_ms;
+      lp.max_seek_ms = cfg_.max_seek_ms;
+      lp.rot_ms = cfg_.rot_ms;
+      lp.bytes_per_sec = cfg_.log_disk_bps;
+      lp.pcycle_ns = cfg_.pcycle_ns;
+      lp.page_bytes = cfg_.page_bytes;
+      lp.pages_per_cylinder = cfg_.pages_per_cylinder;
+      lp.cylinders = cfg_.disk_cylinders;
+      disks_.back()->log = std::make_unique<io::LogDisk>(
+          lp, rng_.fork(0x40 + static_cast<std::uint64_t>(d)));
+    }
+    ++d;
+  }
+
+  if (cfg_.hasRing()) {
+    ring::RingParams rp;
+    rp.channels = cfg_.ring_channels;
+    rp.channel_capacity_bytes = cfg_.ring_channel_bytes;
+    rp.round_trip_us = cfg_.ring_round_trip_us;
+    rp.bytes_per_sec = cfg_.ring_bps;
+    rp.pcycle_ns = cfg_.pcycle_ns;
+    rp.page_bytes = cfg_.page_bytes;
+    ring_ = std::make_unique<ring::OpticalRing>(rp);
+    for (int i = 0; i < cfg_.num_io_nodes; ++i) {
+      nwc_fifos_.emplace_back(cfg_.ring_channels);
+    }
+    for (int c = 0; c < cfg_.ring_channels; ++c) {
+      ring_room_.push_back(std::make_unique<sim::Signal>(*eng_));
+    }
+  }
+
+  page_ser_membus_ = sim::transferTicks(cfg_.page_bytes, cfg_.memory_bus_bps, cfg_.pcycle_ns);
+  page_ser_iobus_ = sim::transferTicks(cfg_.page_bytes, cfg_.io_bus_bps, cfg_.pcycle_ns);
+  line_ser_membus_ =
+      sim::transferTicks(cfg_.l2.line_bytes, cfg_.memory_bus_bps, cfg_.pcycle_ns);
+}
+
+Machine::~Machine() {
+  // Destroy the engine (and every coroutine frame it owns) while the
+  // machine's signals/mutexes those frames reference are still alive.
+  eng_.reset();
+}
+
+std::uint64_t Machine::allocRegion(std::uint64_t bytes, std::string name) {
+  (void)name;
+  assert(!started_ && "allocRegion must precede start()");
+  const std::uint64_t base = next_vaddr_;
+  const std::uint64_t pages = (bytes + cfg_.page_bytes - 1) / cfg_.page_bytes;
+  pt_->addPages(*eng_, static_cast<std::int64_t>(pages));
+  next_vaddr_ += pages * cfg_.page_bytes;
+  return base;
+}
+
+void Machine::start() {
+  if (started_) return;
+  started_ = true;
+  for (int n = 0; n < cfg_.num_nodes; ++n) {
+    eng_->spawn(replacementDaemon(n));
+  }
+  for (int d = 0; d < static_cast<int>(disks_.size()); ++d) {
+    eng_->spawn(diskDrainLoop(d));
+    if (cfg_.hasRing()) eng_->spawn(nwcDrainLoop(d));
+    if (cfg_.system == SystemKind::kDCD) eng_->spawn(dcdDestageLoop(d));
+  }
+}
+
+sim::Engine::DelayAwaiter Machine::fence(int cpu) {
+  NodeCtx& nc = *nodes_[static_cast<std::size_t>(cpu)];
+  const sim::Tick amount = nc.pending + nc.tlb_penalty;
+  metrics_.cpu(cpu).tlb += nc.tlb_penalty;
+  nc.pending = 0;
+  nc.tlb_penalty = 0;
+  return eng_->delay(amount);
+}
+
+void Machine::cpuDone(int cpu) {
+  NodeCtx& nc = *nodes_[static_cast<std::size_t>(cpu)];
+  metrics_.cpu(cpu).finish = eng_->now() + nc.pending + nc.tlb_penalty;
+  metrics_.cpu(cpu).tlb += nc.tlb_penalty;
+  nc.pending = 0;
+  nc.tlb_penalty = 0;
+}
+
+sim::Tick Machine::pageSerTicks(double bps) const {
+  return sim::transferTicks(cfg_.page_bytes, bps, cfg_.pcycle_ns);
+}
+
+sim::Tick Machine::ctrlTransfer(sim::Tick now, sim::NodeId src, sim::NodeId dst) {
+  return mesh_->transfer(now, src, dst, cfg_.ctrl_msg_bytes, net::TrafficClass::kControl);
+}
+
+void Machine::sampleTimeline() {
+  if (!timeline_) return;
+  const sim::Tick now = eng_->now();
+  double free = 0, in_flight = 0;
+  for (const auto& n : nodes_) {
+    free += n->frames.freeFrames();
+    in_flight += n->swaps_in_flight;
+  }
+  timeline_->free_frames.sample(now, free);
+  timeline_->swaps_in_flight.sample(now, in_flight);
+  double dirty = 0;
+  for (const auto& d : disks_) dirty += d->cache.dirtyCount();
+  timeline_->dirty_slots.sample(now, dirty);
+  timeline_->ring_occupancy.sample(now, ring_ ? ring_->totalOccupancy() : 0);
+}
+
+std::string Machine::checkInvariants() const {
+  std::ostringstream bad;
+
+  // Frame accounting: per node, resident count + free <= total, and every
+  // resident page's entry points back at the node.
+  for (int n = 0; n < cfg_.num_nodes; ++n) {
+    const vm::FramePool& fp = nodes_[static_cast<std::size_t>(n)]->frames;
+    if (fp.freeFrames() < 0 || fp.freeFrames() > fp.totalFrames()) {
+      bad << "node " << n << ": free frames out of range\n";
+    }
+  }
+
+  // Single-copy invariant: a page is resident at exactly one place, or on
+  // exactly one ring channel, never both.
+  for (std::int64_t p = 0; p < pt_->numPages(); ++p) {
+    const vm::PageEntry& e = pt_->entry(p);
+    const bool resident = e.state == vm::PageState::kResident;
+    int ring_copies = 0;
+    if (ring_) {
+      for (int c = 0; c < ring_->channels(); ++c) {
+        if (ring_->contains(c, p)) ++ring_copies;
+      }
+    }
+    if (resident && ring_copies > 0) {
+      bad << "page " << p << ": resident AND on ring\n";
+    }
+    if (ring_copies > 1) {
+      bad << "page " << p << ": on " << ring_copies << " ring channels\n";
+    }
+    if (e.state == vm::PageState::kRing && ring_copies == 0) {
+      bad << "page " << p << ": Ring bit set but not stored on any channel\n";
+    }
+    if (resident && e.home == sim::kNoNode) {
+      bad << "page " << p << ": resident without a home node\n";
+    }
+    if (resident && e.home != sim::kNoNode &&
+        !nodes_[static_cast<std::size_t>(e.home)]->frames.isResident(p)) {
+      bad << "page " << p << ": entry says node " << e.home
+          << " but the frame pool disagrees\n";
+    }
+    if (e.state == vm::PageState::kRemote) {
+      if (e.home == sim::kNoNode) {
+        bad << "page " << p << ": remote without a holder\n";
+      } else {
+        const auto& stored = nodes_[static_cast<std::size_t>(e.home)]->remote_stored;
+        bool found = false;
+        for (sim::PageId q : stored) found = found || q == p;
+        if (!found) {
+          bad << "page " << p << ": remote but absent from node " << e.home
+              << "'s guest list\n";
+        }
+      }
+      if (ring_copies > 0) bad << "page " << p << ": remote AND on ring\n";
+    }
+  }
+  return bad.str();
+}
+
+}  // namespace nwc::machine

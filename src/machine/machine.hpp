@@ -1,0 +1,251 @@
+// The simulated multiprocessor: nodes (TLB, caches, write buffer, local
+// memory), wormhole mesh, disks with controller caches, the machine-wide
+// virtual memory system, and (optionally) the NWCache optical ring.
+//
+// Applications drive it through `access()` (one awaitable per memory
+// reference — resident cache hits are a synchronous fast path), `compute()`
+// (local cycle accounting) and `fence()` (yield accumulated local time
+// before synchronization).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/disk.hpp"
+#include "io/disk_cache.hpp"
+#include "io/log_disk.hpp"
+#include "io/pfs.hpp"
+#include "machine/config.hpp"
+#include "machine/metrics.hpp"
+#include "machine/trace.hpp"
+#include "mem/cache.hpp"
+#include "mem/directory.hpp"
+#include "mem/tlb.hpp"
+#include "mem/write_buffer.hpp"
+#include "net/mesh.hpp"
+#include "nwcache/interface.hpp"
+#include "nwcache/optical_ring.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/timeseries.hpp"
+#include "sim/trigger.hpp"
+#include "vm/frame_pool.hpp"
+#include "vm/page_table.hpp"
+
+namespace nwc::machine {
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& cfg);
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  sim::Engine& engine() { return *eng_; }
+  const MachineConfig& config() const { return cfg_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  // --- address space ------------------------------------------------------
+  /// Reserves a page-aligned region of `bytes` in the simulated virtual
+  /// address space (an mmap'd file in the paper's model). Pages start on
+  /// disk. Must be called before `start()`.
+  std::uint64_t allocRegion(std::uint64_t bytes, std::string name = {});
+
+  /// Spawns the OS daemons (replacement, disk drains, NWCache interfaces).
+  /// Idempotent; called automatically by the app runner.
+  void start();
+
+  std::int64_t numPages() const { return pt_ ? pt_->numPages() : 0; }
+  vm::PageTable& pageTable() { return *pt_; }
+  io::ParallelFileSystem& pfs() { return *pfs_; }
+  net::MeshNetwork& mesh() { return *mesh_; }
+  ring::OpticalRing* ring() { return ring_.get(); }
+  mem::Directory& directory() { return *dir_; }
+  vm::FramePool& framePool(sim::NodeId n) { return nodes_[static_cast<std::size_t>(n)]->frames; }
+  mem::Tlb& tlb(sim::NodeId n) { return nodes_[static_cast<std::size_t>(n)]->tlb; }
+  io::DiskCache& diskCache(int disk) { return disks_[static_cast<std::size_t>(disk)]->cache; }
+  io::DiskModel& disk(int d) { return disks_[static_cast<std::size_t>(d)]->disk; }
+  /// NWCache interface FIFOs of disk `d` (white-box tests; ring mode only).
+  ring::NwcFifos& nwcFifos(int d) { return nwc_fifos_[static_cast<std::size_t>(d)]; }
+  /// Log disk of disk `d` (DCD baseline only; nullptr otherwise).
+  io::LogDisk* logDisk(int d) { return disks_[static_cast<std::size_t>(d)]->log.get(); }
+  /// Wakes the I/O daemons of disk `d` (after external state injection).
+  void kickDisk(int d) { disks_[static_cast<std::size_t>(d)]->work.notifyAll(); }
+
+  // --- application interface ------------------------------------------------
+  /// Accumulates `cycles` of local computation on `cpu` (flushed lazily).
+  void compute(int cpu, sim::Tick cycles) {
+    nodes_[static_cast<std::size_t>(cpu)]->pending += cycles;
+  }
+
+  /// Yields the cpu's accumulated local time to the global clock. Must be
+  /// awaited before any inter-processor synchronization.
+  sim::Engine::DelayAwaiter fence(int cpu);
+
+  /// One memory reference. Fast path (resident + cache hit + quantum not
+  /// exceeded) completes synchronously; everything else suspends.
+  struct AccessAwaiter {
+    Machine& m;
+    int cpu;
+    std::uint64_t vaddr;
+    bool write;
+    sim::Task<> slow{};
+
+    bool await_ready() { return m.tryFastAccess(cpu, vaddr, write); }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
+      slow = m.slowAccess(cpu, vaddr, write);
+      slow.handle().promise().continuation = h;
+      return slow.handle();
+    }
+    void await_resume() const {}
+  };
+
+  AccessAwaiter access(int cpu, std::uint64_t vaddr, bool write) {
+    ++metrics_.cpu(cpu).accesses;
+    return AccessAwaiter{*this, cpu, vaddr, write};
+  }
+
+  /// Marks `cpu` finished (records its finish time).
+  void cpuDone(int cpu);
+
+  /// Attaches a page-event trace sink (optional; may be null to detach).
+  void attachTrace(TraceBuffer* sink) { trace_ = sink; }
+  TraceBuffer* trace() const { return trace_; }
+
+  /// Machine-state time series, sampled at every page-grain event.
+  struct Timeline {
+    sim::TimeSeries free_frames;      // sum of free frames over all nodes
+    sim::TimeSeries ring_occupancy;   // pages stored on the optical ring
+    sim::TimeSeries dirty_slots;      // staged pages in the controller caches
+    sim::TimeSeries swaps_in_flight;  // write-outs whose frame is still held
+  };
+
+  /// Enables timeline sampling (cheap: one snapshot per page event).
+  void enableTimeline() {
+    if (!timeline_) timeline_ = std::make_unique<Timeline>();
+  }
+  const Timeline* timeline() const { return timeline_.get(); }
+
+  // --- invariants (debug validators / property tests) -----------------------
+  /// Checks the single-copy invariant and frame accounting; returns a
+  /// human-readable violation description, empty when consistent.
+  std::string checkInvariants() const;
+
+ private:
+  friend struct AccessAwaiter;
+
+  struct NodeCtx {
+    NodeCtx(sim::Engine& eng, const MachineConfig& cfg);
+
+    mem::Tlb tlb;
+    mem::SetAssocCache l1;
+    mem::SetAssocCache l2;
+    mem::WriteBuffer wb;
+    sim::FifoServer mem_bus;
+    sim::FifoServer io_bus;
+    vm::FramePool frames;
+    sim::Signal frame_freed;   // a frame became free
+    sim::Signal replace_kick;  // replacement daemon wake-up
+    sim::Tick pending = 0;     // local cycles not yet on the global clock
+    sim::Tick tlb_penalty = 0; // shootdown/interrupt cycles to charge
+    int swaps_in_flight = 0;   // dirty write-outs whose frame is not yet free
+    std::deque<sim::PageId> remote_stored;  // guest pages (remote-memory
+                                            // baseline), oldest first
+  };
+
+  struct NackWaiter {
+    sim::NodeId node;
+    sim::Trigger* ok;
+  };
+
+  struct DiskCtx {
+    DiskCtx(sim::Engine& eng, const MachineConfig& cfg, sim::NodeId node, sim::Rng rng);
+
+    sim::NodeId node;  // hosting I/O node
+    io::DiskModel disk;
+    io::DiskCache cache;
+    std::deque<NackWaiter> nack_fifo;
+    sim::Signal work;  // dirty slots / records to process
+    std::unique_ptr<io::LogDisk> log;  // DCD baseline only
+  };
+
+  // -- fast path helpers ----------------------------------------------------
+  bool tryFastAccess(int cpu, std::uint64_t vaddr, bool write);
+  sim::Task<> slowAccess(int cpu, std::uint64_t vaddr, bool write);
+  void commitResidentTouch(int cpu, sim::PageId page, bool write);
+
+  // -- fault path (fault.cpp) -------------------------------------------------
+  sim::Task<> pageFault(int cpu, sim::PageId page, bool write);
+  sim::Task<bool> fetchFromDisk(int cpu, sim::PageId page);  // returns ctrl-cache hit
+  sim::Task<> fetchFromRing(int cpu, sim::PageId page);
+  sim::Task<> ringBackgroundRequest(int cpu, sim::PageId page);
+  sim::Task<> ensureFreeFrame(int cpu, sim::NodeId n);
+  sim::Tick controllerReadService(DiskCtx& d, sim::PageId page, bool* cache_hit);
+
+  // -- replacement & swap-out (swap.cpp) --------------------------------------
+  sim::Task<> replacementDaemon(sim::NodeId n);
+  sim::Task<> swapOutPage(sim::NodeId n, sim::PageId page, bool force_disk = false);
+  sim::Task<> swapOutStandard(sim::NodeId n, sim::PageId page);
+  sim::Task<> swapOutRing(sim::NodeId n, sim::PageId page);
+  sim::Task<> swapOutRemoteOrDisk(sim::NodeId n, sim::PageId page);
+  sim::Task<> fetchFromRemote(int cpu, sim::PageId page, sim::NodeId holder);
+  /// Node with spare frames beyond its reserve (excluding `self`); kNoNode
+  /// when every node is fully committed — the paper's expected situation.
+  sim::NodeId findSpareDonor(sim::NodeId self) const;
+  sim::Task<> deliverSwapRecord(int disk_idx, int channel, sim::PageId page,
+                                sim::NodeId swapper, std::uint64_t seq);
+  void shootdown(sim::PageId page, sim::NodeId initiator);
+  void dropPageFromCachesAndDirectory(sim::PageId page);
+
+  // -- I/O node daemons (io_drive.cpp) ----------------------------------------
+  sim::Task<> diskDrainLoop(int disk_idx);
+  sim::Task<> nwcDrainLoop(int disk_idx);
+  sim::Task<> dcdDestageLoop(int disk_idx);
+  void sendPendingOks(int disk_idx);
+  sim::Task<> deliverOk(int disk_idx, NackWaiter w);
+  sim::Task<> deliverRingAck(int channel, sim::PageId page, sim::NodeId io_node,
+                             sim::NodeId swapper);
+  sim::Task<> notifyRingVictimRead(sim::NodeId reader, sim::PageId page, int channel);
+  void releaseRingSlot(int channel, sim::PageId page);
+
+  int diskIndexOf(sim::PageId page) const { return pfs_->diskOf(page); }
+
+  // -- timing helpers ----------------------------------------------------------
+  sim::Tick pageSerTicks(double bps) const;
+  sim::Tick ctrlTransfer(sim::Tick now, sim::NodeId src, sim::NodeId dst);
+
+  /// Records one timeline snapshot (no-op when sampling is disabled).
+  void sampleTimeline();
+
+  MachineConfig cfg_;
+  std::unique_ptr<sim::Engine> eng_;
+  std::vector<std::unique_ptr<NodeCtx>> nodes_;
+  std::unique_ptr<net::MeshNetwork> mesh_;
+  std::unique_ptr<mem::Directory> dir_;
+  std::unique_ptr<vm::PageTable> pt_;
+  std::unique_ptr<io::ParallelFileSystem> pfs_;
+  std::vector<std::unique_ptr<DiskCtx>> disks_;
+  std::unique_ptr<ring::OpticalRing> ring_;
+  std::vector<ring::NwcFifos> nwc_fifos_;            // one per disk/I/O node
+  std::vector<std::unique_ptr<sim::Signal>> ring_room_;  // per channel
+  Metrics metrics_;
+  TraceBuffer* trace_ = nullptr;
+  std::unique_ptr<Timeline> timeline_;
+  sim::Rng rng_;
+  std::uint64_t next_vaddr_ = 0;
+  std::uint64_t swap_seq_ = 0;
+  bool started_ = false;
+
+  // Pre-computed serialization times.
+  sim::Tick page_ser_membus_ = 0;
+  sim::Tick page_ser_iobus_ = 0;
+  sim::Tick line_ser_membus_ = 0;
+};
+
+}  // namespace nwc::machine

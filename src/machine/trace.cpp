@@ -1,0 +1,36 @@
+#include "machine/trace.hpp"
+
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace nwc::machine {
+
+const char* toString(TraceKind k) {
+  switch (k) {
+    case TraceKind::kFaultDiskHit: return "fault_disk_hit";
+    case TraceKind::kFaultDiskMiss: return "fault_disk_miss";
+    case TraceKind::kFaultRingHit: return "fault_ring_hit";
+    case TraceKind::kSwapOutDisk: return "swap_out_disk";
+    case TraceKind::kSwapOutRing: return "swap_out_ring";
+    case TraceKind::kCleanEviction: return "clean_eviction";
+    case TraceKind::kNack: return "nack";
+    default: return "?";
+  }
+}
+
+std::size_t TraceBuffer::count(TraceKind k) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += e.kind == k ? 1 : 0;
+  return n;
+}
+
+void TraceBuffer::dumpCsv(const std::string& path) const {
+  util::CsvWriter csv(path, {"at", "latency", "page", "node", "kind"});
+  for (const auto& e : events_) {
+    csv.addRow({std::to_string(e.at), std::to_string(e.latency),
+                std::to_string(e.page), std::to_string(e.node), toString(e.kind)});
+  }
+}
+
+}  // namespace nwc::machine

@@ -1,0 +1,55 @@
+// Page-grain event tracing.
+//
+// Attach a TraceBuffer to a Machine before `start()` and every page-level
+// event (faults with their service source, swap-outs with their path,
+// NACKs, victim reads) is recorded with its timestamp and latency. The
+// buffer can be dumped to CSV for offline analysis; see
+// examples/trace_analysis.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace nwc::machine {
+
+enum class TraceKind : std::uint8_t {
+  kFaultDiskHit,    // page fault served from the disk controller cache
+  kFaultDiskMiss,   // page fault paid a platter read
+  kFaultRingHit,    // page fault served off the optical ring (victim read)
+  kSwapOutDisk,     // dirty write-out via the standard protocol
+  kSwapOutRing,     // dirty write-out staged on the ring
+  kCleanEviction,   // frame freed without a write-out
+  kNack,            // controller cache full response
+};
+
+const char* toString(TraceKind k);
+
+struct TraceEvent {
+  sim::Tick at = 0;       // completion time
+  sim::Tick latency = 0;  // duration of the operation (0 for point events)
+  sim::PageId page = sim::kNoPage;
+  sim::NodeId node = sim::kNoNode;
+  TraceKind kind = TraceKind::kFaultDiskHit;
+};
+
+class TraceBuffer {
+ public:
+  void record(const TraceEvent& e) { events_.push_back(e); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  std::size_t count(TraceKind k) const;
+
+  /// Writes "at,latency,page,node,kind" rows. Throws on I/O failure.
+  void dumpCsv(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace nwc::machine

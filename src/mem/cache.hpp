@@ -1,0 +1,73 @@
+// Set-associative write-back cache model (used for both L1 and L2).
+//
+// Purely synchronous bookkeeping: callers charge latencies. Addresses are
+// full virtual addresses; the cache operates on line granularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace nwc::mem {
+
+struct CacheParams {
+  std::uint64_t size_bytes = 64 * 1024;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t assoc = 2;
+};
+
+/// Outcome of a cache access.
+struct CacheOutcome {
+  bool hit = false;
+  bool evicted = false;        // a valid line was displaced
+  bool evicted_dirty = false;  // ... and it needs a writeback
+  std::uint64_t evicted_line = 0;
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheParams& p);
+
+  /// Looks up `addr`; on miss, fills the line (evicting LRU). A write marks
+  /// the line dirty.
+  CacheOutcome access(std::uint64_t addr, bool write);
+
+  /// Probe without side effects.
+  bool contains(std::uint64_t addr) const;
+
+  /// Invalidates one line; returns true if the line was present and dirty.
+  bool invalidateLine(std::uint64_t line_addr);
+
+  /// Invalidates every line of the page starting at `page_base`.
+  /// Returns the number of dirty lines dropped.
+  int invalidatePage(std::uint64_t page_base, std::uint64_t page_bytes);
+
+  void flushAll();
+
+  std::uint64_t lineBytes() const { return params_.line_bytes; }
+  std::uint64_t lineOf(std::uint64_t addr) const { return addr / params_.line_bytes; }
+
+  const sim::RatioCounter& hitStats() const { return hits_; }
+  sim::RatioCounter& hitStats() { return hits_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t setOf(std::uint64_t line) const { return line % num_sets_; }
+  std::uint64_t tagOf(std::uint64_t line) const { return line / num_sets_; }
+
+  CacheParams params_;
+  std::uint64_t num_sets_;
+  std::vector<Way> ways_;  // num_sets_ * assoc, row-major by set
+  std::uint64_t tick_ = 0;
+  sim::RatioCounter hits_;
+};
+
+}  // namespace nwc::mem

@@ -1,0 +1,60 @@
+#include "mem/directory.hpp"
+
+#include <bit>
+
+namespace nwc::mem {
+
+Directory::Directory(int num_nodes) : num_nodes_(num_nodes) { (void)num_nodes_; }
+
+CoherenceActions Directory::onRead(sim::NodeId n, std::uint64_t line) {
+  CoherenceActions a;
+  Entry& e = map_[line];
+  if (e.owner != sim::kNoNode && e.owner != n) {
+    a.owner_flush = true;
+    a.owner = e.owner;
+    remote_dirty_.hit();
+  } else {
+    remote_dirty_.miss();
+  }
+  e.owner = sim::kNoNode;  // downgraded to shared
+  e.sharers |= 1u << n;
+  return a;
+}
+
+CoherenceActions Directory::onWrite(sim::NodeId n, std::uint64_t line) {
+  CoherenceActions a;
+  Entry& e = map_[line];
+  if (e.owner != sim::kNoNode && e.owner != n) {
+    a.owner_flush = true;
+    a.owner = e.owner;
+  }
+  const std::uint32_t others = e.sharers & ~(1u << n);
+  a.invalidate_mask = others;
+  a.invalidations = std::popcount(others);
+  e.sharers = 1u << n;
+  e.owner = n;
+  return a;
+}
+
+void Directory::onWriteback(sim::NodeId n, std::uint64_t line) {
+  auto it = map_.find(line);
+  if (it == map_.end()) return;
+  if (it->second.owner == n) it->second.owner = sim::kNoNode;
+  it->second.sharers &= ~(1u << n);
+  if (it->second.sharers == 0) map_.erase(it);
+}
+
+std::uint32_t Directory::dropPage(std::uint64_t first_line, std::uint64_t lines) {
+  std::uint32_t mask = 0;
+  for (std::uint64_t l = first_line; l < first_line + lines; ++l) {
+    auto it = map_.find(l);
+    if (it != map_.end()) {
+      mask |= it->second.sharers;
+      if (it->second.owner != sim::kNoNode) mask |= 1u << it->second.owner;
+      map_.erase(it);
+    }
+  }
+  return mask;
+}
+
+}  // namespace nwc::mem

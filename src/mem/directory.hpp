@@ -1,0 +1,59 @@
+// Line-granularity MSI directory (DASH-like).
+//
+// Tracks, for every cached line, the owner (if modified) and sharer set.
+// The directory is a synchronous bookkeeping structure: `onRead`/`onWrite`
+// return the protocol actions required, and the machine model charges the
+// corresponding bus/network latencies.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace nwc::mem {
+
+/// Protocol actions the caller must pay for.
+struct CoherenceActions {
+  bool owner_flush = false;       // dirty copy must be fetched from `owner`
+  sim::NodeId owner = sim::kNoNode;
+  int invalidations = 0;          // number of remote sharer copies invalidated
+  std::uint32_t invalidate_mask = 0;  // bit i set => node i must drop the line
+};
+
+class Directory {
+ public:
+  explicit Directory(int num_nodes);
+
+  /// Node `n` reads `line`: becomes a sharer; a modified remote copy is
+  /// downgraded to shared.
+  CoherenceActions onRead(sim::NodeId n, std::uint64_t line);
+
+  /// Node `n` writes `line`: becomes exclusive owner; all other copies are
+  /// invalidated.
+  CoherenceActions onWrite(sim::NodeId n, std::uint64_t line);
+
+  /// Owner evicted a dirty line (writeback to memory).
+  void onWriteback(sim::NodeId n, std::uint64_t line);
+
+  /// Drops all state for the lines of a page (page swapped out / migrated).
+  /// Returns the union mask of nodes that held any of the lines.
+  std::uint32_t dropPage(std::uint64_t first_line, std::uint64_t lines);
+
+  std::size_t trackedLines() const { return map_.size(); }
+  const sim::RatioCounter& remoteDirtyStats() const { return remote_dirty_; }
+
+ private:
+  struct Entry {
+    std::uint32_t sharers = 0;      // bitmask of nodes with a copy
+    sim::NodeId owner = sim::kNoNode;  // kNoNode unless modified
+  };
+
+  int num_nodes_;
+  std::unordered_map<std::uint64_t, Entry> map_;
+  sim::RatioCounter remote_dirty_;  // hit = read found remote-dirty line
+};
+
+}  // namespace nwc::mem

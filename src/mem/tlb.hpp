@@ -1,0 +1,40 @@
+// Fully-associative LRU translation lookaside buffer model.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace nwc::mem {
+
+class Tlb {
+ public:
+  explicit Tlb(int entries = 64);
+
+  /// True if `page` has a cached translation (counts toward hit stats and
+  /// refreshes LRU).
+  bool lookup(sim::PageId page);
+
+  /// Installs a translation, evicting the LRU entry if full.
+  void insert(sim::PageId page);
+
+  /// Drops a translation (TLB-shootdown on rights downgrade).
+  /// Returns true if the entry was present.
+  bool invalidate(sim::PageId page);
+
+  void flush();
+
+  int size() const { return static_cast<int>(map_.size()); }
+  int capacity() const { return entries_; }
+  const sim::RatioCounter& hitStats() const { return hits_; }
+
+ private:
+  int entries_;
+  std::uint64_t tick_ = 0;
+  std::unordered_map<sim::PageId, std::uint64_t> map_;  // page -> last use
+  sim::RatioCounter hits_;
+};
+
+}  // namespace nwc::mem

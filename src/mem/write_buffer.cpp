@@ -1,0 +1,39 @@
+#include "mem/write_buffer.hpp"
+
+namespace nwc::mem {
+
+WriteBuffer::WriteBuffer(int entries) : entries_(entries) {}
+
+void WriteBuffer::prune(sim::Tick now) {
+  while (!fifo_.empty() && fifo_.front().completes <= now) {
+    lines_.erase(fifo_.front().line);
+    fifo_.pop_front();
+  }
+}
+
+bool WriteBuffer::full(sim::Tick now) {
+  prune(now);
+  return static_cast<int>(fifo_.size()) >= entries_;
+}
+
+bool WriteBuffer::coalesces(sim::Tick now, std::uint64_t line) {
+  prune(now);
+  return lines_.contains(line);
+}
+
+void WriteBuffer::insert(sim::Tick now, std::uint64_t line, sim::Tick completes) {
+  prune(now);
+  ++total_;
+  if (lines_.contains(line)) {
+    ++coalesced_;
+    return;  // merged into the pending entry
+  }
+  fifo_.push_back(Entry{line, completes});
+  lines_.insert(line);
+}
+
+sim::Tick WriteBuffer::earliestCompletion() const {
+  return fifo_.empty() ? sim::kTickMax : fifo_.front().completes;
+}
+
+}  // namespace nwc::mem

@@ -1,0 +1,55 @@
+// Coalescing write buffer ("WB" in the paper's node diagram).
+//
+// Under release consistency, writes retire into this buffer and drain to
+// the memory system in the background; the processor only stalls when the
+// buffer is full. Occupancy is tracked analytically: each entry records the
+// tick at which its drain (scheduled on the memory-bus FIFO server by the
+// caller) completes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "sim/types.hpp"
+
+namespace nwc::mem {
+
+class WriteBuffer {
+ public:
+  explicit WriteBuffer(int entries = 8);
+
+  /// Drops entries whose drain completed by `now`.
+  void prune(sim::Tick now);
+
+  /// True if a new non-coalescing write would stall the processor.
+  bool full(sim::Tick now);
+
+  /// True if `line` is already buffered (the write coalesces for free).
+  bool coalesces(sim::Tick now, std::uint64_t line);
+
+  /// Records a write to `line` whose drain completes at `completes`.
+  void insert(sim::Tick now, std::uint64_t line, sim::Tick completes);
+
+  /// Tick at which the oldest entry drains (kTickMax when empty).
+  sim::Tick earliestCompletion() const;
+
+  int occupancy() const { return static_cast<int>(fifo_.size()); }
+  int capacity() const { return entries_; }
+  std::uint64_t coalescedWrites() const { return coalesced_; }
+  std::uint64_t totalWrites() const { return total_; }
+
+ private:
+  struct Entry {
+    std::uint64_t line;
+    sim::Tick completes;
+  };
+
+  int entries_;
+  std::deque<Entry> fifo_;  // completion times are nondecreasing (FIFO bus)
+  std::unordered_set<std::uint64_t> lines_;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace nwc::mem

@@ -1,0 +1,97 @@
+#include "net/mesh.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace nwc::net {
+
+const char* toString(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kPageRead: return "page_read";
+    case TrafficClass::kSwapOut: return "swap_out";
+    case TrafficClass::kControl: return "control";
+    case TrafficClass::kCoherence: return "coherence";
+    default: return "?";
+  }
+}
+
+MeshNetwork::MeshNetwork(const MeshParams& p) : params_(p) {
+  // Pick the most square factorization, wider than tall.
+  width_ = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(p.num_nodes))));
+  while (p.num_nodes % width_ != 0) ++width_;
+  height_ = p.num_nodes / width_;
+  assert(width_ * height_ == p.num_nodes);
+}
+
+std::uint64_t MeshNetwork::linkKey(int fx, int fy, int tx, int ty) {
+  return (static_cast<std::uint64_t>(fx) << 48) | (static_cast<std::uint64_t>(fy) << 32) |
+         (static_cast<std::uint64_t>(tx) << 16) | static_cast<std::uint64_t>(ty);
+}
+
+sim::FifoServer& MeshNetwork::link(int fx, int fy, int tx, int ty) {
+  return links_[linkKey(fx, fy, tx, ty)];
+}
+
+sim::Tick MeshNetwork::serializationTicks(std::uint64_t bytes) const {
+  return sim::transferTicks(bytes, params_.link_bytes_per_sec, params_.pcycle_ns);
+}
+
+int MeshNetwork::hops(sim::NodeId src, sim::NodeId dst) const {
+  const int sx = src % width_, sy = src / width_;
+  const int dx = dst % width_, dy = dst / width_;
+  return std::abs(sx - dx) + std::abs(sy - dy);
+}
+
+sim::Tick MeshNetwork::transfer(sim::Tick now, sim::NodeId src, sim::NodeId dst,
+                                std::uint64_t bytes, TrafficClass cls) {
+  auto& st = stats_[static_cast<int>(cls)];
+  ++st.messages;
+  st.bytes += bytes;
+
+  if (src == dst) return now;
+
+  const sim::Tick ser = serializationTicks(bytes);
+  int x = src % width_, y = src / width_;
+  const int dx = dst % width_, dy = dst / width_;
+
+  // Head flit arrival at each successive link; each link is held for the
+  // full serialization time (wormhole: body follows the head).
+  sim::Tick t = now;
+  auto traverse = [&](int nx, int ny) {
+    t += params_.hop_latency;
+    t = link(x, y, nx, ny).request(t, ser) - ser;  // grant time of this link
+    x = nx;
+    y = ny;
+  };
+  while (x != dx) traverse(x + (dx > x ? 1 : -1), y);
+  while (y != dy) traverse(x, y + (dy > y ? 1 : -1));
+  return t + ser;  // message fully delivered once the last link drains
+}
+
+std::uint64_t MeshNetwork::messages(TrafficClass c) const {
+  return stats_[static_cast<int>(c)].messages;
+}
+
+std::uint64_t MeshNetwork::bytes(TrafficClass c) const {
+  return stats_[static_cast<int>(c)].bytes;
+}
+
+std::uint64_t MeshNetwork::totalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stats_) total += s.bytes;
+  return total;
+}
+
+sim::Tick MeshNetwork::totalLinkBusyTicks() const {
+  sim::Tick t = 0;
+  for (const auto& [k, s] : links_) t += s.busyTicks();
+  return t;
+}
+
+sim::Tick MeshNetwork::totalLinkQueuedTicks() const {
+  sim::Tick t = 0;
+  for (const auto& [k, s] : links_) t += s.queuedTicks();
+  return t;
+}
+
+}  // namespace nwc::net

@@ -1,0 +1,84 @@
+// Wormhole-routed 2-D mesh interconnect model.
+//
+// XY dimension-order routing over directed links, each modelled as a
+// `FifoServer`. A message entering the route at `now` reaches link i after
+// i hop (router+wire) delays; each link is then held for the message's
+// serialization time. This captures FIFO link contention and pipelining
+// without per-flit events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/fifo_server.hpp"
+#include "sim/types.hpp"
+
+namespace nwc::net {
+
+enum class TrafficClass : int {
+  kPageRead = 0,   // page request control + page data reply
+  kSwapOut,        // swapped-out page data (standard system only)
+  kControl,        // ACK/NACK/OK, shootdown, directory traffic
+  kCoherence,      // cache-line fills / interventions
+  kNumClasses,
+};
+
+const char* toString(TrafficClass c);
+
+struct MeshParams {
+  int num_nodes = 8;
+  double link_bytes_per_sec = 200e6;  // Table 1: 200 MBytes/sec per link
+  double pcycle_ns = 5.0;
+  sim::Tick hop_latency = 8;          // router + wire delay per hop
+};
+
+class MeshNetwork {
+ public:
+  explicit MeshNetwork(const MeshParams& p);
+
+  /// Schedules a `bytes`-long message from `src` to `dst` arriving no
+  /// earlier than `now`; returns its delivery completion tick.
+  /// `src == dst` costs nothing.
+  sim::Tick transfer(sim::Tick now, sim::NodeId src, sim::NodeId dst,
+                     std::uint64_t bytes, TrafficClass cls);
+
+  /// Route length in hops.
+  int hops(sim::NodeId src, sim::NodeId dst) const;
+
+  /// Serialization time of `bytes` on one link.
+  sim::Tick serializationTicks(std::uint64_t bytes) const;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  // --- statistics -----------------------------------------------------
+  std::uint64_t messages(TrafficClass c) const;
+  std::uint64_t bytes(TrafficClass c) const;
+  std::uint64_t totalBytes() const;
+
+  /// Aggregate busy ticks across all links (occupancy proxy).
+  sim::Tick totalLinkBusyTicks() const;
+  /// Aggregate queueing delay across all links.
+  sim::Tick totalLinkQueuedTicks() const;
+
+  std::size_t linkCount() const { return links_.size(); }
+
+ private:
+  struct ClassStats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  sim::FifoServer& link(int fx, int fy, int tx, int ty);
+  static std::uint64_t linkKey(int fx, int fy, int tx, int ty);
+
+  MeshParams params_;
+  int width_;
+  int height_;
+  std::unordered_map<std::uint64_t, sim::FifoServer> links_;
+  ClassStats stats_[static_cast<int>(TrafficClass::kNumClasses)];
+};
+
+}  // namespace nwc::net

@@ -1,0 +1,62 @@
+#include "nwcache/interface.hpp"
+
+namespace nwc::ring {
+
+NwcFifos::NwcFifos(int channels) : fifos_(static_cast<std::size_t>(channels)) {}
+
+void NwcFifos::push(int channel, const SwapRecord& rec) {
+  fifos_[static_cast<std::size_t>(channel)].push_back(rec);
+  ++pushes_;
+}
+
+int NwcFifos::size(int channel) const {
+  return static_cast<int>(fifos_[static_cast<std::size_t>(channel)].size());
+}
+
+int NwcFifos::totalSize() const {
+  int n = 0;
+  for (const auto& q : fifos_) n += static_cast<int>(q.size());
+  return n;
+}
+
+int NwcFifos::heaviestChannel() const {
+  int best = -1;
+  int best_size = 0;
+  for (std::size_t c = 0; c < fifos_.size(); ++c) {
+    const int s = static_cast<int>(fifos_[c].size());
+    if (s > best_size) {
+      best_size = s;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+std::optional<SwapRecord> NwcFifos::front(int channel) const {
+  const auto& q = fifos_[static_cast<std::size_t>(channel)];
+  if (q.empty()) return std::nullopt;
+  return q.front();
+}
+
+std::optional<SwapRecord> NwcFifos::popFront(int channel) {
+  auto& q = fifos_[static_cast<std::size_t>(channel)];
+  if (q.empty()) return std::nullopt;
+  SwapRecord r = q.front();
+  q.pop_front();
+  return r;
+}
+
+std::optional<SwapRecord> NwcFifos::removePage(sim::PageId page) {
+  for (auto& q : fifos_) {
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (it->page == page) {
+        SwapRecord r = *it;
+        q.erase(it);
+        return r;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace nwc::ring

@@ -1,0 +1,57 @@
+// NWCache interface bookkeeping at an I/O-enabled node.
+//
+// When a node swaps a page out to the ring it sends a control message to the
+// NWCache interface of the I/O node responsible for that page; the interface
+// records (page, swapper) in a FIFO associated with the swapper's cache
+// channel. The interface's drain loop (driven by the machine model) snoops
+// the most heavily loaded channel and copies pages to the disk cache in
+// their original swap order, switching channels only when the current one is
+// exhausted (paper 3.2 — this ordering is what enables write combining).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace nwc::ring {
+
+struct SwapRecord {
+  sim::PageId page = sim::kNoPage;
+  sim::NodeId swapper = sim::kNoNode;
+  std::uint64_t seq = 0;  // global swap-out order stamp
+};
+
+class NwcFifos {
+ public:
+  explicit NwcFifos(int channels);
+
+  void push(int channel, const SwapRecord& rec);
+
+  int size(int channel) const;
+  int totalSize() const;
+  bool empty() const { return totalSize() == 0; }
+
+  /// Channel with the most queued records (ties -> lowest id); -1 if empty.
+  int heaviestChannel() const;
+
+  /// Oldest record of `channel` without removing it.
+  std::optional<SwapRecord> front(int channel) const;
+
+  /// Pops the oldest record of `channel`.
+  std::optional<SwapRecord> popFront(int channel);
+
+  /// Removes the record for `page` wherever it is queued (victim-read
+  /// notification: the page went back to memory, do not write it to disk).
+  std::optional<SwapRecord> removePage(sim::PageId page);
+
+  std::uint64_t pushes() const { return pushes_; }
+
+ private:
+  std::vector<std::deque<SwapRecord>> fifos_;
+  std::uint64_t pushes_ = 0;
+};
+
+}  // namespace nwc::ring

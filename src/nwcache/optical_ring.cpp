@@ -1,0 +1,88 @@
+#include "nwcache/optical_ring.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/units.hpp"
+
+namespace nwc::ring {
+
+double delayLineCapacityBits(int channels, double fiber_length_m, double rate_bps,
+                             double light_speed_mps) {
+  return static_cast<double>(channels) * fiber_length_m * rate_bps / light_speed_mps;
+}
+
+double fiberLengthForCapacity(std::uint64_t channel_bytes, double rate_bps,
+                              double light_speed_mps) {
+  // bits = length * rate / c  =>  length = bits * c / rate
+  return static_cast<double>(channel_bytes) * 8.0 * light_speed_mps / rate_bps;
+}
+
+OpticalRing::OpticalRing(const RingParams& p)
+    : params_(p),
+      capacity_pages_(static_cast<int>(p.channel_capacity_bytes / p.page_bytes)),
+      stored_(static_cast<std::size_t>(p.channels)),
+      reserved_(static_cast<std::size_t>(p.channels), 0),
+      peak_(static_cast<std::size_t>(p.channels), 0) {
+  assert(capacity_pages_ > 0);
+  round_trip_ticks_ = util::usToTicks(p.round_trip_us, p.pcycle_ns);
+  page_xfer_ticks_ = sim::transferTicks(p.page_bytes, p.bytes_per_sec, p.pcycle_ns);
+  for (int c = 0; c < p.channels; ++c) {
+    tx_.emplace_back("ring_tx_" + std::to_string(c));
+    drain_rx_.emplace_back("ring_drain_rx_" + std::to_string(c));
+    fault_rx_.emplace_back("ring_fault_rx_" + std::to_string(c));
+  }
+}
+
+bool OpticalRing::hasRoom(int ch) const {
+  return static_cast<int>(stored_[static_cast<std::size_t>(ch)].size()) +
+             reserved_[static_cast<std::size_t>(ch)] <
+         capacity_pages_;
+}
+
+void OpticalRing::reserve(int ch) {
+  assert(hasRoom(ch));
+  ++reserved_[static_cast<std::size_t>(ch)];
+}
+
+void OpticalRing::insert(int ch, sim::PageId page) {
+  auto& q = stored_[static_cast<std::size_t>(ch)];
+  assert(reserved_[static_cast<std::size_t>(ch)] > 0);
+  --reserved_[static_cast<std::size_t>(ch)];
+  assert(static_cast<int>(q.size()) < capacity_pages_);
+  q.push_back(page);
+  ++inserts_;
+  peak_[static_cast<std::size_t>(ch)] =
+      std::max(peak_[static_cast<std::size_t>(ch)], static_cast<int>(q.size()));
+  peak_total_ = std::max(peak_total_, totalOccupancy());
+}
+
+bool OpticalRing::remove(int ch, sim::PageId page) {
+  auto& q = stored_[static_cast<std::size_t>(ch)];
+  auto it = std::find(q.begin(), q.end(), page);
+  if (it == q.end()) return false;
+  q.erase(it);
+  ++removes_;
+  return true;
+}
+
+bool OpticalRing::contains(int ch, sim::PageId page) const {
+  const auto& q = stored_[static_cast<std::size_t>(ch)];
+  return std::find(q.begin(), q.end(), page) != q.end();
+}
+
+int OpticalRing::occupancy(int ch) const {
+  return static_cast<int>(stored_[static_cast<std::size_t>(ch)].size());
+}
+
+int OpticalRing::totalOccupancy() const {
+  int n = 0;
+  for (const auto& q : stored_) n += static_cast<int>(q.size());
+  return n;
+}
+
+const std::deque<sim::PageId>& OpticalRing::pagesOn(int ch) const {
+  return stored_[static_cast<std::size_t>(ch)];
+}
+
+}  // namespace nwc::ring

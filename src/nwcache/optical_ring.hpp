@@ -1,0 +1,107 @@
+// The optical ring: a WDM delay-line memory used as a system-wide write
+// cache (the paper's core contribution, section 3.2).
+//
+// Each node owns one "cache channel" it alone may write (fixed transmitter);
+// any node may snoop any channel (tunable receivers). A channel stores the
+// pages its owner swapped out, in swap order, until the responsible disk
+// controller copies them off (or a fault re-maps them to memory).
+//
+// Storage capacity law (paper 3.2):
+//   capacity_bits = num_channels * fiber_length_m * rate_bps / 2.1e8 m/s
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/fifo_server.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace nwc::ring {
+
+struct RingParams {
+  int channels = 8;                      // Table 1: one per node
+  std::uint64_t channel_capacity_bytes = 64 * 1024;  // Table 1
+  double round_trip_us = 52.0;           // Table 1
+  double bytes_per_sec = 1.25e9;         // Table 1 ring transfer rate
+  double pcycle_ns = 5.0;
+  std::uint64_t page_bytes = 4096;
+};
+
+/// Computes delay-line storage from physical parameters (bits).
+double delayLineCapacityBits(int channels, double fiber_length_m, double rate_bps,
+                             double light_speed_mps = 2.1e8);
+
+/// Fiber length needed for a target per-channel capacity (meters).
+double fiberLengthForCapacity(std::uint64_t channel_bytes, double rate_bps,
+                              double light_speed_mps = 2.1e8);
+
+class OpticalRing {
+ public:
+  explicit OpticalRing(const RingParams& p);
+
+  int channels() const { return params_.channels; }
+  int capacityPages() const { return capacity_pages_; }
+
+  /// True if channel `ch` can accept one more page (counting reservations).
+  bool hasRoom(int ch) const;
+
+  /// Claims a slot on `ch` ahead of the transfer (the transmit takes
+  /// simulated time; without the reservation two concurrent swap-outs could
+  /// both pass the room check and overflow the channel).
+  void reserve(int ch);
+
+  /// Stores a page on `ch`, consuming one prior reservation.
+  void insert(int ch, sim::PageId page);
+
+  /// Removes a page from `ch` (drained to disk cache, or re-mapped and
+  /// ACKed). Returns false if it was not there.
+  bool remove(int ch, sim::PageId page);
+
+  bool contains(int ch, sim::PageId page) const;
+  int occupancy(int ch) const;
+  int totalOccupancy() const;
+
+  /// Pages on `ch` in swap order (oldest first).
+  const std::deque<sim::PageId>& pagesOn(int ch) const;
+
+  // --- timing ---------------------------------------------------------
+  /// One full circulation of the ring.
+  sim::Tick roundTripTicks() const { return round_trip_ticks_; }
+  /// Serialization of one page at the channel rate.
+  sim::Tick pageTransferTicks() const { return page_xfer_ticks_; }
+
+  /// Fixed transmitter of channel `ch` (owned by node `ch`).
+  sim::FifoServer& channelTx(int ch) { return tx_[static_cast<std::size_t>(ch)]; }
+
+  /// Tunable receiver used by node `n` to drain pages to its disk cache.
+  sim::FifoServer& drainRx(sim::NodeId n) { return drain_rx_[static_cast<std::size_t>(n)]; }
+
+  /// Tunable receiver used by node `n` to snoop a faulted page.
+  sim::FifoServer& faultRx(sim::NodeId n) { return fault_rx_[static_cast<std::size_t>(n)]; }
+
+  // --- statistics -------------------------------------------------------
+  std::uint64_t inserts() const { return inserts_; }
+  std::uint64_t removes() const { return removes_; }
+  int peakOccupancy(int ch) const { return peak_[static_cast<std::size_t>(ch)]; }
+  int peakTotalOccupancy() const { return peak_total_; }
+
+ private:
+  RingParams params_;
+  int capacity_pages_;
+  sim::Tick round_trip_ticks_;
+  sim::Tick page_xfer_ticks_;
+  std::vector<std::deque<sim::PageId>> stored_;  // per channel, swap order
+  std::vector<int> reserved_;                    // slots claimed, not yet filled
+  std::vector<sim::FifoServer> tx_;
+  std::vector<sim::FifoServer> drain_rx_;
+  std::vector<sim::FifoServer> fault_rx_;
+  std::vector<int> peak_;
+  int peak_total_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t removes_ = 0;
+};
+
+}  // namespace nwc::ring

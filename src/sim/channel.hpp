@@ -1,0 +1,119 @@
+// Coroutine message channel (unbounded or bounded FIFO).
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace nwc::sim {
+
+/// FIFO channel of T. `send` suspends while the channel is full (bounded
+/// case); `recv` suspends while it is empty. Items are handed directly to
+/// suspended receivers, so a same-tick non-blocking receiver can never
+/// steal an item from a woken one.
+template <typename T>
+class Channel {
+ public:
+  Channel(Engine& eng, std::size_t capacity = std::numeric_limits<std::size_t>::max())
+      : eng_(&eng), capacity_(capacity) {}
+
+  struct RecvAwaiter {
+    Channel& c;
+    std::optional<T> slot;
+    std::coroutine_handle<> h{};
+
+    bool await_ready() const { return !c.items_.empty(); }
+    void await_suspend(std::coroutine_handle<> handle) {
+      h = handle;
+      c.recv_waiters_.push_back(this);
+    }
+    T await_resume() {
+      if (slot.has_value()) return std::move(*slot);  // handed off while suspended
+      T v = std::move(c.items_.front());
+      c.items_.pop_front();
+      c.admitPendingSender();
+      return v;
+    }
+  };
+
+  struct SendAwaiter {
+    Channel& c;
+    T item;
+    bool await_ready() {
+      if (c.hasRoom()) {
+        c.deliver(std::move(item));
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      c.send_waiters_.push_back({h, std::move(item)});
+    }
+    void await_resume() const {}
+  };
+
+  /// `co_await ch.send(v);`
+  SendAwaiter send(T v) { return SendAwaiter{*this, std::move(v)}; }
+
+  /// `T v = co_await ch.recv();`
+  RecvAwaiter recv() { return RecvAwaiter{*this}; }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  /// Non-blocking pop; returns false when nothing is buffered.
+  bool tryRecv(T& out) {
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    admitPendingSender();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when the channel is full.
+  bool trySend(T v) {
+    if (!hasRoom()) return false;
+    deliver(std::move(v));
+    return true;
+  }
+
+ private:
+  friend struct SendAwaiter;
+  friend struct RecvAwaiter;
+
+  bool hasRoom() const { return items_.size() < capacity_; }
+
+  // Either hands the item straight to a suspended receiver or buffers it.
+  void deliver(T v) {
+    if (!recv_waiters_.empty()) {
+      RecvAwaiter* w = recv_waiters_.front();
+      recv_waiters_.pop_front();
+      w->slot = std::move(v);
+      eng_->scheduleAt(eng_->now(), w->h);
+      return;
+    }
+    items_.push_back(std::move(v));
+  }
+
+  void admitPendingSender() {
+    if (!send_waiters_.empty() && hasRoom()) {
+      auto [h, v] = std::move(send_waiters_.front());
+      send_waiters_.pop_front();
+      deliver(std::move(v));
+      eng_->scheduleAt(eng_->now(), h);
+    }
+  }
+
+  Engine* eng_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::deque<RecvAwaiter*> recv_waiters_;
+  std::deque<std::pair<std::coroutine_handle<>, T>> send_waiters_;
+};
+
+}  // namespace nwc::sim

@@ -1,0 +1,76 @@
+// Task combinators: run child tasks concurrently and join.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace nwc::sim {
+
+namespace detail {
+
+inline Task<> runAndSignal(Task<> t, CoSemaphore& done) {
+  co_await t;
+  done.release();
+}
+
+}  // namespace detail
+
+/// Starts every task concurrently (they interleave through the calendar)
+/// and completes when all of them have finished.
+///
+///   co_await whenAll(eng, makeTasks());
+inline Task<> whenAll(Engine& eng, std::vector<Task<>> tasks) {
+  CoSemaphore done(eng, 0);
+  std::vector<Task<>> wrappers;
+  wrappers.reserve(tasks.size());
+  for (Task<>& t : tasks) {
+    wrappers.push_back(detail::runAndSignal(std::move(t), done));
+    eng.scheduleAt(eng.now(), wrappers.back().handle());
+  }
+  for (std::size_t i = 0; i < wrappers.size(); ++i) {
+    co_await done.acquire();
+  }
+}
+
+/// Starts every task concurrently and completes as soon as the FIRST one
+/// finishes; the rest keep running in the background and are joined (their
+/// frames stay owned) before whenAny itself is destroyed. Returns the index
+/// of the winner.
+inline Task<std::size_t> whenAny(Engine& eng, std::vector<Task<>> tasks) {
+  struct Shared {
+    CoSemaphore done;
+    std::size_t winner = 0;
+    std::size_t finished = 0;
+    explicit Shared(Engine& e) : done(e, 0) {}
+  };
+  Shared shared(eng);
+
+  struct Wrap {
+    static Task<> run(Task<> t, Shared& s, std::size_t idx) {
+      co_await t;
+      if (s.finished++ == 0) s.winner = idx;
+      s.done.release();
+    }
+  };
+
+  std::vector<Task<>> wrappers;
+  wrappers.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    wrappers.push_back(Wrap::run(std::move(tasks[i]), shared, i));
+    eng.scheduleAt(eng.now(), wrappers.back().handle());
+  }
+  co_await shared.done.acquire();
+  const std::size_t winner = shared.winner;
+  // Join the stragglers: everything this frame owns must quiesce before
+  // the frame (and `shared`) is destroyed.
+  for (std::size_t i = 1; i < wrappers.size(); ++i) {
+    co_await shared.done.acquire();
+  }
+  co_return winner;
+}
+
+}  // namespace nwc::sim

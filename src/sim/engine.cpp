@@ -1,0 +1,64 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace nwc::sim {
+
+Engine::~Engine() {
+  // Drop pending resumptions first; Task destructors free the frames.
+  while (!calendar_.empty()) calendar_.pop();
+}
+
+void Engine::scheduleAt(Tick t, std::coroutine_handle<> h) {
+  calendar_.push(Entry{std::max(t, now_), seq_++, h});
+}
+
+void Engine::spawn(Task<> task) {
+  if (!task.valid()) return;
+  scheduleAt(now_, task.handle());
+  spawned_.push_back(std::move(task));
+}
+
+bool Engine::step() {
+  if (calendar_.empty()) return false;
+  Entry e = calendar_.top();
+  calendar_.pop();
+  now_ = e.t;
+  ++events_processed_;
+  e.h.resume();
+  return true;
+}
+
+void Engine::reapDone() {
+  std::erase_if(spawned_, [](const Task<>& t) { return t.done(); });
+}
+
+Tick Engine::run() {
+  stop_requested_ = false;
+  std::uint64_t since_reap = 0;
+  while (!stop_requested_ && step()) {
+    if (++since_reap >= 4096) {
+      since_reap = 0;
+      reapDone();
+    }
+  }
+  reapDone();
+  return now_;
+}
+
+Tick Engine::runUntil(Tick t) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !calendar_.empty() && calendar_.top().t <= t) {
+    step();
+  }
+  now_ = std::max(now_, t);
+  reapDone();
+  return now_;
+}
+
+bool Engine::allSpawnedDone() const {
+  return std::all_of(spawned_.begin(), spawned_.end(),
+                     [](const Task<>& t) { return t.done(); });
+}
+
+}  // namespace nwc::sim

@@ -1,0 +1,96 @@
+// Discrete-event simulation engine.
+//
+// The engine keeps a calendar (min-heap) of (tick, sequence, coroutine
+// handle) entries. Equal-time events fire in schedule order, which makes
+// every run deterministic for a given seed. All simulated processes are
+// coroutines (`Task<>`); root processes are registered with `spawn()` and
+// owned by the engine.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+
+namespace nwc::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current simulated time in pcycles.
+  Tick now() const { return now_; }
+
+  /// Schedules `h` to resume at absolute time `t` (clamped to `now()`).
+  void scheduleAt(Tick t, std::coroutine_handle<> h);
+
+  /// Schedules `h` to resume `dt` pcycles from now.
+  void scheduleIn(Tick dt, std::coroutine_handle<> h) { scheduleAt(now_ + dt, h); }
+
+  /// Registers a detached root process and schedules its start at `now()`.
+  void spawn(Task<> task);
+
+  /// Runs until the calendar drains or `stop()` is called.
+  /// Returns the final simulated time.
+  Tick run();
+
+  /// Runs until simulated time reaches `t` (events at exactly `t` fire).
+  Tick runUntil(Tick t);
+
+  /// Requests that `run()` return after the current event.
+  void stop() { stop_requested_ = true; }
+
+  /// Number of events processed so far.
+  std::uint64_t eventsProcessed() const { return events_processed_; }
+
+  /// True if all spawned root processes have finished.
+  bool allSpawnedDone() const;
+
+  /// Number of calendar entries currently pending.
+  std::size_t pendingEvents() const { return calendar_.size(); }
+
+  // --- awaitables -----------------------------------------------------
+
+  struct DelayAwaiter {
+    Engine& eng;
+    Tick at;
+    bool await_ready() const { return at <= eng.now_; }
+    void await_suspend(std::coroutine_handle<> h) const { eng.scheduleAt(at, h); }
+    void await_resume() const {}
+  };
+
+  /// `co_await eng.delay(dt)` — suspend for `dt` pcycles.
+  DelayAwaiter delay(Tick dt) { return DelayAwaiter{*this, now_ + dt}; }
+
+  /// `co_await eng.waitUntil(t)` — suspend until absolute time `t`
+  /// (ready immediately if `t <= now()`).
+  DelayAwaiter waitUntil(Tick t) { return DelayAwaiter{*this, t}; }
+
+ private:
+  struct Entry {
+    Tick t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Entry& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  bool step();       // fire one event; false if calendar empty
+  void reapDone();   // free finished detached tasks
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> calendar_;
+  std::vector<Task<>> spawned_;
+  Tick now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace nwc::sim

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random streams (xoshiro256** + splitmix64 seeding).
+//
+// Every stochastic model component owns its own stream so that adding or
+// removing a component never perturbs the draws seen by the others.
+#pragma once
+
+#include <cstdint>
+
+namespace nwc::sim {
+
+/// splitmix64: used to expand a single seed into stream states.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Not cryptographic; fast and
+/// statistically sound for simulation use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derives an independent stream: same seed + different tag => different
+  /// but reproducible sequence.
+  Rng fork(std::uint64_t tag) const;
+
+  std::uint64_t next();
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace nwc::sim

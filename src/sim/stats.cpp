@@ -1,0 +1,37 @@
+#include "sim/stats.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace nwc::sim {
+
+void Log2Histogram::add(std::uint64_t v) {
+  const int b = v == 0 ? 0 : std::bit_width(v) - 1;
+  ++buckets_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+std::uint64_t Log2Histogram::quantileUpperBound(double q) const {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen > target) {
+      return i >= 63 ? std::numeric_limits<std::uint64_t>::max() : (1ULL << (i + 1)) - 1;
+    }
+  }
+  return std::numeric_limits<std::uint64_t>::max();
+}
+
+std::string Log2Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << total_;
+  if (total_) {
+    os << " p50<=" << quantileUpperBound(0.50) << " p90<=" << quantileUpperBound(0.90)
+       << " p99<=" << quantileUpperBound(0.99);
+  }
+  return os.str();
+}
+
+}  // namespace nwc::sim

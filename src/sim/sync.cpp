@@ -1,0 +1,33 @@
+#include "sim/sync.hpp"
+
+namespace nwc::sim {
+
+void CoMutex::unlock() {
+  if (waiters_.empty()) {
+    locked_ = false;
+    return;
+  }
+  // Hand the lock to the oldest waiter; `locked_` stays true.
+  auto h = waiters_.front();
+  waiters_.pop_front();
+  eng_->scheduleAt(eng_->now(), h);
+}
+
+void CoSemaphore::release(std::int64_t n) {
+  while (n > 0 && !waiters_.empty()) {
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    eng_->scheduleAt(eng_->now(), h);
+    --n;
+  }
+  count_ += n;
+}
+
+void CoBarrier::releaseAll() {
+  for (auto h : waiters_) eng_->scheduleAt(eng_->now(), h);
+  waiters_.clear();
+  arrived_ = 0;
+  ++generation_;
+}
+
+}  // namespace nwc::sim

@@ -1,0 +1,131 @@
+// Lazily-started coroutine task used for every simulated process.
+//
+// A `Task<T>` is a coroutine that runs inside the discrete-event engine.
+// It starts suspended; it is started either by `co_await`-ing it from
+// another task (symmetric transfer, the awaiter becomes the continuation)
+// or by `Engine::spawn`, which schedules it as a detached root process.
+//
+// Single-shot: a task may be awaited at most once, and the Task object must
+// outlive the coroutine's execution (the usual `co_await fn(args)` pattern
+// satisfies this: the temporary lives until the await completes).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace nwc::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr exception{};
+  bool finished = false;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) const noexcept {
+      PromiseBase& p = h.promise();
+      p.finished = true;
+      if (p.continuation) return p.continuation;
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct TaskPromise : PromiseBase {
+  T value{};
+  Task<T> get_return_object();
+  void return_value(T v) { value = std::move(v); }
+};
+
+template <>
+struct TaskPromise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace detail
+
+/// Coroutine task carrying a result of type T (`Task<>` for plain processes).
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(handle_type h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+  bool done() const { return !h_ || h_.promise().finished; }
+
+  /// Handle access for the engine (spawn / reap). Ownership stays here.
+  handle_type handle() const { return h_; }
+
+  /// Releases ownership of the coroutine frame to the caller.
+  handle_type release() { return std::exchange(h_, nullptr); }
+
+  auto operator co_await() {
+    struct Awaiter {
+      handle_type h;
+      bool await_ready() const { return !h || h.promise().finished; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) const {
+        h.promise().continuation = cont;
+        return h;  // start the child; it resumes us from final_suspend
+      }
+      T await_resume() const {
+        auto& p = h.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        if constexpr (!std::is_void_v<T>) return std::move(p.value);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  handle_type h_{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>{std::coroutine_handle<TaskPromise<T>>::from_promise(*this)};
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>{std::coroutine_handle<TaskPromise<void>>::from_promise(*this)};
+}
+
+}  // namespace detail
+
+}  // namespace nwc::sim

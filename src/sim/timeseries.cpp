@@ -1,0 +1,78 @@
+#include "sim/timeseries.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nwc::sim {
+
+void TimeSeries::sample(Tick t, double v) {
+  assert(points_.empty() || t >= points_.back().first);
+  points_.emplace_back(t, v);
+  if (points_.size() > max_points_) decimate();
+}
+
+void TimeSeries::decimate() {
+  std::vector<std::pair<Tick, double>> kept;
+  kept.reserve(points_.size() / 2 + 1);
+  for (std::size_t i = 0; i < points_.size(); i += 2) kept.push_back(points_[i]);
+  points_ = std::move(kept);
+}
+
+double TimeSeries::minValue() const {
+  double m = points_.empty() ? 0.0 : points_[0].second;
+  for (const auto& [t, v] : points_) m = std::min(m, v);
+  return m;
+}
+
+double TimeSeries::maxValue() const {
+  double m = points_.empty() ? 0.0 : points_[0].second;
+  for (const auto& [t, v] : points_) m = std::max(m, v);
+  return m;
+}
+
+double TimeSeries::timeWeightedMean() const {
+  if (points_.size() < 2) return points_.empty() ? 0.0 : points_[0].second;
+  double area = 0;
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    area += points_[i].second *
+            static_cast<double>(points_[i + 1].first - points_[i].first);
+  }
+  const double span =
+      static_cast<double>(points_.back().first - points_.front().first);
+  return span > 0 ? area / span : points_.back().second;
+}
+
+double TimeSeries::valueAt(Tick t) const {
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](Tick lhs, const std::pair<Tick, double>& p) { return lhs < p.first; });
+  if (it == points_.begin()) return 0.0;
+  return std::prev(it)->second;
+}
+
+std::string TimeSeries::sparkline(int width) const {
+  static const char kLevels[] = " .:-=+*#%@";
+  constexpr int kNumLevels = 10;
+  if (points_.empty() || width <= 0) return std::string(static_cast<std::size_t>(width), ' ');
+
+  const Tick t0 = points_.front().first;
+  const Tick t1 = points_.back().first;
+  const double peak = maxValue();
+  std::string out(static_cast<std::size_t>(width), ' ');
+  if (peak <= 0.0 || t1 <= t0) return out;
+
+  std::vector<double> bucket_max(static_cast<std::size_t>(width), 0.0);
+  for (const auto& [t, v] : points_) {
+    auto b = static_cast<std::size_t>(
+        static_cast<double>(t - t0) / static_cast<double>(t1 - t0) * (width - 1));
+    bucket_max[b] = std::max(bucket_max[b], v);
+  }
+  for (int i = 0; i < width; ++i) {
+    const int lvl = static_cast<int>(bucket_max[static_cast<std::size_t>(i)] / peak *
+                                     (kNumLevels - 1));
+    out[static_cast<std::size_t>(i)] = kLevels[std::clamp(lvl, 0, kNumLevels - 1)];
+  }
+  return out;
+}
+
+}  // namespace nwc::sim

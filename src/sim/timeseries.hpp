@@ -1,0 +1,47 @@
+// Time series of sampled simulation state (occupancy, free frames, ...).
+//
+// Samples are appended in time order; when the buffer exceeds its cap it is
+// decimated (every other point dropped) so long runs stay bounded while
+// preserving overall shape. Renders as an ASCII sparkline for terminal
+// output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace nwc::sim {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t max_points = 1 << 16) : max_points_(max_points) {}
+
+  void sample(Tick t, double v);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const std::vector<std::pair<Tick, double>>& points() const { return points_; }
+
+  double minValue() const;
+  double maxValue() const;
+  /// Time-weighted mean (each sample holds until the next).
+  double timeWeightedMean() const;
+
+  /// Value at the latest sample <= t (0.0 before the first sample).
+  double valueAt(Tick t) const;
+
+  /// Renders `width` buckets, each showing the bucket's max as one of
+  /// " .:-=+*#%@" scaled to the series' own [0, max].
+  std::string sparkline(int width = 64) const;
+
+ private:
+  void decimate();
+
+  std::size_t max_points_;
+  std::vector<std::pair<Tick, double>> points_;
+};
+
+}  // namespace nwc::sim

@@ -1,0 +1,23 @@
+#include "sim/trigger.hpp"
+
+namespace nwc::sim {
+
+void Trigger::fire() {
+  fired_ = true;
+  for (auto h : waiters_) eng_->scheduleAt(eng_->now(), h);
+  waiters_.clear();
+}
+
+void Signal::notifyAll() {
+  for (auto h : waiters_) eng_->scheduleAt(eng_->now(), h);
+  waiters_.clear();
+}
+
+bool Signal::notifyOne() {
+  if (waiters_.empty()) return false;
+  eng_->scheduleAt(eng_->now(), waiters_.front());
+  waiters_.erase(waiters_.begin());
+  return true;
+}
+
+}  // namespace nwc::sim

@@ -1,0 +1,26 @@
+// Core simulation types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace nwc::sim {
+
+/// Simulated time, measured in processor cycles ("pcycles" in the paper).
+/// The paper's Table 1 fixes 1 pcycle = 5 ns.
+using Tick = std::uint64_t;
+
+/// Sentinel for "never" / "unset" times.
+inline constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/// Identifier of a multiprocessor node (0 .. num_nodes-1).
+using NodeId = int;
+
+/// Identifier of a virtual-memory page (the paper does not distinguish a
+/// virtual page from its disk block; neither do we).
+using PageId = std::int64_t;
+
+inline constexpr PageId kNoPage = -1;
+inline constexpr NodeId kNoNode = -1;
+
+}  // namespace nwc::sim

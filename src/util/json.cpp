@@ -1,0 +1,81 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nwc::util {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+JsonObject& JsonObject::addToken(const std::string& key, const std::string& token) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"' + jsonEscape(key) + "\":" + token;
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, const std::string& value) {
+  return addToken(key, '"' + jsonEscape(value) + '"');
+}
+
+JsonObject& JsonObject::add(const std::string& key, const char* value) {
+  return add(key, std::string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, double value) {
+  if (!std::isfinite(value)) return addToken(key, "null");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return addToken(key, buf);
+}
+
+JsonObject& JsonObject::add(const std::string& key, std::uint64_t value) {
+  return addToken(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, std::int64_t value) {
+  return addToken(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, int value) {
+  return addToken(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, bool value) {
+  return addToken(key, value ? "true" : "false");
+}
+
+JsonObject& JsonObject::addRaw(const std::string& key, const std::string& json) {
+  return addToken(key, json);
+}
+
+std::string jsonArray(const std::vector<std::string>& elements) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i) out += ',';
+    out += elements[i];
+  }
+  return out + "]";
+}
+
+}  // namespace nwc::util

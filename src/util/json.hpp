@@ -1,0 +1,39 @@
+// Minimal JSON emitter (objects/arrays of scalars) for machine-readable
+// run summaries. Writing only — this library never parses JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nwc::util {
+
+/// Escapes a string per RFC 8259 (quotes, backslash, control chars).
+std::string jsonEscape(const std::string& s);
+
+/// Incremental JSON object builder:
+///   JsonObject o; o.add("a", 1).add("b", "x"); o.str() == R"({"a":1,"b":"x"})"
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, const std::string& value);
+  JsonObject& add(const std::string& key, const char* value);
+  JsonObject& add(const std::string& key, double value);
+  JsonObject& add(const std::string& key, std::uint64_t value);
+  JsonObject& add(const std::string& key, std::int64_t value);
+  JsonObject& add(const std::string& key, int value);
+  JsonObject& add(const std::string& key, bool value);
+  /// Adds a pre-rendered JSON value (object/array) verbatim.
+  JsonObject& addRaw(const std::string& key, const std::string& json);
+
+  std::string str() const { return "{" + body_ + "}"; }
+  bool empty() const { return body_.empty(); }
+
+ private:
+  JsonObject& addToken(const std::string& key, const std::string& token);
+  std::string body_;
+};
+
+/// Renders a JSON array of pre-rendered values.
+std::string jsonArray(const std::vector<std::string>& elements);
+
+}  // namespace nwc::util

@@ -1,0 +1,30 @@
+// ASCII table printer for benchmark output (paper-style rows).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nwc::util {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void addRow(std::vector<std::string> cells);
+
+  /// Formats helpers.
+  static std::string fmt(double v, int precision = 1);
+  static std::string fmtInt(long long v);
+  static std::string fmtPct(double fraction, int precision = 0);  // 0.25 -> "25%"
+
+  void print(std::ostream& os) const;
+  std::string toString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nwc::util

@@ -1,0 +1,27 @@
+#include "util/units.hpp"
+
+#include <cmath>
+
+namespace nwc::util {
+
+sim::Tick usToTicks(double us, double pcycle_ns) {
+  return static_cast<sim::Tick>(std::llround(us * 1000.0 / pcycle_ns));
+}
+
+sim::Tick msToTicks(double ms, double pcycle_ns) {
+  return static_cast<sim::Tick>(std::llround(ms * 1e6 / pcycle_ns));
+}
+
+double ticksToUs(sim::Tick t, double pcycle_ns) {
+  return static_cast<double>(t) * pcycle_ns / 1000.0;
+}
+
+double ticksToMs(sim::Tick t, double pcycle_ns) {
+  return static_cast<double>(t) * pcycle_ns / 1e6;
+}
+
+double mbPerSec(double mb) { return mb * 1e6; }
+
+double gbPerSec(double gb) { return gb * 1e9; }
+
+}  // namespace nwc::util

@@ -1,0 +1,35 @@
+// Unit conversion helpers. All simulated time is in pcycles (Table 1:
+// 1 pcycle = 5 ns); all capacities in bytes; all rates in bytes/second.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace nwc::util {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+inline constexpr double kDefaultPcycleNs = 5.0;  // Table 1: 1 pcycle = 5 ns
+
+/// Microseconds -> pcycles.
+sim::Tick usToTicks(double us, double pcycle_ns = kDefaultPcycleNs);
+
+/// Milliseconds -> pcycles.
+sim::Tick msToTicks(double ms, double pcycle_ns = kDefaultPcycleNs);
+
+/// pcycles -> microseconds.
+double ticksToUs(sim::Tick t, double pcycle_ns = kDefaultPcycleNs);
+
+/// pcycles -> milliseconds.
+double ticksToMs(sim::Tick t, double pcycle_ns = kDefaultPcycleNs);
+
+/// "MBytes/sec" in the paper's tables -> bytes/second (decimal mega).
+double mbPerSec(double mb);
+
+/// "GBytes/sec" -> bytes/second (decimal giga).
+double gbPerSec(double gb);
+
+}  // namespace nwc::util

@@ -1,0 +1,61 @@
+#include "vm/frame_pool.hpp"
+
+#include <cassert>
+
+namespace nwc::vm {
+
+FramePool::FramePool(int total_frames, int min_free)
+    : total_(total_frames), min_free_(min_free), free_(total_frames) {
+  assert(min_free_ >= 0 && min_free_ <= total_);
+}
+
+void FramePool::allocate(sim::PageId page) {
+  consumeFrame();
+  addResident(page);
+}
+
+void FramePool::consumeFrame() {
+  assert(free_ > 0);
+  --free_;
+  ++allocations_;
+}
+
+void FramePool::addResident(sim::PageId page) {
+  assert(!index_.contains(page));
+  lru_.push_back(page);
+  index_[page] = std::prev(lru_.end());
+}
+
+void FramePool::touch(sim::PageId page) {
+  auto it = index_.find(page);
+  if (it == index_.end()) return;
+  lru_.splice(lru_.end(), lru_, it->second);
+  it->second = std::prev(lru_.end());
+}
+
+bool FramePool::retire(sim::PageId page) {
+  auto it = index_.find(page);
+  if (it == index_.end()) return false;
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++evictions_;
+  return true;
+}
+
+void FramePool::releaseFrame() {
+  assert(free_ < total_);
+  ++free_;
+}
+
+bool FramePool::evictNow(sim::PageId page) {
+  if (!retire(page)) return false;
+  releaseFrame();
+  return true;
+}
+
+std::optional<sim::PageId> FramePool::lruVictim() const {
+  if (lru_.empty()) return std::nullopt;
+  return lru_.front();
+}
+
+}  // namespace nwc::vm

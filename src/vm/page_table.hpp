@@ -1,0 +1,68 @@
+// Machine-wide page table (paper 3.1).
+//
+// One entry per virtual page. Entries are protected by a per-entry
+// coroutine mutex (the paper: "each entry of which is accessed by the
+// different processors with mutual exclusion") and carry the NWCache Ring
+// bit plus the last virtual-to-physical translation, which the victim-read
+// path uses to locate the cache channel holding the page.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/trigger.hpp"
+#include "sim/types.hpp"
+
+namespace nwc::vm {
+
+enum class PageState : std::uint8_t {
+  kDisk,      // data lives on disk (possibly buffered in a controller cache)
+  kTransit,   // a node is fetching it into memory
+  kResident,  // mapped in some node's memory
+  kRing,      // Ring bit set: the only copy is on the optical ring
+  kSwapping,  // standard swap-out in flight to the disk controller cache
+  kRemote,    // remote-memory baseline: stored in another node's spare frame
+};
+
+const char* toString(PageState s);
+
+struct PageEntry {
+  PageEntry(sim::Engine& eng) : mutex(eng), changed(eng) {}
+
+  PageState state = PageState::kDisk;
+  sim::NodeId home = sim::kNoNode;           // holder node while kResident
+  sim::NodeId last_translation = sim::kNoNode;  // last node that held it
+  int ring_channel = -1;                     // channel while kRing
+  bool dirty = false;                        // modified since last disk copy
+  bool referenced = false;                   // has ever been faulted in
+
+  sim::CoMutex mutex;   // serializes fault/swap transitions on this entry
+  sim::Signal changed;  // pulsed on every state transition
+};
+
+class PageTable {
+ public:
+  PageTable(sim::Engine& eng, std::int64_t num_pages);
+
+  /// Appends `count` fresh entries (used while regions are being mapped).
+  void addPages(sim::Engine& eng, std::int64_t count);
+
+  PageEntry& entry(sim::PageId p) { return *entries_[static_cast<std::size_t>(p)]; }
+  const PageEntry& entry(sim::PageId p) const { return *entries_[static_cast<std::size_t>(p)]; }
+
+  std::int64_t numPages() const { return static_cast<std::int64_t>(entries_.size()); }
+
+  /// Transitions `p` to `s` and pulses the entry's change signal.
+  void setState(sim::PageId p, PageState s);
+
+  /// Counts entries currently in state `s` (O(n); for tests/validators).
+  std::int64_t countInState(PageState s) const;
+
+ private:
+  std::vector<std::unique_ptr<PageEntry>> entries_;
+};
+
+}  // namespace nwc::vm

@@ -1,0 +1,110 @@
+// Batch experiment driver: spec parsing, grid execution, output files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "apps/batch.hpp"
+
+namespace nwc::apps {
+namespace {
+
+TEST(BatchSpec, DefaultsCoverFullMatrix) {
+  const auto spec = BatchSpec::fromIni(util::IniFile::parse(""));
+  EXPECT_EQ(spec.apps.size(), 7u);
+  EXPECT_EQ(spec.systems.size(), 2u);
+  EXPECT_EQ(spec.prefetches.size(), 2u);
+  EXPECT_EQ(spec.seeds.size(), 1u);
+  EXPECT_EQ(spec.runCount(), 28u);
+  EXPECT_DOUBLE_EQ(spec.scale, 1.0);
+}
+
+TEST(BatchSpec, ParsesLists) {
+  const auto spec = BatchSpec::fromIni(util::IniFile::parse(
+      "[batch]\n"
+      "apps = sor, radix\n"
+      "systems = standard, nwcache, dcd, remote\n"
+      "prefetch = naive\n"
+      "seeds = 1, 2, 3\n"
+      "scale = 0.25\n"));
+  EXPECT_EQ(spec.apps, (std::vector<std::string>{"sor", "radix"}));
+  EXPECT_EQ(spec.systems.size(), 4u);
+  EXPECT_EQ(spec.prefetches.size(), 1u);
+  EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(spec.runCount(), 2u * 4u * 1u * 3u);
+  EXPECT_DOUBLE_EQ(spec.scale, 0.25);
+}
+
+TEST(BatchSpec, AppliesMachineSection) {
+  const auto spec = BatchSpec::fromIni(util::IniFile::parse(
+      "[machine]\nmemory_per_node = 65536\n[batch]\napps = sor\n"));
+  EXPECT_EQ(spec.base.memory_per_node, 65536u);
+}
+
+TEST(BatchSpec, RejectsBadInput) {
+  EXPECT_THROW(BatchSpec::fromIni(util::IniFile::parse("[batch]\napps = doom\n")),
+               std::runtime_error);
+  EXPECT_THROW(BatchSpec::fromIni(util::IniFile::parse("[batch]\nscale = 2.0\n")),
+               std::runtime_error);
+  EXPECT_THROW(BatchSpec::fromIni(util::IniFile::parse("[batch]\nsystems = warp\n")),
+               std::runtime_error);
+}
+
+TEST(BatchRun, ExecutesGridAndWritesOutputs) {
+  const std::string csv = "/tmp/nwc_batch_test.csv";
+  const std::string jsonl = "/tmp/nwc_batch_test.jsonl";
+  auto spec = BatchSpec::fromIni(util::IniFile::parse(
+      "[machine]\nmemory_per_node = 32768\n"
+      "[batch]\napps = radix\nsystems = standard, nwcache\nprefetch = optimal\n"
+      "scale = 0.1\ncsv = " + csv + "\njsonl = " + jsonl + "\n"));
+  std::ostringstream progress;
+  const BatchResult res = runBatch(spec, &progress);
+  ASSERT_EQ(res.runs.size(), 2u);
+  EXPECT_TRUE(res.all_ok);
+  EXPECT_NE(progress.str().find("[2/2]"), std::string::npos);
+
+  // Both output files have one line per run (+ CSV header).
+  std::ifstream c(csv), j(jsonl);
+  std::string line;
+  int csv_lines = 0, jsonl_lines = 0;
+  while (std::getline(c, line)) ++csv_lines;
+  while (std::getline(j, line)) ++jsonl_lines;
+  EXPECT_EQ(csv_lines, 3);
+  EXPECT_EQ(jsonl_lines, 2);
+  std::remove(csv.c_str());
+  std::remove(jsonl.c_str());
+}
+
+TEST(BatchRun, SeedsVaryTiming) {
+  auto spec = BatchSpec::fromIni(util::IniFile::parse(
+      "[machine]\nmemory_per_node = 32768\n"
+      "[batch]\napps = radix\nsystems = standard\nprefetch = naive\n"
+      "seeds = 1, 2\nscale = 0.1\n"));
+  const BatchResult res = runBatch(spec);
+  ASSERT_EQ(res.runs.size(), 2u);
+  EXPECT_NE(res.runs[0].exec_time, res.runs[1].exec_time);
+  EXPECT_TRUE(res.runs[0].verified);
+  EXPECT_TRUE(res.runs[1].verified);
+}
+
+TEST(SummaryJson, ContainsKeyFields) {
+  machine::MachineConfig cfg;
+  cfg.withSystem(machine::SystemKind::kNWCache, machine::Prefetch::kNaive);
+  cfg.memory_per_node = 32 * 1024;
+  const RunSummary s = runApp(cfg, "radix", 0.1);
+  const std::string j = summaryJson(s, 0.1);
+  EXPECT_NE(j.find("\"app\":\"radix\""), std::string::npos);
+  EXPECT_NE(j.find("\"system\":\"nwcache\""), std::string::npos);
+  EXPECT_NE(j.find("\"exec_pcycles\":"), std::string::npos);
+  EXPECT_NE(j.find("\"verified\":true"), std::string::npos);
+}
+
+TEST(SummaryCsv, HeaderMatchesRowWidth) {
+  machine::MachineConfig cfg;
+  const RunSummary s = runApp(cfg, "radix", 0.05);
+  EXPECT_EQ(summaryCsvHeader().size(), summaryCsvRow(s, 0.05).size());
+}
+
+}  // namespace
+}  // namespace nwc::apps

@@ -1,0 +1,104 @@
+// whenAll / whenAny task combinators.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/combinators.hpp"
+#include "sim/engine.hpp"
+
+namespace nwc::sim {
+namespace {
+
+Task<> delayer(Engine& e, Tick d, int* count) {
+  co_await e.delay(d);
+  ++*count;
+}
+
+TEST(WhenAll, RunsConcurrentlyAndJoins) {
+  Engine e;
+  int count = 0;
+  Tick end = 0;
+  auto top = [&]() -> Task<> {
+    std::vector<Task<>> ts;
+    ts.push_back(delayer(e, 100, &count));
+    ts.push_back(delayer(e, 300, &count));
+    ts.push_back(delayer(e, 200, &count));
+    co_await whenAll(e, std::move(ts));
+    end = e.now();
+  };
+  e.spawn(top());
+  e.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(end, 300u);  // parallel: max, not sum
+}
+
+TEST(WhenAll, EmptyCompletesImmediately) {
+  Engine e;
+  Tick end = 1;
+  auto top = [&]() -> Task<> {
+    co_await whenAll(e, {});
+    end = e.now();
+  };
+  e.spawn(top());
+  e.run();
+  EXPECT_EQ(end, 0u);
+}
+
+TEST(WhenAll, NestsInsidePhases) {
+  Engine e;
+  int count = 0;
+  Tick end = 0;
+  auto top = [&]() -> Task<> {
+    for (int phase = 0; phase < 3; ++phase) {
+      std::vector<Task<>> ts;
+      ts.push_back(delayer(e, 10, &count));
+      ts.push_back(delayer(e, 20, &count));
+      co_await whenAll(e, std::move(ts));
+    }
+    end = e.now();
+  };
+  e.spawn(top());
+  e.run();
+  EXPECT_EQ(count, 6);
+  EXPECT_EQ(end, 60u);  // 3 barriered phases of 20
+}
+
+TEST(WhenAny, ReturnsFirstFinisher) {
+  Engine e;
+  int count = 0;
+  std::size_t winner = 99;
+  Tick end = 0;
+  auto top = [&]() -> Task<> {
+    std::vector<Task<>> ts;
+    ts.push_back(delayer(e, 300, &count));
+    ts.push_back(delayer(e, 100, &count));  // winner
+    ts.push_back(delayer(e, 200, &count));
+    winner = co_await whenAny(e, std::move(ts));
+    end = e.now();
+  };
+  e.spawn(top());
+  e.run();
+  EXPECT_EQ(winner, 1u);
+  // whenAny's own completion point (after joining stragglers) is 300, but
+  // the winner index was latched at 100.
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(end, 300u);
+}
+
+TEST(WhenAny, TieBreaksByScheduleOrder) {
+  Engine e;
+  int count = 0;
+  std::size_t winner = 99;
+  auto top = [&]() -> Task<> {
+    std::vector<Task<>> ts;
+    ts.push_back(delayer(e, 50, &count));
+    ts.push_back(delayer(e, 50, &count));
+    winner = co_await whenAny(e, std::move(ts));
+  };
+  e.spawn(top());
+  e.run();
+  EXPECT_EQ(winner, 0u);
+}
+
+}  // namespace
+}  // namespace nwc::sim

@@ -1,0 +1,90 @@
+// MachineConfig: Table 1 defaults and experiment-knob helpers.
+#include <gtest/gtest.h>
+
+#include "machine/config.hpp"
+
+namespace nwc::machine {
+namespace {
+
+TEST(Config, Table1Defaults) {
+  MachineConfig c;
+  EXPECT_EQ(c.num_nodes, 8);
+  EXPECT_EQ(c.num_io_nodes, 4);
+  EXPECT_EQ(c.page_bytes, 4096u);
+  EXPECT_EQ(c.tlb_miss_latency, 100u);
+  EXPECT_EQ(c.tlb_shootdown_latency, 500u);
+  EXPECT_EQ(c.interrupt_latency, 400u);
+  EXPECT_EQ(c.memory_per_node, 256u * 1024u);
+  EXPECT_DOUBLE_EQ(c.memory_bus_bps, 800e6);
+  EXPECT_DOUBLE_EQ(c.io_bus_bps, 300e6);
+  EXPECT_DOUBLE_EQ(c.net_link_bps, 200e6);
+  EXPECT_EQ(c.ring_channels, 8);
+  EXPECT_DOUBLE_EQ(c.ring_round_trip_us, 52.0);
+  EXPECT_DOUBLE_EQ(c.ring_bps, 1.25e9);
+  EXPECT_EQ(c.ring_channel_bytes, 64u * 1024u);
+  EXPECT_EQ(c.disk_cache_bytes, 16u * 1024u);
+  EXPECT_DOUBLE_EQ(c.min_seek_ms, 2.0);
+  EXPECT_DOUBLE_EQ(c.max_seek_ms, 22.0);
+  EXPECT_DOUBLE_EQ(c.rot_ms, 4.0);
+  EXPECT_DOUBLE_EQ(c.disk_bps, 20e6);
+  EXPECT_DOUBLE_EQ(c.pcycle_ns, 5.0);
+}
+
+TEST(Config, DerivedCounts) {
+  MachineConfig c;
+  EXPECT_EQ(c.framesPerNode(), 64);   // 256 KB / 4 KB
+  EXPECT_EQ(c.diskCacheSlots(), 4);   // 16 KB / 4 KB
+  EXPECT_FALSE(c.hasRing());
+  c.system = SystemKind::kNWCache;
+  EXPECT_TRUE(c.hasRing());
+}
+
+TEST(Config, IoNodesSpreadEvenly) {
+  MachineConfig c;
+  const auto io = c.ioNodes();
+  EXPECT_EQ(io, (std::vector<sim::NodeId>{0, 2, 4, 6}));
+}
+
+TEST(Config, IoNodesForOtherShapes) {
+  MachineConfig c;
+  c.num_nodes = 16;
+  c.num_io_nodes = 4;
+  EXPECT_EQ(c.ioNodes(), (std::vector<sim::NodeId>{0, 4, 8, 12}));
+  c.num_io_nodes = 16;
+  EXPECT_EQ(c.ioNodes().size(), 16u);
+  EXPECT_EQ(c.ioNodes()[15], 15);
+}
+
+TEST(Config, BestMinFreeMatchesPaperSection5) {
+  EXPECT_EQ(MachineConfig::bestMinFree(SystemKind::kNWCache, Prefetch::kOptimal), 2);
+  EXPECT_EQ(MachineConfig::bestMinFree(SystemKind::kNWCache, Prefetch::kNaive), 2);
+  EXPECT_EQ(MachineConfig::bestMinFree(SystemKind::kStandard, Prefetch::kOptimal), 12);
+  EXPECT_EQ(MachineConfig::bestMinFree(SystemKind::kStandard, Prefetch::kNaive), 4);
+}
+
+TEST(Config, WithSystemAppliesKnobs) {
+  MachineConfig c;
+  c.withSystem(SystemKind::kNWCache, Prefetch::kNaive);
+  EXPECT_EQ(c.system, SystemKind::kNWCache);
+  EXPECT_EQ(c.prefetch, Prefetch::kNaive);
+  EXPECT_EQ(c.min_free_frames, 2);
+}
+
+TEST(Config, DescribeMentionsKeyKnobs) {
+  MachineConfig c;
+  c.withSystem(SystemKind::kNWCache, Prefetch::kOptimal);
+  const std::string d = c.describe();
+  EXPECT_NE(d.find("nwcache"), std::string::npos);
+  EXPECT_NE(d.find("optimal"), std::string::npos);
+  EXPECT_NE(d.find("ring=8x64K"), std::string::npos);
+}
+
+TEST(Config, EnumNames) {
+  EXPECT_STREQ(toString(Prefetch::kOptimal), "optimal");
+  EXPECT_STREQ(toString(Prefetch::kNaive), "naive");
+  EXPECT_STREQ(toString(SystemKind::kStandard), "standard");
+  EXPECT_STREQ(toString(SystemKind::kNWCache), "nwcache");
+}
+
+}  // namespace
+}  // namespace nwc::machine

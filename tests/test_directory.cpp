@@ -1,0 +1,100 @@
+// Directory: MSI protocol actions.
+#include <gtest/gtest.h>
+
+#include "mem/directory.hpp"
+
+namespace nwc::mem {
+namespace {
+
+TEST(Directory, FirstReadHasNoActions) {
+  Directory d(8);
+  auto a = d.onRead(0, 100);
+  EXPECT_FALSE(a.owner_flush);
+  EXPECT_EQ(a.invalidations, 0);
+}
+
+TEST(Directory, ReadAfterRemoteWriteFlushesOwner) {
+  Directory d(8);
+  d.onWrite(3, 100);
+  auto a = d.onRead(1, 100);
+  EXPECT_TRUE(a.owner_flush);
+  EXPECT_EQ(a.owner, 3);
+  // A second read finds the line shared, no flush.
+  auto b = d.onRead(2, 100);
+  EXPECT_FALSE(b.owner_flush);
+}
+
+TEST(Directory, WriteInvalidatesAllSharers) {
+  Directory d(8);
+  d.onRead(0, 42);
+  d.onRead(1, 42);
+  d.onRead(2, 42);
+  auto a = d.onWrite(1, 42);
+  EXPECT_EQ(a.invalidations, 2);
+  EXPECT_EQ(a.invalidate_mask, (1u << 0) | (1u << 2));
+}
+
+TEST(Directory, WriterReWriteIsFree) {
+  Directory d(8);
+  d.onWrite(4, 7);
+  auto a = d.onWrite(4, 7);
+  EXPECT_EQ(a.invalidations, 0);
+  EXPECT_FALSE(a.owner_flush);
+}
+
+TEST(Directory, WriteAfterRemoteWriteFlushesAndInvalidates) {
+  Directory d(8);
+  d.onWrite(2, 9);
+  auto a = d.onWrite(5, 9);
+  EXPECT_TRUE(a.owner_flush);
+  EXPECT_EQ(a.owner, 2);
+  EXPECT_EQ(a.invalidations, 1);
+  EXPECT_EQ(a.invalidate_mask, 1u << 2);
+}
+
+TEST(Directory, WritebackClearsOwnership) {
+  Directory d(8);
+  d.onWrite(1, 5);
+  d.onWriteback(1, 5);
+  auto a = d.onRead(0, 5);
+  EXPECT_FALSE(a.owner_flush);
+}
+
+TEST(Directory, WritebackByNonOwnerKeepsOwner) {
+  Directory d(8);
+  d.onWrite(1, 5);
+  d.onWriteback(2, 5);  // stale message from another node
+  auto a = d.onRead(0, 5);
+  EXPECT_TRUE(a.owner_flush);
+  EXPECT_EQ(a.owner, 1);
+}
+
+TEST(Directory, DropPageReturnsHolderMask) {
+  Directory d(8);
+  d.onRead(0, 128);
+  d.onRead(3, 129);
+  d.onWrite(6, 130);
+  const auto mask = d.dropPage(128, 3);
+  EXPECT_EQ(mask, (1u << 0) | (1u << 3) | (1u << 6));
+  EXPECT_EQ(d.trackedLines(), 0u);
+}
+
+TEST(Directory, DropPageOutsideRangeKeepsOthers) {
+  Directory d(8);
+  d.onRead(0, 10);
+  d.onRead(0, 200);
+  d.dropPage(10, 1);
+  EXPECT_EQ(d.trackedLines(), 1u);
+}
+
+TEST(Directory, RemoteDirtyStats) {
+  Directory d(8);
+  d.onWrite(1, 77);
+  d.onRead(2, 77);  // hit: remote dirty
+  d.onRead(3, 77);  // miss: now shared
+  EXPECT_EQ(d.remoteDirtyStats().hits(), 1u);
+  EXPECT_EQ(d.remoteDirtyStats().total(), 2u);
+}
+
+}  // namespace
+}  // namespace nwc::mem

@@ -1,0 +1,81 @@
+// DiskModel: seek window, rotational bounds, transfer rates.
+#include <gtest/gtest.h>
+
+#include "io/disk.hpp"
+#include "util/units.hpp"
+
+namespace nwc::io {
+namespace {
+
+DiskParams paperDisk() { return DiskParams{}; }  // defaults match Table 1
+
+TEST(Disk, PageTransferMatchesMediaRate) {
+  DiskModel d(paperDisk(), sim::Rng(1));
+  // 4 KB at 20 MB/s = 204.8 us = 40960 pcycles.
+  EXPECT_EQ(d.pageTransferTicks(), 40960u);
+}
+
+TEST(Disk, SameCylinderReadHasNoSeek) {
+  DiskModel d(paperDisk(), sim::Rng(2));
+  const sim::Tick t = d.readTime(0, 1);
+  // No seek (head starts at cylinder 0): rot in [0, 8ms) + transfer.
+  EXPECT_GE(t, d.pageTransferTicks());
+  EXPECT_LT(t, util::msToTicks(8.0) + d.pageTransferTicks());
+}
+
+TEST(Disk, SeekScalesWithDistance) {
+  DiskParams p = paperDisk();
+  DiskModel d(p, sim::Rng(3));
+  // Max-distance seek: block on the last cylinder.
+  const std::uint64_t far_block = (p.cylinders - 1) * p.pages_per_cylinder;
+  const sim::Tick t = d.readTime(far_block, 1);
+  EXPECT_GE(t, util::msToTicks(22.0));  // >= max seek
+  EXPECT_LE(t, util::msToTicks(22.0 + 8.0) + d.pageTransferTicks());
+  EXPECT_EQ(d.currentCylinder(), p.cylinders - 1);
+}
+
+TEST(Disk, MinSeekForAdjacentCylinder) {
+  DiskParams p = paperDisk();
+  DiskModel d(p, sim::Rng(4));
+  const sim::Tick t = d.readTime(p.pages_per_cylinder, 1);  // cylinder 1
+  EXPECT_GE(t, util::msToTicks(2.0));  // at least min seek
+  EXPECT_LT(t, util::msToTicks(2.1 + 8.0) + d.pageTransferTicks());
+}
+
+TEST(Disk, MultiPageWriteChargesPerPageTransfer) {
+  DiskModel d1(paperDisk(), sim::Rng(5));
+  DiskModel d4(paperDisk(), sim::Rng(5));  // same rng: same rotational draw
+  const sim::Tick t1 = d1.writeTime(0, 1);
+  const sim::Tick t4 = d4.writeTime(0, 4);
+  EXPECT_EQ(t4 - t1, 3u * d1.pageTransferTicks());
+}
+
+TEST(Disk, OperationCountsTracked) {
+  DiskModel d(paperDisk(), sim::Rng(6));
+  d.readTime(0, 1);
+  d.writeTime(64, 2);
+  EXPECT_EQ(d.reads(), 1u);
+  EXPECT_EQ(d.writes(), 1u);
+  EXPECT_EQ(d.pagesTransferred(), 3u);
+}
+
+TEST(Disk, ArmSerializesOperations) {
+  DiskModel d(paperDisk(), sim::Rng(7));
+  const sim::Tick svc1 = d.readTime(0, 1);
+  const sim::Tick done1 = d.arm().request(0, svc1);
+  const sim::Tick svc2 = d.readTime(0, 1);
+  const sim::Tick done2 = d.arm().request(0, svc2);
+  EXPECT_EQ(done2, done1 + svc2);
+}
+
+TEST(Disk, DeterministicForSeed) {
+  DiskModel a(paperDisk(), sim::Rng(42));
+  DiskModel b(paperDisk(), sim::Rng(42));
+  for (int i = 0; i < 32; ++i) {
+    const std::uint64_t blk = static_cast<std::uint64_t>(i * 997) % 4096;
+    EXPECT_EQ(a.readTime(blk, 1), b.readTime(blk, 1));
+  }
+}
+
+}  // namespace
+}  // namespace nwc::io

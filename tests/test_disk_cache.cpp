@@ -1,0 +1,150 @@
+// DiskCache: slot states, write-over-prefetch priority, NACK condition,
+// write-combining batch planning.
+#include <gtest/gtest.h>
+
+#include "io/disk_cache.hpp"
+
+namespace nwc::io {
+namespace {
+
+TEST(DiskCache, StartsFree) {
+  DiskCache c(4);
+  EXPECT_EQ(c.slots(), 4);
+  EXPECT_EQ(c.freeCount(), 4);
+  EXPECT_EQ(c.dirtyCount(), 0);
+  EXPECT_FALSE(c.lookup(1));
+}
+
+TEST(DiskCache, InsertDirtyThenHit) {
+  DiskCache c(4);
+  EXPECT_TRUE(c.insertDirty(10));
+  EXPECT_TRUE(c.lookup(10));
+  EXPECT_EQ(c.dirtyCount(), 1);
+}
+
+TEST(DiskCache, NackWhenAllSlotsDirty) {
+  DiskCache c(2);
+  EXPECT_TRUE(c.insertDirty(1));
+  EXPECT_TRUE(c.insertDirty(2));
+  EXPECT_FALSE(c.insertDirty(3));  // NACK
+  EXPECT_FALSE(c.hasRoomForWrite(3));
+  EXPECT_TRUE(c.hasRoomForWrite(1));  // already buffered: re-write OK
+}
+
+TEST(DiskCache, WriteEvictsLruClean) {
+  DiskCache c(2);
+  c.insertClean(1);
+  c.insertClean(2);
+  c.lookup(1);  // refresh 1 -> 2 is LRU clean
+  EXPECT_TRUE(c.insertDirty(3));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(DiskCache, PrefetchNeverEvicts) {
+  DiskCache c(2);
+  c.insertDirty(1);
+  c.insertClean(2);
+  c.insertClean(3);  // dropped: no free slot
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_FALSE(c.contains(3));
+}
+
+TEST(DiskCache, CleanableSlotsCountsFreeOnly) {
+  DiskCache c(4);
+  c.insertDirty(1);
+  c.insertClean(2);
+  EXPECT_EQ(c.cleanableSlots(), 2);
+}
+
+TEST(DiskCache, ReWriteOfBufferedPageUpgrades) {
+  DiskCache c(2);
+  c.insertClean(5);
+  EXPECT_TRUE(c.insertDirty(5));  // clean copy upgraded in place
+  EXPECT_EQ(c.dirtyCount(), 1);
+  EXPECT_EQ(c.freeCount(), 1);
+}
+
+TEST(DiskCache, OldestDirtyIsFifo) {
+  DiskCache c(4);
+  c.insertDirty(30);
+  c.insertDirty(10);
+  c.insertDirty(20);
+  ASSERT_TRUE(c.oldestDirty().has_value());
+  EXPECT_EQ(*c.oldestDirty(), 30);
+}
+
+TEST(DiskCache, BatchCombinesConsecutivePages) {
+  DiskCache c(4);
+  c.insertDirty(11);
+  c.insertDirty(13);  // not consecutive with 11
+  c.insertDirty(12);  // bridges 11..13
+  const auto batch = c.planWriteBatch();
+  EXPECT_EQ(batch, (std::vector<sim::PageId>{11, 12, 13}));
+}
+
+TEST(DiskCache, BatchAnchoredAtOldestExtendsBothWays) {
+  DiskCache c(4);
+  c.insertDirty(20);
+  c.insertDirty(19);
+  c.insertDirty(21);
+  const auto batch = c.planWriteBatch();
+  EXPECT_EQ(batch, (std::vector<sim::PageId>{19, 20, 21}));
+}
+
+TEST(DiskCache, NonConsecutiveBatchIsSingleton) {
+  DiskCache c(4);
+  c.insertDirty(5);
+  c.insertDirty(9);
+  const auto batch = c.planWriteBatch();
+  EXPECT_EQ(batch, (std::vector<sim::PageId>{5}));
+}
+
+TEST(DiskCache, CompleteWriteMakesClean) {
+  DiskCache c(4);
+  c.insertDirty(1);
+  c.insertDirty(2);
+  c.completeWrite({1, 2});
+  EXPECT_EQ(c.dirtyCount(), 0);
+  EXPECT_TRUE(c.lookup(1));  // still readable (clean)
+  EXPECT_TRUE(c.planWriteBatch().empty());
+}
+
+TEST(DiskCache, CancelWriteDowngradesToClean) {
+  DiskCache c(4);
+  c.insertDirty(7);
+  EXPECT_TRUE(c.cancelWrite(7));
+  EXPECT_EQ(c.dirtyCount(), 0);
+  EXPECT_TRUE(c.contains(7));
+  EXPECT_FALSE(c.cancelWrite(7));  // already clean
+}
+
+TEST(DiskCache, DropRemovesAnyState) {
+  DiskCache c(4);
+  c.insertDirty(1);
+  c.insertClean(2);
+  EXPECT_TRUE(c.drop(1));
+  EXPECT_TRUE(c.drop(2));
+  EXPECT_FALSE(c.drop(3));
+  EXPECT_EQ(c.freeCount(), 4);
+}
+
+TEST(DiskCache, HitStatsTrackLookups) {
+  DiskCache c(4);
+  c.lookup(1);
+  c.insertClean(1);
+  c.lookup(1);
+  EXPECT_EQ(c.hitStats().total(), 2u);
+  EXPECT_EQ(c.hitStats().hits(), 1u);
+}
+
+TEST(DiskCache, MaxCombiningBoundedBySlots) {
+  DiskCache c(4);
+  for (sim::PageId p = 100; p < 104; ++p) EXPECT_TRUE(c.insertDirty(p));
+  const auto batch = c.planWriteBatch();
+  EXPECT_EQ(batch.size(), 4u);  // the paper's max combining factor
+}
+
+}  // namespace
+}  // namespace nwc::io

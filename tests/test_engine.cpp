@@ -1,0 +1,193 @@
+// Engine: calendar ordering, determinism, task lifecycle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace nwc::sim {
+namespace {
+
+Task<> delayer(Engine& e, Tick d, std::vector<Tick>* log) {
+  co_await e.delay(d);
+  log->push_back(e.now());
+}
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_EQ(e.eventsProcessed(), 0u);
+  EXPECT_EQ(e.pendingEvents(), 0u);
+}
+
+TEST(Engine, DelayAdvancesClock) {
+  Engine e;
+  std::vector<Tick> log;
+  e.spawn(delayer(e, 100, &log));
+  e.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 100u);
+  EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<Tick> log;
+  e.spawn(delayer(e, 300, &log));
+  e.spawn(delayer(e, 100, &log));
+  e.spawn(delayer(e, 200, &log));
+  e.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], 100u);
+  EXPECT_EQ(log[1], 200u);
+  EXPECT_EQ(log[2], 300u);
+}
+
+TEST(Engine, EqualTimeEventsFireInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  auto mk = [&](int id) -> Task<> {
+    co_await e.delay(50);
+    order.push_back(id);
+  };
+  for (int i = 0; i < 8; ++i) e.spawn(mk(i));
+  e.run();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ZeroDelayIsReadyImmediately) {
+  Engine e;
+  bool ran = false;
+  auto t = [&]() -> Task<> {
+    co_await e.delay(0);
+    ran = true;
+  };
+  e.spawn(t());
+  e.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(e.now(), 0u);
+}
+
+TEST(Engine, WaitUntilPastTimeDoesNotSuspend) {
+  Engine e;
+  std::uint64_t events_before = 0;
+  auto t = [&]() -> Task<> {
+    co_await e.delay(100);
+    events_before = e.eventsProcessed();
+    co_await e.waitUntil(50);  // already past
+    EXPECT_EQ(e.now(), 100u);
+  };
+  e.spawn(t());
+  e.run();
+  // The waitUntil(50) must not have produced an extra event.
+  EXPECT_EQ(e.eventsProcessed(), events_before);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  std::vector<Tick> log;
+  e.spawn(delayer(e, 100, &log));
+  e.spawn(delayer(e, 200, &log));
+  e.runUntil(150);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(e.now(), 150u);
+  e.run();
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(Engine, StopHaltsProcessing) {
+  Engine e;
+  int count = 0;
+  auto t = [&]() -> Task<> {
+    for (;;) {
+      co_await e.delay(10);
+      if (++count == 5) e.stop();
+    }
+  };
+  e.spawn(t());
+  e.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 50u);
+}
+
+TEST(Engine, TaskReturnsValue) {
+  Engine e;
+  auto child = [&]() -> Task<int> {
+    co_await e.delay(5);
+    co_return 42;
+  };
+  int got = 0;
+  auto parent = [&]() -> Task<> { got = co_await child(); };
+  e.spawn(parent());
+  e.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Engine, NestedTasksComposeTimes) {
+  Engine e;
+  auto leaf = [&]() -> Task<> { co_await e.delay(10); };
+  auto mid = [&]() -> Task<> {
+    co_await leaf();
+    co_await leaf();
+  };
+  Tick end = 0;
+  auto top = [&]() -> Task<> {
+    co_await mid();
+    end = e.now();
+  };
+  e.spawn(top());
+  e.run();
+  EXPECT_EQ(end, 20u);
+}
+
+TEST(Engine, ExceptionPropagatesToAwaiter) {
+  Engine e;
+  auto thrower = [&]() -> Task<> {
+    co_await e.delay(1);
+    throw std::runtime_error("boom");
+  };
+  bool caught = false;
+  auto top = [&]() -> Task<> {
+    try {
+      co_await thrower();
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  };
+  e.spawn(top());
+  e.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Engine, AllSpawnedDoneTracksCompletion) {
+  Engine e;
+  e.spawn(delayer(e, 10, new std::vector<Tick>()));  // deliberately leaked log
+  EXPECT_FALSE(e.allSpawnedDone());
+  e.run();
+  EXPECT_TRUE(e.allSpawnedDone());
+}
+
+TEST(Engine, ManyTasksAreReaped) {
+  Engine e;
+  std::vector<Tick> log;
+  for (int i = 0; i < 10000; ++i) e.spawn(delayer(e, static_cast<Tick>(i % 97), &log));
+  e.run();
+  EXPECT_EQ(log.size(), 10000u);
+  EXPECT_TRUE(e.allSpawnedDone());
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine e;
+    std::vector<Tick> log;
+    for (int i = 0; i < 50; ++i) e.spawn(delayer(e, static_cast<Tick>((i * 37) % 101), &log));
+    e.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace nwc::sim

@@ -1,0 +1,82 @@
+// FifoServer: analytical FIFO queueing and transfer-time conversion.
+#include <gtest/gtest.h>
+
+#include "sim/fifo_server.hpp"
+
+namespace nwc::sim {
+namespace {
+
+TEST(FifoServer, UncontendedRequestStartsImmediately) {
+  FifoServer s;
+  EXPECT_EQ(s.request(100, 10), 110u);
+  EXPECT_EQ(s.queuedTicks(), 0u);
+  EXPECT_EQ(s.busyTicks(), 10u);
+  EXPECT_EQ(s.jobs(), 1u);
+}
+
+TEST(FifoServer, BackToBackRequestsQueue) {
+  FifoServer s;
+  EXPECT_EQ(s.request(0, 10), 10u);
+  EXPECT_EQ(s.request(0, 10), 20u);
+  EXPECT_EQ(s.request(0, 10), 30u);
+  EXPECT_EQ(s.queuedTicks(), 10u + 20u);
+  EXPECT_DOUBLE_EQ(s.meanQueueDelay(), 10.0);
+}
+
+TEST(FifoServer, IdleGapResetsQueueing) {
+  FifoServer s;
+  s.request(0, 10);
+  EXPECT_EQ(s.request(100, 5), 105u);
+  EXPECT_EQ(s.queuedTicks(), 0u);
+}
+
+TEST(FifoServer, WouldQueueReflectsBusyState) {
+  FifoServer s;
+  s.request(0, 50);
+  EXPECT_TRUE(s.wouldQueue(25));
+  EXPECT_FALSE(s.wouldQueue(50));
+  EXPECT_FALSE(s.wouldQueue(100));
+}
+
+TEST(FifoServer, UtilizationOverHorizon) {
+  FifoServer s;
+  s.request(0, 25);
+  s.request(50, 25);
+  EXPECT_DOUBLE_EQ(s.utilization(100), 0.5);
+  EXPECT_DOUBLE_EQ(s.utilization(0), 0.0);
+}
+
+TEST(FifoServer, ZeroServiceIsLegal) {
+  FifoServer s;
+  EXPECT_EQ(s.request(7, 0), 7u);
+}
+
+TEST(FifoServer, ResetClearsEverything) {
+  FifoServer s;
+  s.request(0, 10);
+  s.request(0, 10);
+  s.reset();
+  EXPECT_EQ(s.jobs(), 0u);
+  EXPECT_EQ(s.busyTicks(), 0u);
+  EXPECT_EQ(s.busyUntil(), 0u);
+}
+
+TEST(TransferTicks, MatchesPaperParameters) {
+  // 4 KB page over the 200 MB/s mesh link: 20.48 us = 4096 pcycles at 5 ns.
+  EXPECT_EQ(transferTicks(4096, 200e6, 5.0), 4096u);
+  // 4 KB over the 800 MB/s memory bus: 5.12 us = 1024 pcycles.
+  EXPECT_EQ(transferTicks(4096, 800e6, 5.0), 1024u);
+  // 4 KB over the 1.25 GB/s optical channel: 3.2768 us = ~656 pcycles.
+  EXPECT_EQ(transferTicks(4096, 1.25e9, 5.0), 656u);
+  // 4 KB at the 20 MB/s disk media rate: 204.8 us = 40960 pcycles.
+  EXPECT_EQ(transferTicks(4096, 20e6, 5.0), 40960u);
+}
+
+TEST(TransferTicks, EdgeCases) {
+  EXPECT_EQ(transferTicks(0, 100e6, 5.0), 0u);
+  EXPECT_EQ(transferTicks(100, 0.0, 5.0), 0u);
+  EXPECT_GE(transferTicks(1, 1e12, 5.0), 1u);  // ceil: never free
+}
+
+}  // namespace
+}  // namespace nwc::sim

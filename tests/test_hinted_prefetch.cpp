@@ -1,0 +1,65 @@
+// Hinted prefetch policy: interpolates between the paper's two extremes.
+#include <gtest/gtest.h>
+
+#include "apps/runner.hpp"
+#include "machine/config_io.hpp"
+
+namespace nwc::machine {
+namespace {
+
+apps::RunSummary runSor(Prefetch pf, double accuracy, double scale = 0.25) {
+  MachineConfig cfg;
+  cfg.withSystem(SystemKind::kStandard, pf);
+  cfg.hint_accuracy = accuracy;
+  cfg.memory_per_node = 32 * 1024;
+  cfg.min_free_frames = 2;
+  return apps::runApp(cfg, "sor", scale);
+}
+
+TEST(HintedPrefetch, ZeroAccuracyMatchesNaiveHitRate) {
+  const auto hinted = runSor(Prefetch::kHinted, 0.0);
+  ASSERT_TRUE(hinted.verified);
+  EXPECT_EQ(hinted.metrics.disk_cache_hits + 0u,
+            runSor(Prefetch::kNaive, 0.0).metrics.disk_cache_hits);
+}
+
+TEST(HintedPrefetch, FullAccuracyMatchesOptimal) {
+  const auto hinted = runSor(Prefetch::kHinted, 1.0);
+  ASSERT_TRUE(hinted.verified);
+  EXPECT_EQ(hinted.metrics.disk_cache_misses, 0u);  // every read hits
+}
+
+TEST(HintedPrefetch, ExecutionTimeInterpolates) {
+  const auto naive_like = runSor(Prefetch::kHinted, 0.0);
+  const auto mid = runSor(Prefetch::kHinted, 0.5);
+  const auto optimal_like = runSor(Prefetch::kHinted, 1.0);
+  ASSERT_TRUE(mid.verified);
+  EXPECT_LT(optimal_like.exec_time, mid.exec_time);
+  EXPECT_LT(mid.exec_time, naive_like.exec_time);
+}
+
+TEST(HintedPrefetch, HitFractionTracksAccuracy) {
+  const auto mid = runSor(Prefetch::kHinted, 0.5, 0.5);  // enough faults to average
+  const double total = static_cast<double>(mid.metrics.disk_cache_hits +
+                                           mid.metrics.disk_cache_misses);
+  ASSERT_GT(total, 200.0);
+  const double rate = static_cast<double>(mid.metrics.disk_cache_hits) / total;
+  // Hints hit with p=0.5; misses can still hit via naive sequential fills,
+  // so the observed rate is at least ~0.5 and well below 1.
+  EXPECT_GT(rate, 0.45);
+  EXPECT_LT(rate, 0.95);
+}
+
+TEST(HintedPrefetch, ConfigPlumbing) {
+  EXPECT_STREQ(toString(Prefetch::kHinted), "hinted");
+  EXPECT_EQ(prefetchFromString("hinted"), Prefetch::kHinted);
+  MachineConfig cfg;
+  applyIni(util::IniFile::parse("[machine]\nprefetch = hinted\nhint_accuracy = 0.7\n"),
+           cfg);
+  EXPECT_EQ(cfg.prefetch, Prefetch::kHinted);
+  EXPECT_DOUBLE_EQ(cfg.hint_accuracy, 0.7);
+  EXPECT_EQ(MachineConfig::bestMinFree(SystemKind::kStandard, Prefetch::kHinted), 12);
+}
+
+}  // namespace
+}  // namespace nwc::machine

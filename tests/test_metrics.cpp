@@ -1,0 +1,66 @@
+// Metrics: breakdown arithmetic and aggregation.
+#include <gtest/gtest.h>
+
+#include "machine/metrics.hpp"
+
+namespace nwc::machine {
+namespace {
+
+TEST(Metrics, OtherIsResidual) {
+  Metrics m(2);
+  m.cpu(0).finish = 1000;
+  m.cpu(0).nofree = 100;
+  m.cpu(0).transit = 50;
+  m.cpu(0).fault = 200;
+  m.cpu(0).tlb = 150;
+  EXPECT_EQ(m.cpu(0).other(), 500u);
+}
+
+TEST(Metrics, OtherClampsAtZero) {
+  Metrics m(1);
+  m.cpu(0).finish = 10;
+  m.cpu(0).fault = 100;  // over-attribution must not underflow
+  EXPECT_EQ(m.cpu(0).other(), 0u);
+}
+
+TEST(Metrics, TotalsSumOverCpus) {
+  Metrics m(3);
+  for (int c = 0; c < 3; ++c) {
+    m.cpu(c).nofree = 10;
+    m.cpu(c).transit = 20;
+    m.cpu(c).fault = 30;
+    m.cpu(c).tlb = 40;
+    m.cpu(c).finish = 1000;
+  }
+  EXPECT_EQ(m.totalNoFree(), 30u);
+  EXPECT_EQ(m.totalTransit(), 60u);
+  EXPECT_EQ(m.totalFault(), 90u);
+  EXPECT_EQ(m.totalTlb(), 120u);
+  EXPECT_EQ(m.totalOther(), 3u * 900u);
+}
+
+TEST(Metrics, ExecutionTimeIsMaxFinish) {
+  Metrics m(3);
+  m.cpu(0).finish = 500;
+  m.cpu(1).finish = 900;
+  m.cpu(2).finish = 700;
+  EXPECT_EQ(m.executionTime(), 900u);
+}
+
+TEST(Metrics, AccessesAggregate) {
+  Metrics m(2);
+  m.cpu(0).accesses = 5;
+  m.cpu(1).accesses = 7;
+  EXPECT_EQ(m.totalAccesses(), 12u);
+}
+
+TEST(Metrics, FreshMetricsAreZero) {
+  Metrics m(4);
+  EXPECT_EQ(m.executionTime(), 0u);
+  EXPECT_EQ(m.totalOther(), 0u);
+  EXPECT_EQ(m.swap_out_ticks.count(), 0u);
+  EXPECT_EQ(m.faults, 0u);
+}
+
+}  // namespace
+}  // namespace nwc::machine

@@ -1,0 +1,88 @@
+// PageTable: entry states, change signals, per-entry mutual exclusion.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "vm/page_table.hpp"
+
+namespace nwc::vm {
+namespace {
+
+TEST(PageTable, EntriesStartOnDisk) {
+  sim::Engine e;
+  PageTable pt(e, 16);
+  EXPECT_EQ(pt.numPages(), 16);
+  for (sim::PageId p = 0; p < 16; ++p) {
+    EXPECT_EQ(pt.entry(p).state, PageState::kDisk);
+    EXPECT_FALSE(pt.entry(p).dirty);
+    EXPECT_EQ(pt.entry(p).home, sim::kNoNode);
+  }
+}
+
+TEST(PageTable, AddPagesGrows) {
+  sim::Engine e;
+  PageTable pt(e, 4);
+  pt.addPages(e, 6);
+  EXPECT_EQ(pt.numPages(), 10);
+  EXPECT_EQ(pt.entry(9).state, PageState::kDisk);
+}
+
+TEST(PageTable, SetStatePulsesChanged) {
+  sim::Engine e;
+  PageTable pt(e, 2);
+  int wakes = 0;
+  auto waiter = [&]() -> sim::Task<> {
+    co_await pt.entry(0).changed.wait();
+    ++wakes;
+  };
+  e.spawn(waiter());
+  e.spawn(waiter());
+  auto setter = [&]() -> sim::Task<> {
+    co_await e.delay(10);
+    pt.setState(0, PageState::kTransit);
+    co_return;
+  };
+  e.spawn(setter());
+  e.run();
+  EXPECT_EQ(wakes, 2);
+  EXPECT_EQ(pt.entry(0).state, PageState::kTransit);
+}
+
+TEST(PageTable, CountInState) {
+  sim::Engine e;
+  PageTable pt(e, 5);
+  pt.setState(0, PageState::kResident);
+  pt.setState(1, PageState::kResident);
+  pt.setState(2, PageState::kRing);
+  EXPECT_EQ(pt.countInState(PageState::kResident), 2);
+  EXPECT_EQ(pt.countInState(PageState::kRing), 1);
+  EXPECT_EQ(pt.countInState(PageState::kDisk), 2);
+}
+
+TEST(PageTable, EntryMutexSerializes) {
+  sim::Engine e;
+  PageTable pt(e, 1);
+  std::vector<int> order;
+  auto t = [&](int id, sim::Tick hold) -> sim::Task<> {
+    auto g = co_await pt.entry(0).mutex.scoped();
+    co_await e.delay(hold);
+    order.push_back(id);
+  };
+  e.spawn(t(0, 100));
+  e.spawn(t(1, 10));
+  e.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(e.now(), 110u);
+}
+
+TEST(PageTable, StateNames) {
+  EXPECT_STREQ(toString(PageState::kDisk), "disk");
+  EXPECT_STREQ(toString(PageState::kTransit), "transit");
+  EXPECT_STREQ(toString(PageState::kResident), "resident");
+  EXPECT_STREQ(toString(PageState::kRing), "ring");
+  EXPECT_STREQ(toString(PageState::kSwapping), "swapping");
+}
+
+}  // namespace
+}  // namespace nwc::vm

@@ -1,0 +1,138 @@
+// Parameterized component sweeps: geometry-independent invariants of the
+// cache, TLB, mesh and disk models.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "io/disk.hpp"
+#include "mem/cache.hpp"
+#include "net/mesh.hpp"
+#include "sim/random.hpp"
+#include "util/units.hpp"
+
+namespace nwc {
+namespace {
+
+// ---------------------------------------------------------------- caches --
+using CacheGeom = std::tuple<int, int, int>;  // size_kb, line, assoc
+
+class CacheGeometry : public ::testing::TestWithParam<CacheGeom> {};
+
+TEST_P(CacheGeometry, FillThenRevisitAllHits) {
+  const auto [size_kb, line, assoc] = GetParam();
+  mem::CacheParams p;
+  p.size_bytes = static_cast<std::uint64_t>(size_kb) * 1024;
+  p.line_bytes = static_cast<std::uint32_t>(line);
+  p.assoc = static_cast<std::uint32_t>(assoc);
+  mem::SetAssocCache c(p);
+
+  const std::uint64_t lines = p.size_bytes / p.line_bytes;
+  // Sequential fill exactly to capacity: second pass must be 100% hits.
+  for (std::uint64_t i = 0; i < lines; ++i) c.access(i * p.line_bytes, false);
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    EXPECT_TRUE(c.access(i * p.line_bytes, false).hit) << "line " << i;
+  }
+}
+
+TEST_P(CacheGeometry, OverCapacityWorkingSetThrashes) {
+  const auto [size_kb, line, assoc] = GetParam();
+  mem::CacheParams p;
+  p.size_bytes = static_cast<std::uint64_t>(size_kb) * 1024;
+  p.line_bytes = static_cast<std::uint32_t>(line);
+  p.assoc = static_cast<std::uint32_t>(assoc);
+  mem::SetAssocCache c(p);
+
+  const std::uint64_t lines = 2 * p.size_bytes / p.line_bytes;  // 2x capacity
+  // Sequential sweep of twice the capacity with LRU: zero hits forever.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      EXPECT_FALSE(c.access(i * p.line_bytes, false).hit);
+    }
+  }
+}
+
+TEST_P(CacheGeometry, InvalidatePageLeavesOtherPagesIntact) {
+  const auto [size_kb, line, assoc] = GetParam();
+  mem::CacheParams p;
+  p.size_bytes = static_cast<std::uint64_t>(size_kb) * 1024;
+  p.line_bytes = static_cast<std::uint32_t>(line);
+  p.assoc = static_cast<std::uint32_t>(assoc);
+  mem::SetAssocCache c(p);
+  c.access(0x0000, true);
+  c.access(0x1000, true);
+  c.invalidatePage(0x0000, 4096);
+  EXPECT_FALSE(c.contains(0x0000));
+  EXPECT_TRUE(c.contains(0x1000));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometry,
+                         ::testing::Values(CacheGeom{8, 32, 1}, CacheGeom{8, 32, 2},
+                                           CacheGeom{64, 64, 4}, CacheGeom{16, 64, 8},
+                                           CacheGeom{4, 16, 2}),
+                         [](const ::testing::TestParamInfo<CacheGeom>& i) {
+                           return std::to_string(std::get<0>(i.param)) + "k_l" +
+                                  std::to_string(std::get<1>(i.param)) + "_w" +
+                                  std::to_string(std::get<2>(i.param));
+                         });
+
+// ------------------------------------------------------------------ mesh --
+class MeshSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeshSize, HopCountSymmetricAndTriangle) {
+  net::MeshParams p;
+  p.num_nodes = GetParam();
+  net::MeshNetwork m(p);
+  for (int a = 0; a < p.num_nodes; ++a) {
+    EXPECT_EQ(m.hops(a, a), 0);
+    for (int b = 0; b < p.num_nodes; ++b) {
+      EXPECT_EQ(m.hops(a, b), m.hops(b, a));
+      for (int c = 0; c < p.num_nodes; ++c) {
+        EXPECT_LE(m.hops(a, c), m.hops(a, b) + m.hops(b, c));
+      }
+    }
+  }
+}
+
+TEST_P(MeshSize, UncontendedLatencyIsHopsPlusSerialization) {
+  net::MeshParams p;
+  p.num_nodes = GetParam();
+  net::MeshNetwork m(p);
+  for (int b = 1; b < p.num_nodes; ++b) {
+    net::MeshNetwork fresh(p);
+    const sim::Tick t = fresh.transfer(0, 0, b, 256, net::TrafficClass::kControl);
+    const sim::Tick expect = static_cast<sim::Tick>(fresh.hops(0, b)) * p.hop_latency +
+                             fresh.serializationTicks(256);
+    EXPECT_EQ(t, expect) << "dst " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshSize, ::testing::Values(2, 4, 8, 16));
+
+// ------------------------------------------------------------------ disk --
+TEST(DiskDistribution, RotationalDelayAveragesToTable1) {
+  io::DiskParams p;  // rot_ms = 4 (mean)
+  io::DiskModel d(p, sim::Rng(77));
+  // Same-cylinder reads: time = rot + transfer; estimate the mean rot.
+  double sum = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(d.readTime(0, 1) - d.pageTransferTicks());
+  }
+  const double mean_ms = util::ticksToMs(static_cast<sim::Tick>(sum / n));
+  EXPECT_NEAR(mean_ms, 4.0, 0.15);
+}
+
+TEST(DiskDistribution, SeekBoundsRespectTable1) {
+  io::DiskParams p;
+  io::DiskModel d(p, sim::Rng(78));
+  sim::Rng rng(79);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t blk = rng.below(p.cylinders * p.pages_per_cylinder);
+    const sim::Tick t = d.readTime(blk, 1);
+    // <= max seek + max rotation (2*mean) + transfer.
+    EXPECT_LE(t, util::msToTicks(22.0 + 8.0) + d.pageTransferTicks());
+  }
+}
+
+}  // namespace
+}  // namespace nwc

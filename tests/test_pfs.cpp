@@ -1,0 +1,87 @@
+// ParallelFileSystem: 32-page groups, round-robin striping, block layout.
+#include <gtest/gtest.h>
+
+#include "io/pfs.hpp"
+
+namespace nwc::io {
+namespace {
+
+TEST(Pfs, GroupsAssignRoundRobin) {
+  ParallelFileSystem pfs({0, 2, 4, 6});
+  EXPECT_EQ(pfs.diskOf(0), 0);
+  EXPECT_EQ(pfs.diskOf(31), 0);   // same 32-page group
+  EXPECT_EQ(pfs.diskOf(32), 1);   // next group, next disk
+  EXPECT_EQ(pfs.diskOf(64), 2);
+  EXPECT_EQ(pfs.diskOf(96), 3);
+  EXPECT_EQ(pfs.diskOf(128), 0);  // wraps
+}
+
+TEST(Pfs, IoNodeMapping) {
+  ParallelFileSystem pfs({0, 2, 4, 6});
+  EXPECT_EQ(pfs.ioNodeOf(0), 0);
+  EXPECT_EQ(pfs.ioNodeOf(32), 2);
+  EXPECT_EQ(pfs.ioNodeOf(96), 6);
+}
+
+TEST(Pfs, BlocksAreContiguousPerDisk) {
+  ParallelFileSystem pfs({0, 2, 4, 6});
+  // Pages 0..31 occupy disk 0 blocks 0..31.
+  EXPECT_EQ(pfs.blockOf(0), 0u);
+  EXPECT_EQ(pfs.blockOf(31), 31u);
+  // Page 128 is disk 0's second group -> block 32.
+  EXPECT_EQ(pfs.blockOf(128), 32u);
+  // Page 32 is disk 1's first group -> block 0.
+  EXPECT_EQ(pfs.blockOf(32), 0u);
+}
+
+TEST(Pfs, NextOnSameDiskWithinGroup) {
+  ParallelFileSystem pfs({0, 2, 4, 6});
+  EXPECT_EQ(pfs.nextOnSameDisk(0), 1);
+  EXPECT_EQ(pfs.nextOnSameDisk(30), 31);
+}
+
+TEST(Pfs, NextOnSameDiskJumpsToNextGroup) {
+  ParallelFileSystem pfs({0, 2, 4, 6});
+  // After page 31 (end of disk 0's group 0) comes page 128 (group 4).
+  EXPECT_EQ(pfs.nextOnSameDisk(31), 128);
+  EXPECT_EQ(pfs.diskOf(pfs.nextOnSameDisk(31)), pfs.diskOf(31));
+}
+
+TEST(Pfs, NextOnSameDiskPreservesDiskForManySteps) {
+  ParallelFileSystem pfs({1, 3});
+  sim::PageId p = 40;  // disk depends on group
+  const int d = pfs.diskOf(p);
+  for (int i = 0; i < 100; ++i) {
+    p = pfs.nextOnSameDisk(p);
+    ASSERT_EQ(pfs.diskOf(p), d);
+  }
+}
+
+TEST(Pfs, BlockNumbersAreSequentialAlongNextChain) {
+  ParallelFileSystem pfs({0, 2, 4, 6});
+  sim::PageId p = 0;
+  std::uint64_t prev = pfs.blockOf(p);
+  for (int i = 0; i < 200; ++i) {
+    p = pfs.nextOnSameDisk(p);
+    const std::uint64_t b = pfs.blockOf(p);
+    EXPECT_EQ(b, prev + 1);
+    prev = b;
+  }
+}
+
+TEST(Pfs, SingleDiskDegenerates) {
+  ParallelFileSystem pfs({5});
+  EXPECT_EQ(pfs.diskOf(1000), 0);
+  EXPECT_EQ(pfs.blockOf(1000), 1000u);
+  EXPECT_EQ(pfs.nextOnSameDisk(31), 32);
+}
+
+TEST(Pfs, CustomGroupSize) {
+  ParallelFileSystem pfs({0, 1}, 8);
+  EXPECT_EQ(pfs.diskOf(7), 0);
+  EXPECT_EQ(pfs.diskOf(8), 1);
+  EXPECT_EQ(pfs.nextOnSameDisk(7), 16);
+}
+
+}  // namespace
+}  // namespace nwc::io

@@ -1,0 +1,187 @@
+// Property-based sweeps: system invariants that must hold across seeds,
+// configurations and workload shapes (parameterized gtest).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "apps/runner.hpp"
+#include "machine/machine.hpp"
+
+namespace nwc::machine {
+namespace {
+
+using sim::PageId;
+using sim::Task;
+
+Task<> scatterWorkload(Machine& m, int cpu, std::uint64_t seed, int ops, PageId npages) {
+  sim::Rng rng(seed ^ static_cast<std::uint64_t>(cpu) * 0x9e37u);
+  for (int i = 0; i < ops; ++i) {
+    const PageId p = static_cast<PageId>(rng.below(static_cast<std::uint64_t>(npages)));
+    const bool write = rng.chance(0.5);
+    const std::uint64_t off = rng.below(m.config().page_bytes);
+    co_await m.access(cpu, static_cast<std::uint64_t>(p) * m.config().page_bytes + off,
+                      write);
+    m.compute(cpu, 10);
+  }
+  co_await m.fence(cpu);
+  m.cpuDone(cpu);
+}
+
+struct PropCase {
+  SystemKind sys;
+  Prefetch pf;
+  std::uint64_t seed;
+  int min_free;
+};
+
+class RandomWorkloadProperty : public ::testing::TestWithParam<PropCase> {};
+
+TEST_P(RandomWorkloadProperty, InvariantsHoldAndSystemQuiesces) {
+  const PropCase& pc = GetParam();
+  MachineConfig cfg;
+  cfg.system = pc.sys;
+  cfg.prefetch = pc.pf;
+  cfg.seed = pc.seed;
+  cfg.memory_per_node = 32 * 1024;  // 8 frames: heavy paging
+  cfg.min_free_frames = pc.min_free;
+  Machine m(cfg);
+  const PageId npages = 96;
+  m.allocRegion(static_cast<std::uint64_t>(npages) * cfg.page_bytes);
+  m.start();
+  for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
+    m.engine().spawn(scatterWorkload(m, cpu, pc.seed, 400, npages));
+  }
+  m.engine().run();
+
+  // 1. Every application process finished (no deadlock).
+  for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
+    EXPECT_GT(m.metrics().cpu(cpu).finish, 0u) << "cpu " << cpu << " never finished";
+  }
+
+  // 2. Single-copy invariant + frame accounting.
+  EXPECT_EQ(m.checkInvariants(), "");
+
+  // 3. Quiescence: nothing left in transit or mid-swap.
+  EXPECT_EQ(m.pageTable().countInState(vm::PageState::kTransit), 0);
+  EXPECT_EQ(m.pageTable().countInState(vm::PageState::kSwapping), 0);
+
+  // 4. On the ring system, every ring page eventually drains or re-maps,
+  //    so the ring ends empty once the machine quiesces.
+  if (cfg.hasRing()) {
+    EXPECT_EQ(m.ring()->totalOccupancy(), 0);
+    EXPECT_EQ(m.pageTable().countInState(vm::PageState::kRing), 0);
+  }
+
+  // 5. Frame conservation: free + resident == total on every node.
+  for (int n = 0; n < cfg.num_nodes; ++n) {
+    const auto& fp = m.framePool(n);
+    EXPECT_EQ(fp.freeFrames() + fp.residentCount(), fp.totalFrames()) << "node " << n;
+  }
+
+  // 6. Stall attribution never exceeds wall-clock per cpu.
+  for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
+    const auto& c = m.metrics().cpu(cpu);
+    EXPECT_LE(c.nofree + c.transit + c.fault + c.tlb, c.finish) << "cpu " << cpu;
+  }
+
+  // 7. Write combining never exceeds the controller-cache slot count.
+  if (m.metrics().write_combining.count() > 0) {
+    EXPECT_LE(m.metrics().write_combining.max(),
+              static_cast<double>(cfg.diskCacheSlots()));
+    EXPECT_GE(m.metrics().write_combining.min(), 1.0);
+  }
+}
+
+std::vector<PropCase> propCases() {
+  std::vector<PropCase> v;
+  for (SystemKind s : {SystemKind::kStandard, SystemKind::kNWCache}) {
+    for (Prefetch p : {Prefetch::kOptimal, Prefetch::kNaive}) {
+      for (std::uint64_t seed : {1ull, 42ull, 777ull}) {
+        for (int mf : {2, 4}) {
+          v.push_back({s, p, seed, mf});
+        }
+      }
+    }
+  }
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomWorkloadProperty, ::testing::ValuesIn(propCases()),
+                         [](const ::testing::TestParamInfo<PropCase>& i) {
+                           return std::string(toString(i.param.sys)) + "_" +
+                                  toString(i.param.pf) + "_s" +
+                                  std::to_string(i.param.seed) + "_mf" +
+                                  std::to_string(i.param.min_free);
+                         });
+
+class RingCapacityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingCapacityProperty, ChannelNeverOverflows) {
+  const int cap_pages = GetParam();
+  MachineConfig cfg;
+  cfg.withSystem(SystemKind::kNWCache, Prefetch::kOptimal);
+  cfg.ring_channel_bytes = static_cast<std::uint64_t>(cap_pages) * cfg.page_bytes;
+  cfg.memory_per_node = 32 * 1024;
+  cfg.min_free_frames = 2;
+  Machine m(cfg);
+  m.allocRegion(128 * cfg.page_bytes);
+  m.start();
+  for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
+    m.engine().spawn(scatterWorkload(m, cpu, 99, 300, 128));
+  }
+  m.engine().run();
+  for (int ch = 0; ch < cfg.ring_channels; ++ch) {
+    EXPECT_LE(m.ring()->peakOccupancy(ch), cap_pages) << "channel " << ch;
+  }
+  EXPECT_EQ(m.checkInvariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingCapacityProperty, ::testing::Values(1, 2, 4, 16));
+
+class MinFreeSweepProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinFreeSweepProperty, ReserveIsRespectedAtQuiescence) {
+  const int mf = GetParam();
+  MachineConfig cfg;
+  cfg.withSystem(SystemKind::kStandard, Prefetch::kOptimal);
+  cfg.memory_per_node = 64 * 1024;  // 16 frames
+  cfg.min_free_frames = mf;
+  Machine m(cfg);
+  m.allocRegion(128 * cfg.page_bytes);
+  m.start();
+  for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
+    m.engine().spawn(scatterWorkload(m, cpu, 5, 200, 128));
+  }
+  m.engine().run();
+  for (int n = 0; n < cfg.num_nodes; ++n) {
+    EXPECT_GE(m.framePool(n).freeFrames(), mf) << "node " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Reserves, MinFreeSweepProperty, ::testing::Values(2, 4, 8, 12));
+
+TEST(Determinism, FullConfigurationMatrixIsReproducible) {
+  for (SystemKind s : {SystemKind::kStandard, SystemKind::kNWCache}) {
+    for (Prefetch p : {Prefetch::kOptimal, Prefetch::kNaive}) {
+      auto run = [&] {
+        MachineConfig cfg;
+        cfg.withSystem(s, p);
+        cfg.memory_per_node = 32 * 1024;
+        Machine m(cfg);
+        m.allocRegion(64 * cfg.page_bytes);
+        m.start();
+        for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
+          m.engine().spawn(scatterWorkload(m, cpu, 7, 250, 64));
+        }
+        m.engine().run();
+        return std::make_tuple(m.engine().now(), m.engine().eventsProcessed(),
+                               m.metrics().faults, m.metrics().swap_outs);
+      };
+      EXPECT_EQ(run(), run()) << toString(s) << "/" << toString(p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nwc::machine

@@ -1,0 +1,99 @@
+// Rng: determinism, stream independence, distribution sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/random.hpp"
+
+namespace nwc::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsIndependentAndReproducible) {
+  Rng base(77);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  Rng f1b = Rng(77).fork(1);
+  EXPECT_EQ(f1.next(), f1b.next());
+  EXPECT_NE(f1.next(), f2.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng r(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(11);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo |= v == -3;
+    hi |= v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(12);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng r(14);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Splitmix, KnownGoodProgression) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+}
+
+}  // namespace
+}  // namespace nwc::sim

@@ -1,0 +1,141 @@
+// Remote-memory paging baseline (Felten & Zahorjan [3]) — the related work
+// the paper argues cannot help balanced out-of-core multiprocessors.
+#include <gtest/gtest.h>
+
+#include "apps/runner.hpp"
+#include "machine/machine.hpp"
+
+namespace nwc::machine {
+namespace {
+
+using sim::PageId;
+using sim::Task;
+
+MachineConfig remoteConfig(Prefetch pf) {
+  MachineConfig c;
+  c.withSystem(SystemKind::kRemoteMemory, pf);
+  c.memory_per_node = 32 * 1024;  // 8 frames
+  c.min_free_frames = 2;
+  return c;
+}
+
+Task<> dirtySweep(Machine& m, int cpu, PageId lo, PageId hi) {
+  for (PageId p = lo; p < hi; ++p) {
+    co_await m.access(cpu, static_cast<std::uint64_t>(p) * 4096, true);
+    m.compute(cpu, 50);
+  }
+  co_await m.fence(cpu);
+  m.cpuDone(cpu);
+}
+
+TEST(RemoteMemory, ImbalancedLoadUsesDonorFrames) {
+  // Only node 0 works: every other node has spare frames, so its swap-outs
+  // park remotely instead of paying a disk write.
+  Machine m(remoteConfig(Prefetch::kOptimal));
+  m.allocRegion(64 * 4096);
+  m.start();
+  m.engine().spawn(dirtySweep(m, 0, 0, 32));
+  m.engine().run();
+  EXPECT_GT(m.metrics().remote_stores, 0u);
+  EXPECT_EQ(m.metrics().remote_fallbacks, 0u);  // donors were always available
+  EXPECT_TRUE(m.checkInvariants().empty());
+}
+
+TEST(RemoteMemory, ImbalancedSwapOutsAreFast) {
+  Machine remote(remoteConfig(Prefetch::kOptimal));
+  MachineConfig std_cfg = remoteConfig(Prefetch::kOptimal);
+  std_cfg.system = SystemKind::kStandard;
+  Machine standard(std_cfg);
+  for (Machine* m : {&remote, &standard}) {
+    m->allocRegion(64 * 4096);
+    m->start();
+    m->engine().spawn(dirtySweep(*m, 0, 0, 32));
+    m->engine().run();
+    ASSERT_GT(m->metrics().swap_out_ticks.count(), 0u);
+  }
+  // A mesh hop (~10 Kpc) beats a disk write (~Mpc) handily.
+  EXPECT_LT(remote.metrics().swap_out_ticks.mean() * 10.0,
+            standard.metrics().swap_out_ticks.mean());
+}
+
+TEST(RemoteMemory, RemoteFaultComesBackDirtyFromDonor) {
+  Machine m(remoteConfig(Prefetch::kNaive));
+  m.allocRegion(64 * 4096);
+  m.start();
+  auto workload = [&]() -> Task<> {
+    for (PageId p = 0; p < 16; ++p) {
+      co_await m.access(0, static_cast<std::uint64_t>(p) * 4096, true);
+    }
+    co_await m.access(0, 0, false);  // page 0 was parked remotely
+    co_await m.fence(0);
+    m.cpuDone(0);
+  };
+  m.engine().spawn(workload());
+  m.engine().run();
+  EXPECT_GT(m.metrics().remote_fetches, 0u);
+  EXPECT_EQ(m.pageTable().entry(0).state, vm::PageState::kResident);
+  EXPECT_TRUE(m.checkInvariants().empty());
+}
+
+TEST(RemoteMemory, BalancedLoadFallsBackToDisk) {
+  // The paper's argument: with every node computing, nobody has spare
+  // memory, so remote paging degenerates to disk swapping.
+  Machine m(remoteConfig(Prefetch::kOptimal));
+  m.allocRegion(256 * 4096);
+  m.start();
+  for (int cpu = 0; cpu < 8; ++cpu) {
+    m.engine().spawn(dirtySweep(m, cpu, cpu * 32, cpu * 32 + 32));
+  }
+  m.engine().run();
+  EXPECT_GT(m.metrics().remote_fallbacks, 0u);
+  // Any pages that did park remotely get evicted onward under pressure.
+  EXPECT_TRUE(m.checkInvariants().empty());
+  EXPECT_EQ(m.pageTable().countInState(vm::PageState::kTransit), 0);
+  EXPECT_EQ(m.pageTable().countInState(vm::PageState::kSwapping), 0);
+}
+
+TEST(RemoteMemory, DonorsEvictGuestsBeforeOwnPages) {
+  Machine m(remoteConfig(Prefetch::kOptimal));
+  m.allocRegion(128 * 4096);
+  m.start();
+  auto phase1 = [&]() -> Task<> {
+    // Node 0 floods donors with guests...
+    for (PageId p = 0; p < 24; ++p) {
+      co_await m.access(0, static_cast<std::uint64_t>(p) * 4096, true);
+    }
+    co_await m.fence(0);
+    m.cpuDone(0);
+  };
+  auto phase2 = [&]() -> Task<> {
+    // ... then node 1 needs its own memory back.
+    co_await m.engine().delay(50'000'000);
+    for (PageId p = 64; p < 88; ++p) {
+      co_await m.access(1, static_cast<std::uint64_t>(p) * 4096, true);
+    }
+    co_await m.fence(1);
+    m.cpuDone(1);
+  };
+  m.engine().spawn(phase1());
+  m.engine().spawn(phase2());
+  m.engine().run();
+  if (m.metrics().remote_stores > 0) {
+    EXPECT_GT(m.metrics().remote_evictions + m.metrics().remote_fetches, 0u);
+  }
+  EXPECT_TRUE(m.checkInvariants().empty());
+}
+
+TEST(RemoteMemory, AppsVerifyOnRemoteMachine) {
+  for (const char* app : {"sor", "radix"}) {
+    MachineConfig cfg = remoteConfig(Prefetch::kNaive);
+    const apps::RunSummary s = apps::runApp(cfg, app, 0.2);
+    EXPECT_TRUE(s.verified) << app;
+    EXPECT_EQ(s.invariant_violations, "") << app;
+  }
+}
+
+TEST(RemoteMemory, EnumRoundTrip) {
+  EXPECT_STREQ(toString(SystemKind::kRemoteMemory), "remote");
+}
+
+}  // namespace
+}  // namespace nwc::machine

@@ -1,0 +1,99 @@
+// TimeSeries: sampling, decimation, statistics, sparkline rendering.
+#include <gtest/gtest.h>
+
+#include "machine/machine.hpp"
+#include "sim/timeseries.hpp"
+
+namespace nwc::sim {
+namespace {
+
+TEST(TimeSeries, BasicStats) {
+  TimeSeries ts;
+  ts.sample(0, 2.0);
+  ts.sample(10, 6.0);
+  ts.sample(20, 4.0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.minValue(), 2.0);
+  EXPECT_DOUBLE_EQ(ts.maxValue(), 6.0);
+  // Time-weighted: 2.0 for 10 ticks + 6.0 for 10 ticks over a 20-tick span.
+  EXPECT_DOUBLE_EQ(ts.timeWeightedMean(), 4.0);
+}
+
+TEST(TimeSeries, ValueAt) {
+  TimeSeries ts;
+  ts.sample(10, 1.0);
+  ts.sample(20, 2.0);
+  EXPECT_DOUBLE_EQ(ts.valueAt(5), 0.0);   // before first sample
+  EXPECT_DOUBLE_EQ(ts.valueAt(10), 1.0);
+  EXPECT_DOUBLE_EQ(ts.valueAt(15), 1.0);  // holds until the next sample
+  EXPECT_DOUBLE_EQ(ts.valueAt(20), 2.0);
+  EXPECT_DOUBLE_EQ(ts.valueAt(99), 2.0);
+}
+
+TEST(TimeSeries, DecimationBoundsMemory) {
+  TimeSeries ts(64);
+  for (Tick t = 0; t < 10000; ++t) ts.sample(t, static_cast<double>(t));
+  EXPECT_LE(ts.size(), 64u);
+  EXPECT_DOUBLE_EQ(ts.maxValue(), ts.points().back().second);
+}
+
+TEST(TimeSeries, SparklineShape) {
+  TimeSeries ts;
+  for (Tick t = 0; t <= 100; ++t) {
+    ts.sample(t, t < 50 ? 0.0 : 10.0);  // step function
+  }
+  const std::string s = ts.sparkline(10);
+  ASSERT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.front(), ' ');  // low half
+  EXPECT_EQ(s.back(), '@');   // high half at peak level
+}
+
+TEST(TimeSeries, SparklineEmptyIsBlank) {
+  TimeSeries ts;
+  EXPECT_EQ(ts.sparkline(8), "        ");
+}
+
+TEST(TimeSeries, SingletonSeries) {
+  TimeSeries ts;
+  ts.sample(5, 3.0);
+  EXPECT_DOUBLE_EQ(ts.timeWeightedMean(), 3.0);
+  EXPECT_EQ(ts.sparkline(4).size(), 4u);
+}
+
+TEST(MachineTimeline, SamplesDuringRun) {
+  machine::MachineConfig cfg;
+  cfg.withSystem(machine::SystemKind::kNWCache, machine::Prefetch::kOptimal);
+  cfg.memory_per_node = 32 * 1024;
+  cfg.min_free_frames = 2;
+  machine::Machine m(cfg);
+  m.enableTimeline();
+  m.allocRegion(64 * 4096);
+  m.start();
+  auto workload = [&]() -> Task<> {
+    for (PageId p = 0; p < 48; ++p) {
+      co_await m.access(0, static_cast<std::uint64_t>(p) * 4096, true);
+    }
+    co_await m.fence(0);
+    m.cpuDone(0);
+  };
+  m.engine().spawn(workload());
+  m.engine().run();
+
+  const auto* tl = m.timeline();
+  ASSERT_NE(tl, nullptr);
+  EXPECT_GT(tl->free_frames.size(), 0u);
+  EXPECT_GT(tl->ring_occupancy.maxValue(), 0.0);  // pages passed over the ring
+  EXPECT_DOUBLE_EQ(tl->ring_occupancy.points().back().second, 0.0);  // drained
+  // Free frames never exceed the machine total.
+  EXPECT_LE(tl->free_frames.maxValue(),
+            static_cast<double>(cfg.num_nodes * cfg.framesPerNode()));
+}
+
+TEST(MachineTimeline, DisabledByDefault) {
+  machine::MachineConfig cfg;
+  machine::Machine m(cfg);
+  EXPECT_EQ(m.timeline(), nullptr);
+}
+
+}  // namespace
+}  // namespace nwc::sim

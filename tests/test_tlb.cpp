@@ -1,0 +1,71 @@
+// Tlb: LRU translations, shootdown invalidation.
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hpp"
+
+namespace nwc::mem {
+namespace {
+
+TEST(Tlb, MissThenHit) {
+  Tlb t(4);
+  EXPECT_FALSE(t.lookup(7));
+  t.insert(7);
+  EXPECT_TRUE(t.lookup(7));
+}
+
+TEST(Tlb, LruEvictionAtCapacity) {
+  Tlb t(2);
+  t.insert(1);
+  t.insert(2);
+  EXPECT_TRUE(t.lookup(1));  // refresh 1 -> 2 is LRU
+  t.insert(3);
+  EXPECT_TRUE(t.lookup(1));
+  EXPECT_FALSE(t.lookup(2));
+  EXPECT_TRUE(t.lookup(3));
+}
+
+TEST(Tlb, InsertExistingRefreshes) {
+  Tlb t(2);
+  t.insert(1);
+  t.insert(2);
+  t.insert(1);  // refresh, no growth
+  EXPECT_EQ(t.size(), 2);
+  t.insert(3);  // evicts 2
+  EXPECT_FALSE(t.lookup(2));
+}
+
+TEST(Tlb, InvalidateRemovesEntry) {
+  Tlb t(4);
+  t.insert(5);
+  EXPECT_TRUE(t.invalidate(5));
+  EXPECT_FALSE(t.invalidate(5));
+  EXPECT_FALSE(t.lookup(5));
+}
+
+TEST(Tlb, FlushEmptiesAll) {
+  Tlb t(4);
+  t.insert(1);
+  t.insert(2);
+  t.flush();
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_FALSE(t.lookup(1));
+}
+
+TEST(Tlb, HitStats) {
+  Tlb t(4);
+  t.lookup(1);
+  t.insert(1);
+  t.lookup(1);
+  EXPECT_EQ(t.hitStats().total(), 2u);
+  EXPECT_EQ(t.hitStats().hits(), 1u);
+}
+
+TEST(Tlb, CapacityRespected) {
+  Tlb t(64);
+  for (sim::PageId p = 0; p < 200; ++p) t.insert(p);
+  EXPECT_EQ(t.size(), 64);
+  EXPECT_EQ(t.capacity(), 64);
+}
+
+}  // namespace
+}  // namespace nwc::mem

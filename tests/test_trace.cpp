@@ -1,0 +1,100 @@
+// TraceBuffer + machine trace hooks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "apps/runner.hpp"
+#include "machine/machine.hpp"
+#include "machine/trace.hpp"
+
+namespace nwc::machine {
+namespace {
+
+TEST(TraceBuffer, RecordsAndCounts) {
+  TraceBuffer t;
+  t.record({100, 10, 5, 0, TraceKind::kFaultDiskHit});
+  t.record({200, 0, 6, 1, TraceKind::kNack});
+  t.record({300, 20, 7, 2, TraceKind::kFaultDiskHit});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.count(TraceKind::kFaultDiskHit), 2u);
+  EXPECT_EQ(t.count(TraceKind::kNack), 1u);
+  EXPECT_EQ(t.count(TraceKind::kSwapOutRing), 0u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TraceBuffer, CsvDump) {
+  TraceBuffer t;
+  t.record({100, 10, 5, 0, TraceKind::kSwapOutRing});
+  const std::string path = "/tmp/nwc_trace_test.csv";
+  t.dumpCsv(path);
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "at,latency,page,node,kind");
+  EXPECT_EQ(row, "100,10,5,0,swap_out_ring");
+  std::remove(path.c_str());
+}
+
+TEST(TraceBuffer, KindNames) {
+  EXPECT_STREQ(toString(TraceKind::kFaultDiskHit), "fault_disk_hit");
+  EXPECT_STREQ(toString(TraceKind::kFaultDiskMiss), "fault_disk_miss");
+  EXPECT_STREQ(toString(TraceKind::kFaultRingHit), "fault_ring_hit");
+  EXPECT_STREQ(toString(TraceKind::kSwapOutDisk), "swap_out_disk");
+  EXPECT_STREQ(toString(TraceKind::kSwapOutRing), "swap_out_ring");
+  EXPECT_STREQ(toString(TraceKind::kCleanEviction), "clean_eviction");
+  EXPECT_STREQ(toString(TraceKind::kNack), "nack");
+}
+
+TEST(TraceIntegration, EventsMatchMetrics) {
+  MachineConfig cfg;
+  cfg.withSystem(SystemKind::kNWCache, Prefetch::kNaive);
+  cfg.memory_per_node = 32 * 1024;
+  cfg.min_free_frames = 2;
+  TraceBuffer trace;
+  const apps::RunSummary s = apps::runApp(cfg, "sor", 0.25, &trace);
+  ASSERT_TRUE(s.verified);
+
+  const std::size_t faults = trace.count(TraceKind::kFaultDiskHit) +
+                             trace.count(TraceKind::kFaultDiskMiss) +
+                             trace.count(TraceKind::kFaultRingHit);
+  EXPECT_EQ(faults, s.metrics.faults);
+  EXPECT_EQ(trace.count(TraceKind::kFaultRingHit), s.metrics.ring_read_hits.hits());
+  EXPECT_EQ(trace.count(TraceKind::kSwapOutRing) + trace.count(TraceKind::kSwapOutDisk),
+            s.metrics.swap_outs);
+  EXPECT_EQ(trace.count(TraceKind::kSwapOutDisk), 0u);  // ring machine
+  EXPECT_EQ(trace.count(TraceKind::kCleanEviction), s.metrics.clean_evictions);
+  EXPECT_EQ(trace.count(TraceKind::kNack), s.metrics.nacks);
+}
+
+TEST(TraceIntegration, StandardMachineUsesDiskPath) {
+  MachineConfig cfg;
+  cfg.withSystem(SystemKind::kStandard, Prefetch::kOptimal);
+  cfg.memory_per_node = 32 * 1024;
+  cfg.min_free_frames = 4;
+  TraceBuffer trace;
+  const apps::RunSummary s = apps::runApp(cfg, "sor", 0.25, &trace);
+  ASSERT_TRUE(s.verified);
+  EXPECT_EQ(trace.count(TraceKind::kSwapOutRing), 0u);
+  EXPECT_EQ(trace.count(TraceKind::kFaultRingHit), 0u);
+  EXPECT_GT(trace.count(TraceKind::kSwapOutDisk), 0u);
+}
+
+TEST(TraceIntegration, EventsAreTimeOrderedWithinRun) {
+  MachineConfig cfg;
+  cfg.withSystem(SystemKind::kNWCache, Prefetch::kOptimal);
+  cfg.memory_per_node = 32 * 1024;
+  cfg.min_free_frames = 2;
+  TraceBuffer trace;
+  (void)apps::runApp(cfg, "radix", 0.1, &trace);
+  sim::Tick prev = 0;
+  for (const auto& e : trace.events()) {
+    EXPECT_GE(e.at, prev);
+    prev = e.at;
+  }
+}
+
+}  // namespace
+}  // namespace nwc::machine

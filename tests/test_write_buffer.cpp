@@ -1,0 +1,59 @@
+// WriteBuffer: coalescing, occupancy pruning, full detection.
+#include <gtest/gtest.h>
+
+#include "mem/write_buffer.hpp"
+
+namespace nwc::mem {
+namespace {
+
+TEST(WriteBuffer, StartsEmpty) {
+  WriteBuffer wb(4);
+  EXPECT_FALSE(wb.full(0));
+  EXPECT_EQ(wb.occupancy(), 0);
+  EXPECT_EQ(wb.earliestCompletion(), sim::kTickMax);
+}
+
+TEST(WriteBuffer, FillsToCapacity) {
+  WriteBuffer wb(2);
+  wb.insert(0, 1, 100);
+  wb.insert(0, 2, 200);
+  EXPECT_TRUE(wb.full(0));
+  EXPECT_EQ(wb.occupancy(), 2);
+  EXPECT_EQ(wb.earliestCompletion(), 100u);
+}
+
+TEST(WriteBuffer, PruneDropsCompleted) {
+  WriteBuffer wb(2);
+  wb.insert(0, 1, 100);
+  wb.insert(0, 2, 200);
+  EXPECT_FALSE(wb.full(100));  // entry for line 1 drained
+  EXPECT_EQ(wb.occupancy(), 1);
+}
+
+TEST(WriteBuffer, CoalescesSameLine) {
+  WriteBuffer wb(2);
+  wb.insert(0, 7, 100);
+  EXPECT_TRUE(wb.coalesces(0, 7));
+  wb.insert(0, 7, 0);  // merges, no new entry
+  EXPECT_EQ(wb.occupancy(), 1);
+  EXPECT_EQ(wb.coalescedWrites(), 1u);
+  EXPECT_EQ(wb.totalWrites(), 2u);
+}
+
+TEST(WriteBuffer, CoalesceWindowClosesAfterDrain) {
+  WriteBuffer wb(2);
+  wb.insert(0, 7, 100);
+  EXPECT_FALSE(wb.coalesces(150, 7));  // already drained by t=150
+}
+
+TEST(WriteBuffer, RefillsAfterDrain) {
+  WriteBuffer wb(1);
+  wb.insert(0, 1, 50);
+  EXPECT_TRUE(wb.full(0));
+  wb.insert(60, 2, 120);
+  EXPECT_TRUE(wb.full(60));
+  EXPECT_EQ(wb.earliestCompletion(), 120u);
+}
+
+}  // namespace
+}  // namespace nwc::mem

@@ -1,0 +1,51 @@
+// nwcbatch: run an experiment grid described by an INI file.
+//
+//   nwcbatch experiments.ini
+//
+//   # experiments.ini
+//   [machine]
+//   memory_per_node = 262144
+//   [batch]
+//   apps = sor, mg
+//   systems = standard, nwcache, dcd
+//   prefetch = optimal, naive
+//   seeds = 1, 2, 3
+//   scale = 1.0
+//   csv = grid.csv
+//   jsonl = grid.jsonl
+#include <cstdio>
+#include <iostream>
+
+#include "apps/batch.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nwc;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: nwcbatch <experiments.ini>\n");
+    return 2;
+  }
+  try {
+    const auto spec = apps::BatchSpec::fromIni(util::IniFile::load(argv[1]));
+    std::printf("running %zu configurations at scale %.2f\n", spec.runCount(),
+                spec.scale);
+    const apps::BatchResult res = apps::runBatch(spec, &std::cerr);
+
+    util::AsciiTable t({"App", "System", "Prefetch", "Seed", "Exec (Mpc)",
+                        "Faults", "Swap-outs", "OK"});
+    for (const auto& s : res.runs) {
+      t.addRow({s.app, machine::toString(s.cfg.system),
+                machine::toString(s.cfg.prefetch), std::to_string(s.cfg.seed),
+                util::AsciiTable::fmt(static_cast<double>(s.exec_time) / 1e6),
+                std::to_string(s.metrics.faults), std::to_string(s.metrics.swap_outs),
+                s.ok() ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+    if (!spec.csv_path.empty()) std::printf("csv: %s\n", spec.csv_path.c_str());
+    if (!spec.jsonl_path.empty()) std::printf("jsonl: %s\n", spec.jsonl_path.c_str());
+    return res.all_ok ? 0 : 1;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "nwcbatch: %s\n", ex.what());
+    return 2;
+  }
+}

@@ -1,0 +1,166 @@
+// nwcsim: the command-line driver.
+//
+//   nwcsim --app=gauss [--scale=1.0] [--system=standard|nwcache|dcd]
+//          [--prefetch=optimal|naive] [--config=machine.ini]
+//          [--set machine.key=value ...] [--trace=trace.csv]
+//          [--json] [--dump-config]
+//
+// Runs one application on one machine and reports the metrics the paper's
+// evaluation uses, as a table or as JSON.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/batch.hpp"
+#include "apps/runner.hpp"
+#include "machine/config_io.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::printf(
+      "usage: nwcsim --app=NAME [options]\n"
+      "  --app=NAME            em3d|fft|gauss|lu|mg|radix|sor\n"
+      "  --scale=F             input scale in (0,1], default 1.0\n"
+      "  --system=KIND         standard|nwcache|dcd|remote (default standard)\n"
+      "  --prefetch=POLICY     optimal|naive (default optimal)\n"
+      "  --minfree=N           override the min-free-frames reserve\n"
+      "  --config=FILE         load a [machine] INI section\n"
+      "  --set K=V             override one machine key (repeatable)\n"
+      "  --trace=FILE          dump the page-event trace as CSV\n"
+      "  --json                emit the run summary as JSON\n"
+      "  --dump-config         print the effective config as INI and exit\n");
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nwc;
+
+  std::string app;
+  double scale = 1.0;
+  std::string trace_path;
+  bool as_json = false;
+  bool dump_config = false;
+  bool minfree_overridden = false;
+  bool system_set = false, prefetch_set = false;
+
+  machine::MachineConfig cfg;
+
+  std::vector<std::string> overrides;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&](const char* prefix) { return a.substr(std::strlen(prefix)); };
+    try {
+      if (a.rfind("--app=", 0) == 0) {
+        app = val("--app=");
+      } else if (a.rfind("--scale=", 0) == 0) {
+        scale = std::atof(val("--scale=").c_str());
+      } else if (a.rfind("--system=", 0) == 0) {
+        cfg.system = machine::systemKindFromString(val("--system="));
+        system_set = true;
+      } else if (a.rfind("--prefetch=", 0) == 0) {
+        cfg.prefetch = machine::prefetchFromString(val("--prefetch="));
+        prefetch_set = true;
+      } else if (a.rfind("--minfree=", 0) == 0) {
+        cfg.min_free_frames = std::atoi(val("--minfree=").c_str());
+        minfree_overridden = true;
+      } else if (a.rfind("--config=", 0) == 0) {
+        machine::applyIni(util::IniFile::load(val("--config=")), cfg);
+        minfree_overridden = true;  // the file's value wins
+      } else if (a.rfind("--set", 0) == 0) {
+        if (a == "--set" && i + 1 < argc) {
+          overrides.push_back(argv[++i]);
+        } else if (a.rfind("--set=", 0) == 0) {
+          overrides.push_back(val("--set="));
+        } else {
+          usage(2);
+        }
+      } else if (a.rfind("--trace=", 0) == 0) {
+        trace_path = val("--trace=");
+      } else if (a == "--json") {
+        as_json = true;
+      } else if (a == "--dump-config") {
+        dump_config = true;
+      } else if (a == "--help" || a == "-h") {
+        usage(0);
+      } else {
+        std::fprintf(stderr, "nwcsim: unknown flag %s\n", a.c_str());
+        usage(2);
+      }
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "nwcsim: %s\n", ex.what());
+      return 2;
+    }
+  }
+
+  try {
+    if (!overrides.empty()) {
+      util::IniFile ini;
+      for (const auto& kv : overrides) {
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos) usage(2);
+        std::string key = util::trim(kv.substr(0, eq));
+        if (key.rfind("machine.", 0) != 0) key = "machine." + key;
+        ini.set(key, util::trim(kv.substr(eq + 1)));
+      }
+      machine::applyIni(ini, cfg);
+      minfree_overridden = true;
+    }
+    if ((system_set || prefetch_set) && !minfree_overridden) {
+      cfg.min_free_frames = machine::MachineConfig::bestMinFree(cfg.system, cfg.prefetch);
+    }
+
+    if (dump_config) {
+      std::fputs(machine::toIni(cfg).serialize().c_str(), stdout);
+      return 0;
+    }
+    if (app.empty()) usage(2);
+
+    machine::TraceBuffer trace;
+    const apps::RunSummary s =
+        apps::runApp(cfg, app, scale, trace_path.empty() ? nullptr : &trace);
+    if (!trace_path.empty()) trace.dumpCsv(trace_path);
+
+    const auto& m = s.metrics;
+    if (as_json) {
+      std::printf("%s\n", apps::summaryJson(s, scale).c_str());
+    } else {
+      std::printf("%s on %s, scale %.2f\n", s.app.c_str(), cfg.describe().c_str(),
+                  scale);
+      util::AsciiTable t({"Metric", "Value"});
+      auto row = [&](const char* k, const std::string& v) { t.addRow({k, v}); };
+      row("verified", s.verified ? "yes" : "NO");
+      row("invariants", s.invariant_violations.empty() ? "ok" : "VIOLATED");
+      row("execution (Mpcycles)", util::AsciiTable::fmt(s.exec_time / 1e6, 1));
+      row("page faults", std::to_string(m.faults));
+      row("swap-outs", std::to_string(m.swap_outs));
+      row("clean evictions", std::to_string(m.clean_evictions));
+      row("NACKs", std::to_string(m.nacks));
+      row("avg swap-out (Kpcycles)", util::AsciiTable::fmt(m.swap_out_ticks.mean() / 1e3));
+      row("avg fault (Kpcycles)", util::AsciiTable::fmt(m.fault_ticks.mean() / 1e3));
+      row("write combining", util::AsciiTable::fmt(m.write_combining.mean(), 2));
+      row("ring hit rate", util::AsciiTable::fmtPct(m.ring_read_hits.rate()));
+      row("NoFree (Mpcycles)", util::AsciiTable::fmt(m.totalNoFree() / 1e6));
+      row("Transit (Mpcycles)", util::AsciiTable::fmt(m.totalTransit() / 1e6));
+      row("Fault (Mpcycles)", util::AsciiTable::fmt(m.totalFault() / 1e6));
+      row("TLB (Mpcycles)", util::AsciiTable::fmt(m.totalTlb() / 1e6));
+      row("Other (Mpcycles)", util::AsciiTable::fmt(m.totalOther() / 1e6));
+      t.print(std::cout);
+      if (!trace_path.empty()) {
+        std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                    trace.size());
+      }
+    }
+    return s.ok() ? 0 : 1;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "nwcsim: %s\n", ex.what());
+    return 2;
+  }
+}
