@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_dcd.dir/baseline_dcd.cpp.o"
+  "CMakeFiles/baseline_dcd.dir/baseline_dcd.cpp.o.d"
+  "baseline_dcd"
+  "baseline_dcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_dcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_breakdown_optimal.cpp" "bench/CMakeFiles/fig3_breakdown_optimal.dir/fig3_breakdown_optimal.cpp.o" "gcc" "bench/CMakeFiles/fig3_breakdown_optimal.dir/fig3_breakdown_optimal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/nwcache_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

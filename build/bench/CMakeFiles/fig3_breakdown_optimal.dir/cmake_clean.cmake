@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_breakdown_optimal.dir/fig3_breakdown_optimal.cpp.o"
+  "CMakeFiles/fig3_breakdown_optimal.dir/fig3_breakdown_optimal.cpp.o.d"
+  "fig3_breakdown_optimal"
+  "fig3_breakdown_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_breakdown_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

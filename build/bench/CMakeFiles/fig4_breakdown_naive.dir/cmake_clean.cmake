@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_breakdown_naive.dir/fig4_breakdown_naive.cpp.o"
+  "CMakeFiles/fig4_breakdown_naive.dir/fig4_breakdown_naive.cpp.o.d"
+  "fig4_breakdown_naive"
+  "fig4_breakdown_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_breakdown_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwcache_bench_common.dir/common.cpp.o"
+  "CMakeFiles/nwcache_bench_common.dir/common.cpp.o.d"
+  "libnwcache_bench_common.a"
+  "libnwcache_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwcache_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

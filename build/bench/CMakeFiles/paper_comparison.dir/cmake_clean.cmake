@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_comparison.dir/paper_comparison.cpp.o"
+  "CMakeFiles/paper_comparison.dir/paper_comparison.cpp.o.d"
+  "paper_comparison"
+  "paper_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

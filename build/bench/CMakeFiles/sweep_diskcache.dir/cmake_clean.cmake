@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_diskcache.dir/sweep_diskcache.cpp.o"
+  "CMakeFiles/sweep_diskcache.dir/sweep_diskcache.cpp.o.d"
+  "sweep_diskcache"
+  "sweep_diskcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_diskcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

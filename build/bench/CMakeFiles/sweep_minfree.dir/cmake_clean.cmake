@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_minfree.dir/sweep_minfree.cpp.o"
+  "CMakeFiles/sweep_minfree.dir/sweep_minfree.cpp.o.d"
+  "sweep_minfree"
+  "sweep_minfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_minfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

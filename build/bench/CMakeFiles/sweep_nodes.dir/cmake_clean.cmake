@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_nodes.dir/sweep_nodes.cpp.o"
+  "CMakeFiles/sweep_nodes.dir/sweep_nodes.cpp.o.d"
+  "sweep_nodes"
+  "sweep_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

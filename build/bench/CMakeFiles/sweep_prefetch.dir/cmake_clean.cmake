@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_prefetch.dir/sweep_prefetch.cpp.o"
+  "CMakeFiles/sweep_prefetch.dir/sweep_prefetch.cpp.o.d"
+  "sweep_prefetch"
+  "sweep_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

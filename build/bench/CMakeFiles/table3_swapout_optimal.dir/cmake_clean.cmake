@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_swapout_optimal.dir/table3_swapout_optimal.cpp.o"
+  "CMakeFiles/table3_swapout_optimal.dir/table3_swapout_optimal.cpp.o.d"
+  "table3_swapout_optimal"
+  "table3_swapout_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_swapout_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

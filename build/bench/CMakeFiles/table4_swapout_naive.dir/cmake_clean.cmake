@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_swapout_naive.dir/table4_swapout_naive.cpp.o"
+  "CMakeFiles/table4_swapout_naive.dir/table4_swapout_naive.cpp.o.d"
+  "table4_swapout_naive"
+  "table4_swapout_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_swapout_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_combining_optimal.dir/table5_combining_optimal.cpp.o"
+  "CMakeFiles/table5_combining_optimal.dir/table5_combining_optimal.cpp.o.d"
+  "table5_combining_optimal"
+  "table5_combining_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_combining_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

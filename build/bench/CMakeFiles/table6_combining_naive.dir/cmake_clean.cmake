@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_combining_naive.dir/table6_combining_naive.cpp.o"
+  "CMakeFiles/table6_combining_naive.dir/table6_combining_naive.cpp.o.d"
+  "table6_combining_naive"
+  "table6_combining_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_combining_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_ring_hitrates.dir/table7_ring_hitrates.cpp.o"
+  "CMakeFiles/table7_ring_hitrates.dir/table7_ring_hitrates.cpp.o.d"
+  "table7_ring_hitrates"
+  "table7_ring_hitrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_ring_hitrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_fault_latency.dir/table8_fault_latency.cpp.o"
+  "CMakeFiles/table8_fault_latency.dir/table8_fault_latency.cpp.o.d"
+  "table8_fault_latency"
+  "table8_fault_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_fault_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstiness_timeline.dir/burstiness_timeline.cpp.o"
+  "CMakeFiles/burstiness_timeline.dir/burstiness_timeline.cpp.o.d"
+  "burstiness_timeline"
+  "burstiness_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstiness_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_sizing_study.dir/ring_sizing_study.cpp.o"
+  "CMakeFiles/ring_sizing_study.dir/ring_sizing_study.cpp.o.d"
+  "ring_sizing_study"
+  "ring_sizing_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_sizing_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

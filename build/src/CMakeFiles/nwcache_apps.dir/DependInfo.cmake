@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/batch.cpp" "src/CMakeFiles/nwcache_apps.dir/apps/batch.cpp.o" "gcc" "src/CMakeFiles/nwcache_apps.dir/apps/batch.cpp.o.d"
+  "/root/repo/src/apps/em3d.cpp" "src/CMakeFiles/nwcache_apps.dir/apps/em3d.cpp.o" "gcc" "src/CMakeFiles/nwcache_apps.dir/apps/em3d.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/CMakeFiles/nwcache_apps.dir/apps/fft.cpp.o" "gcc" "src/CMakeFiles/nwcache_apps.dir/apps/fft.cpp.o.d"
+  "/root/repo/src/apps/gauss.cpp" "src/CMakeFiles/nwcache_apps.dir/apps/gauss.cpp.o" "gcc" "src/CMakeFiles/nwcache_apps.dir/apps/gauss.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/CMakeFiles/nwcache_apps.dir/apps/lu.cpp.o" "gcc" "src/CMakeFiles/nwcache_apps.dir/apps/lu.cpp.o.d"
+  "/root/repo/src/apps/mg.cpp" "src/CMakeFiles/nwcache_apps.dir/apps/mg.cpp.o" "gcc" "src/CMakeFiles/nwcache_apps.dir/apps/mg.cpp.o.d"
+  "/root/repo/src/apps/radix.cpp" "src/CMakeFiles/nwcache_apps.dir/apps/radix.cpp.o" "gcc" "src/CMakeFiles/nwcache_apps.dir/apps/radix.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/CMakeFiles/nwcache_apps.dir/apps/registry.cpp.o" "gcc" "src/CMakeFiles/nwcache_apps.dir/apps/registry.cpp.o.d"
+  "/root/repo/src/apps/runner.cpp" "src/CMakeFiles/nwcache_apps.dir/apps/runner.cpp.o" "gcc" "src/CMakeFiles/nwcache_apps.dir/apps/runner.cpp.o.d"
+  "/root/repo/src/apps/sor.cpp" "src/CMakeFiles/nwcache_apps.dir/apps/sor.cpp.o" "gcc" "src/CMakeFiles/nwcache_apps.dir/apps/sor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nwcache_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

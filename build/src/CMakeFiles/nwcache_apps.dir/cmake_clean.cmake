@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwcache_apps.dir/apps/batch.cpp.o"
+  "CMakeFiles/nwcache_apps.dir/apps/batch.cpp.o.d"
+  "CMakeFiles/nwcache_apps.dir/apps/em3d.cpp.o"
+  "CMakeFiles/nwcache_apps.dir/apps/em3d.cpp.o.d"
+  "CMakeFiles/nwcache_apps.dir/apps/fft.cpp.o"
+  "CMakeFiles/nwcache_apps.dir/apps/fft.cpp.o.d"
+  "CMakeFiles/nwcache_apps.dir/apps/gauss.cpp.o"
+  "CMakeFiles/nwcache_apps.dir/apps/gauss.cpp.o.d"
+  "CMakeFiles/nwcache_apps.dir/apps/lu.cpp.o"
+  "CMakeFiles/nwcache_apps.dir/apps/lu.cpp.o.d"
+  "CMakeFiles/nwcache_apps.dir/apps/mg.cpp.o"
+  "CMakeFiles/nwcache_apps.dir/apps/mg.cpp.o.d"
+  "CMakeFiles/nwcache_apps.dir/apps/radix.cpp.o"
+  "CMakeFiles/nwcache_apps.dir/apps/radix.cpp.o.d"
+  "CMakeFiles/nwcache_apps.dir/apps/registry.cpp.o"
+  "CMakeFiles/nwcache_apps.dir/apps/registry.cpp.o.d"
+  "CMakeFiles/nwcache_apps.dir/apps/runner.cpp.o"
+  "CMakeFiles/nwcache_apps.dir/apps/runner.cpp.o.d"
+  "CMakeFiles/nwcache_apps.dir/apps/sor.cpp.o"
+  "CMakeFiles/nwcache_apps.dir/apps/sor.cpp.o.d"
+  "libnwcache_apps.a"
+  "libnwcache_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwcache_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/disk.cpp" "src/CMakeFiles/nwcache_io.dir/io/disk.cpp.o" "gcc" "src/CMakeFiles/nwcache_io.dir/io/disk.cpp.o.d"
+  "/root/repo/src/io/disk_cache.cpp" "src/CMakeFiles/nwcache_io.dir/io/disk_cache.cpp.o" "gcc" "src/CMakeFiles/nwcache_io.dir/io/disk_cache.cpp.o.d"
+  "/root/repo/src/io/log_disk.cpp" "src/CMakeFiles/nwcache_io.dir/io/log_disk.cpp.o" "gcc" "src/CMakeFiles/nwcache_io.dir/io/log_disk.cpp.o.d"
+  "/root/repo/src/io/pfs.cpp" "src/CMakeFiles/nwcache_io.dir/io/pfs.cpp.o" "gcc" "src/CMakeFiles/nwcache_io.dir/io/pfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nwcache_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwcache_io.dir/io/disk.cpp.o"
+  "CMakeFiles/nwcache_io.dir/io/disk.cpp.o.d"
+  "CMakeFiles/nwcache_io.dir/io/disk_cache.cpp.o"
+  "CMakeFiles/nwcache_io.dir/io/disk_cache.cpp.o.d"
+  "CMakeFiles/nwcache_io.dir/io/log_disk.cpp.o"
+  "CMakeFiles/nwcache_io.dir/io/log_disk.cpp.o.d"
+  "CMakeFiles/nwcache_io.dir/io/pfs.cpp.o"
+  "CMakeFiles/nwcache_io.dir/io/pfs.cpp.o.d"
+  "libnwcache_io.a"
+  "libnwcache_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwcache_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/access.cpp" "src/CMakeFiles/nwcache_machine.dir/machine/access.cpp.o" "gcc" "src/CMakeFiles/nwcache_machine.dir/machine/access.cpp.o.d"
+  "/root/repo/src/machine/config.cpp" "src/CMakeFiles/nwcache_machine.dir/machine/config.cpp.o" "gcc" "src/CMakeFiles/nwcache_machine.dir/machine/config.cpp.o.d"
+  "/root/repo/src/machine/config_io.cpp" "src/CMakeFiles/nwcache_machine.dir/machine/config_io.cpp.o" "gcc" "src/CMakeFiles/nwcache_machine.dir/machine/config_io.cpp.o.d"
+  "/root/repo/src/machine/fault.cpp" "src/CMakeFiles/nwcache_machine.dir/machine/fault.cpp.o" "gcc" "src/CMakeFiles/nwcache_machine.dir/machine/fault.cpp.o.d"
+  "/root/repo/src/machine/io_drive.cpp" "src/CMakeFiles/nwcache_machine.dir/machine/io_drive.cpp.o" "gcc" "src/CMakeFiles/nwcache_machine.dir/machine/io_drive.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/CMakeFiles/nwcache_machine.dir/machine/machine.cpp.o" "gcc" "src/CMakeFiles/nwcache_machine.dir/machine/machine.cpp.o.d"
+  "/root/repo/src/machine/metrics.cpp" "src/CMakeFiles/nwcache_machine.dir/machine/metrics.cpp.o" "gcc" "src/CMakeFiles/nwcache_machine.dir/machine/metrics.cpp.o.d"
+  "/root/repo/src/machine/swap.cpp" "src/CMakeFiles/nwcache_machine.dir/machine/swap.cpp.o" "gcc" "src/CMakeFiles/nwcache_machine.dir/machine/swap.cpp.o.d"
+  "/root/repo/src/machine/trace.cpp" "src/CMakeFiles/nwcache_machine.dir/machine/trace.cpp.o" "gcc" "src/CMakeFiles/nwcache_machine.dir/machine/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nwcache_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nwcache_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

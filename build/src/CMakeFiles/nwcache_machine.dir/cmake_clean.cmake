@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwcache_machine.dir/machine/access.cpp.o"
+  "CMakeFiles/nwcache_machine.dir/machine/access.cpp.o.d"
+  "CMakeFiles/nwcache_machine.dir/machine/config.cpp.o"
+  "CMakeFiles/nwcache_machine.dir/machine/config.cpp.o.d"
+  "CMakeFiles/nwcache_machine.dir/machine/config_io.cpp.o"
+  "CMakeFiles/nwcache_machine.dir/machine/config_io.cpp.o.d"
+  "CMakeFiles/nwcache_machine.dir/machine/fault.cpp.o"
+  "CMakeFiles/nwcache_machine.dir/machine/fault.cpp.o.d"
+  "CMakeFiles/nwcache_machine.dir/machine/io_drive.cpp.o"
+  "CMakeFiles/nwcache_machine.dir/machine/io_drive.cpp.o.d"
+  "CMakeFiles/nwcache_machine.dir/machine/machine.cpp.o"
+  "CMakeFiles/nwcache_machine.dir/machine/machine.cpp.o.d"
+  "CMakeFiles/nwcache_machine.dir/machine/metrics.cpp.o"
+  "CMakeFiles/nwcache_machine.dir/machine/metrics.cpp.o.d"
+  "CMakeFiles/nwcache_machine.dir/machine/swap.cpp.o"
+  "CMakeFiles/nwcache_machine.dir/machine/swap.cpp.o.d"
+  "CMakeFiles/nwcache_machine.dir/machine/trace.cpp.o"
+  "CMakeFiles/nwcache_machine.dir/machine/trace.cpp.o.d"
+  "libnwcache_machine.a"
+  "libnwcache_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwcache_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/nwcache_mem.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/nwcache_mem.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/directory.cpp" "src/CMakeFiles/nwcache_mem.dir/mem/directory.cpp.o" "gcc" "src/CMakeFiles/nwcache_mem.dir/mem/directory.cpp.o.d"
+  "/root/repo/src/mem/tlb.cpp" "src/CMakeFiles/nwcache_mem.dir/mem/tlb.cpp.o" "gcc" "src/CMakeFiles/nwcache_mem.dir/mem/tlb.cpp.o.d"
+  "/root/repo/src/mem/write_buffer.cpp" "src/CMakeFiles/nwcache_mem.dir/mem/write_buffer.cpp.o" "gcc" "src/CMakeFiles/nwcache_mem.dir/mem/write_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nwcache_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwcache_mem.dir/mem/cache.cpp.o"
+  "CMakeFiles/nwcache_mem.dir/mem/cache.cpp.o.d"
+  "CMakeFiles/nwcache_mem.dir/mem/directory.cpp.o"
+  "CMakeFiles/nwcache_mem.dir/mem/directory.cpp.o.d"
+  "CMakeFiles/nwcache_mem.dir/mem/tlb.cpp.o"
+  "CMakeFiles/nwcache_mem.dir/mem/tlb.cpp.o.d"
+  "CMakeFiles/nwcache_mem.dir/mem/write_buffer.cpp.o"
+  "CMakeFiles/nwcache_mem.dir/mem/write_buffer.cpp.o.d"
+  "libnwcache_mem.a"
+  "libnwcache_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwcache_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

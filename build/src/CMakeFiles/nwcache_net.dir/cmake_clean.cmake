@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwcache_net.dir/net/mesh.cpp.o"
+  "CMakeFiles/nwcache_net.dir/net/mesh.cpp.o.d"
+  "libnwcache_net.a"
+  "libnwcache_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwcache_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

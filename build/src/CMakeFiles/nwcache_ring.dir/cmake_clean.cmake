@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwcache_ring.dir/nwcache/interface.cpp.o"
+  "CMakeFiles/nwcache_ring.dir/nwcache/interface.cpp.o.d"
+  "CMakeFiles/nwcache_ring.dir/nwcache/optical_ring.cpp.o"
+  "CMakeFiles/nwcache_ring.dir/nwcache/optical_ring.cpp.o.d"
+  "libnwcache_ring.a"
+  "libnwcache_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwcache_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

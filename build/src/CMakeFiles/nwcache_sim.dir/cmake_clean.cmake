@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwcache_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/nwcache_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/nwcache_sim.dir/sim/fifo_server.cpp.o"
+  "CMakeFiles/nwcache_sim.dir/sim/fifo_server.cpp.o.d"
+  "CMakeFiles/nwcache_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/nwcache_sim.dir/sim/random.cpp.o.d"
+  "CMakeFiles/nwcache_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/nwcache_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/nwcache_sim.dir/sim/sync.cpp.o"
+  "CMakeFiles/nwcache_sim.dir/sim/sync.cpp.o.d"
+  "CMakeFiles/nwcache_sim.dir/sim/timeseries.cpp.o"
+  "CMakeFiles/nwcache_sim.dir/sim/timeseries.cpp.o.d"
+  "CMakeFiles/nwcache_sim.dir/sim/trigger.cpp.o"
+  "CMakeFiles/nwcache_sim.dir/sim/trigger.cpp.o.d"
+  "libnwcache_sim.a"
+  "libnwcache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwcache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

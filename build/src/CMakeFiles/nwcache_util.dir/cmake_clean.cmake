@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwcache_util.dir/util/csv.cpp.o"
+  "CMakeFiles/nwcache_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/nwcache_util.dir/util/ini.cpp.o"
+  "CMakeFiles/nwcache_util.dir/util/ini.cpp.o.d"
+  "CMakeFiles/nwcache_util.dir/util/json.cpp.o"
+  "CMakeFiles/nwcache_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/nwcache_util.dir/util/table.cpp.o"
+  "CMakeFiles/nwcache_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/nwcache_util.dir/util/units.cpp.o"
+  "CMakeFiles/nwcache_util.dir/util/units.cpp.o.d"
+  "libnwcache_util.a"
+  "libnwcache_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwcache_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwcache_vm.dir/vm/frame_pool.cpp.o"
+  "CMakeFiles/nwcache_vm.dir/vm/frame_pool.cpp.o.d"
+  "CMakeFiles/nwcache_vm.dir/vm/page_table.cpp.o"
+  "CMakeFiles/nwcache_vm.dir/vm/page_table.cpp.o.d"
+  "libnwcache_vm.a"
+  "libnwcache_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwcache_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

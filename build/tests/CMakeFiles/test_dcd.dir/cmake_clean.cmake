@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcd.dir/test_dcd.cpp.o"
+  "CMakeFiles/test_dcd.dir/test_dcd.cpp.o.d"
+  "test_dcd"
+  "test_dcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

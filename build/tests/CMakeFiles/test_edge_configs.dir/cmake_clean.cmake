@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_configs.dir/test_edge_configs.cpp.o"
+  "CMakeFiles/test_edge_configs.dir/test_edge_configs.cpp.o.d"
+  "test_edge_configs"
+  "test_edge_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fifo_server.dir/test_fifo_server.cpp.o"
+  "CMakeFiles/test_fifo_server.dir/test_fifo_server.cpp.o.d"
+  "test_fifo_server"
+  "test_fifo_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fifo_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

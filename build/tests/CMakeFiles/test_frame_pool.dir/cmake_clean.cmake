@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frame_pool.dir/test_frame_pool.cpp.o"
+  "CMakeFiles/test_frame_pool.dir/test_frame_pool.cpp.o.d"
+  "test_frame_pool"
+  "test_frame_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frame_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hinted_prefetch.dir/test_hinted_prefetch.cpp.o"
+  "CMakeFiles/test_hinted_prefetch.dir/test_hinted_prefetch.cpp.o.d"
+  "test_hinted_prefetch"
+  "test_hinted_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hinted_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nwc_drain.dir/test_nwc_drain.cpp.o"
+  "CMakeFiles/test_nwc_drain.dir/test_nwc_drain.cpp.o.d"
+  "test_nwc_drain"
+  "test_nwc_drain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nwc_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

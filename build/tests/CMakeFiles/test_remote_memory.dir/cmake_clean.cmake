@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote_memory.dir/test_remote_memory.cpp.o"
+  "CMakeFiles/test_remote_memory.dir/test_remote_memory.cpp.o.d"
+  "test_remote_memory"
+  "test_remote_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwcbatch.dir/nwcbatch.cpp.o"
+  "CMakeFiles/nwcbatch.dir/nwcbatch.cpp.o.d"
+  "nwcbatch"
+  "nwcbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwcbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

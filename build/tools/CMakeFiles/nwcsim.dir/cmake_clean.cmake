@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwcsim.dir/nwcsim.cpp.o"
+  "CMakeFiles/nwcsim.dir/nwcsim.cpp.o.d"
+  "nwcsim"
+  "nwcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
