@@ -25,6 +25,22 @@ int main(int argc, char** argv) {
 
   std::printf("NWCache feature ablation under optimal prefetching "
               "(execution time in Mpcycles, scale=%.2f)\n", opt.scale);
+
+  std::vector<bench::PlannedRun> plan;
+  for (const std::string& app : bench::appList(opt)) {
+    plan.push_back({bench::configFor(machine::SystemKind::kStandard,
+                                     machine::Prefetch::kOptimal, opt),
+                    app});
+    for (const Variant& v : variants) {
+      machine::MachineConfig cfg = bench::configFor(machine::SystemKind::kNWCache,
+                                                    machine::Prefetch::kOptimal, opt);
+      cfg.ring_victim_reads = v.victim;
+      cfg.ring_bypass_network = v.bypass;
+      plan.push_back({cfg, app});
+    }
+  }
+  bench::runAhead(plan, opt);
+
   util::AsciiTable t({"Application", "standard", "full", "no-victim", "no-bypass",
                       "staging-only"});
   std::vector<std::vector<std::string>> rows;

@@ -11,6 +11,18 @@ int main(int argc, char** argv) {
   using namespace nwc;
   auto opt = bench::parseArgs(argc, argv, "baseline_dcd", 1.0, {"sor", "mg", "em3d"});
 
+  std::vector<bench::PlannedRun> plan;
+  for (auto pf : {machine::Prefetch::kOptimal, machine::Prefetch::kNaive}) {
+    for (const std::string& app : bench::appList(opt)) {
+      for (auto sys : {machine::SystemKind::kStandard, machine::SystemKind::kDCD,
+                       machine::SystemKind::kRemoteMemory,
+                       machine::SystemKind::kNWCache}) {
+        plan.push_back({bench::configFor(sys, pf, opt), app});
+      }
+    }
+  }
+  bench::runAhead(plan, opt);
+
   for (auto pf : {machine::Prefetch::kOptimal, machine::Prefetch::kNaive}) {
     std::printf("Standard vs DCD vs remote-memory vs NWCache under %s prefetching "
                 "(execution Mpcycles / median swap-out Kpcycles, scale=%.2f)\n",

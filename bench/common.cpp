@@ -5,12 +5,43 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "apps/registry.hpp"
+#include "machine/config_io.hpp"
+#include "util/parallel.hpp"
 
 namespace nwc::bench {
 
 namespace {
+
+// Summaries pre-computed by runAhead(), keyed by the full serialized
+// machine configuration + application + scale. Single-threaded access:
+// runAhead() fills it before the bench's row loop starts consuming.
+std::unordered_map<std::string, apps::RunSummary> g_run_cache;
+
+std::string cacheKey(const machine::MachineConfig& cfg, const std::string& app,
+                     double scale) {
+  // toIni() covers every INI-exposed field; append the few config members
+  // without an INI key so no two distinct machines can collide.
+  return machine::toIni(cfg).serialize() + "|" + app + "|" + std::to_string(scale) +
+         "|" + std::to_string(cfg.pages_per_cylinder) + "|" +
+         std::to_string(cfg.disk_cylinders) + "|" +
+         std::to_string(cfg.log_disk_blocks) + "|" + std::to_string(cfg.l1.line_bytes) +
+         "|" + std::to_string(cfg.l1.assoc) + "|" + std::to_string(cfg.l2.line_bytes) +
+         "|" + std::to_string(cfg.l2.assoc);
+}
+
+void printRunWarnings(const apps::RunSummary& s, const std::string& app) {
+  if (!s.verified) {
+    std::fprintf(stderr, "  WARNING: %s numerical verification FAILED\n", app.c_str());
+  }
+  if (!s.invariant_violations.empty()) {
+    std::fprintf(stderr, "  WARNING: invariant violations:\n%s",
+                 s.invariant_violations.c_str());
+  }
+}
 
 std::vector<std::string> splitCsvList(const std::string& s) {
   std::vector<std::string> out;
@@ -43,9 +74,12 @@ Options parseArgs(int argc, char** argv, const std::string& bench_name,
       opt.csv_path = a.substr(6);
     } else if (a.rfind("--seed=", 0) == 0) {
       opt.seed = std::strtoull(a.c_str() + 7, nullptr, 0);
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      opt.jobs = static_cast<unsigned>(std::strtoul(a.c_str() + 7, nullptr, 10));
     } else if (a == "--help" || a == "-h") {
-      std::printf("usage: %s [--scale=F] [--apps=a,b] [--csv=PATH] [--seed=N]\n",
-                  bench_name.c_str());
+      std::printf(
+          "usage: %s [--scale=F] [--apps=a,b] [--csv=PATH] [--seed=N] [--jobs=N]\n",
+          bench_name.c_str());
       std::exit(0);
     } else {
       std::fprintf(stderr, "%s: unknown flag %s (see --help)\n", bench_name.c_str(),
@@ -83,17 +117,45 @@ machine::MachineConfig configFor(machine::SystemKind sys, machine::Prefetch pf,
   return cfg;
 }
 
+void runAhead(const std::vector<PlannedRun>& plan, const Options& opt) {
+  const unsigned jobs = util::resolveJobs(opt.jobs);
+  if (jobs <= 1) return;  // serial: run() simulates on demand, as before
+
+  std::vector<const PlannedRun*> todo;
+  std::vector<std::string> keys;
+  std::unordered_set<std::string> planned;
+  for (const PlannedRun& p : plan) {
+    std::string key = cacheKey(p.cfg, p.app, opt.scale);
+    if (g_run_cache.contains(key) || !planned.insert(key).second) continue;
+    todo.push_back(&p);
+    keys.push_back(std::move(key));
+  }
+  if (todo.empty()) return;
+
+  std::fprintf(stderr, "  running %zu simulations on %u threads\n", todo.size(), jobs);
+  std::vector<apps::RunSummary> out(todo.size());
+  util::ProgressMeter meter(todo.size(), &std::cerr);
+  util::ParallelExecutor exec(jobs);
+  exec.forEachIndex(todo.size(), [&](std::size_t i) {
+    apps::RunSummary s = apps::runApp(todo[i]->cfg, todo[i]->app, opt.scale);
+    meter.completed(todo[i]->app + " on " + todo[i]->cfg.describe(), s.ok());
+    out[i] = std::move(s);
+  });
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    g_run_cache.emplace(std::move(keys[i]), std::move(out[i]));
+  }
+}
+
 apps::RunSummary run(const machine::MachineConfig& cfg, const std::string& app,
                      const Options& opt) {
+  const auto it = g_run_cache.find(cacheKey(cfg, app, opt.scale));
+  if (it != g_run_cache.end()) {
+    printRunWarnings(it->second, app);
+    return it->second;
+  }
   std::fprintf(stderr, "  running %-6s on %s ...\n", app.c_str(), cfg.describe().c_str());
   apps::RunSummary s = apps::runApp(cfg, app, opt.scale);
-  if (!s.verified) {
-    std::fprintf(stderr, "  WARNING: %s numerical verification FAILED\n", app.c_str());
-  }
-  if (!s.invariant_violations.empty()) {
-    std::fprintf(stderr, "  WARNING: invariant violations:\n%s",
-                 s.invariant_violations.c_str());
-  }
+  printRunWarnings(s, app);
   return s;
 }
 

@@ -5,6 +5,13 @@
 //   --apps=a,b,c  restrict to a comma-separated subset of applications
 //   --csv=<path>  where to mirror the rows as CSV (default: ./<bench>.csv)
 //   --seed=<n>    machine seed
+//   --jobs=<n>    simulation threads (0 = all cores, 1 = serial)
+//
+// Parallelism model: a bench declares its full run grid up front with
+// runAhead(), which executes the simulations concurrently and caches the
+// summaries; the bench's original row-building loop then consumes them
+// through run() in its historical order, so tables and CSV files are
+// byte-identical to a serial run.
 #pragma once
 
 #include <functional>
@@ -23,6 +30,7 @@ struct Options {
   std::vector<std::string> apps;  // empty = all seven
   std::string csv_path;
   std::uint64_t seed = 0x5eed;
+  unsigned jobs = 0;  // 0 = hardware concurrency, 1 = serial
 };
 
 /// Parses the common flags; unknown flags abort with a usage message.
@@ -38,7 +46,21 @@ std::vector<std::string> appList(const Options& opt);
 machine::MachineConfig configFor(machine::SystemKind sys, machine::Prefetch pf,
                                  const Options& opt);
 
-/// Runs one application; prints a one-line progress note to stderr.
+/// One cell of a bench's run grid, for pre-execution via runAhead().
+struct PlannedRun {
+  machine::MachineConfig cfg;
+  std::string app;
+};
+
+/// Pre-executes the planned simulations concurrently on opt.jobs threads
+/// and caches their summaries (keyed by the full machine configuration,
+/// application and scale). A later run() with the same key returns the
+/// cached summary. With jobs <= 1 this is a no-op and run() executes each
+/// simulation on demand, exactly as before.
+void runAhead(const std::vector<PlannedRun>& plan, const Options& opt);
+
+/// Runs one application (or returns its runAhead()-cached summary); prints
+/// a one-line progress note to stderr.
 apps::RunSummary run(const machine::MachineConfig& cfg, const std::string& app,
                      const Options& opt);
 

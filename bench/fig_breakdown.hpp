@@ -16,6 +16,15 @@ inline int runBreakdownFigure(int argc, char** argv, const std::string& name,
   auto opt = parseArgs(argc, argv, name);
 
   std::printf("%s (scale=%.2f)\n", title, opt.scale);
+
+  std::vector<PlannedRun> plan;
+  for (const std::string& app : appList(opt)) {
+    for (auto sys : {machine::SystemKind::kStandard, machine::SystemKind::kNWCache}) {
+      plan.push_back({configFor(sys, pf, opt), app});
+    }
+  }
+  runAhead(plan, opt);
+
   util::AsciiTable t({"Application", "System", "NoFree", "Transit", "Fault", "TLB",
                       "Other", "Total"});
   std::vector<std::vector<std::string>> rows;

@@ -49,6 +49,16 @@ std::string f2(double v) { return util::AsciiTable::fmt(v, 2); }
 int main(int argc, char** argv) {
   auto opt = bench::parseArgs(argc, argv, "paper_comparison");
 
+  std::vector<bench::PlannedRun> plan;
+  for (const std::string& app : bench::appList(opt)) {
+    for (auto sys : {machine::SystemKind::kStandard, machine::SystemKind::kNWCache}) {
+      for (auto pf : {machine::Prefetch::kOptimal, machine::Prefetch::kNaive}) {
+        plan.push_back({bench::configFor(sys, pf, opt), app});
+      }
+    }
+  }
+  bench::runAhead(plan, opt);
+
   std::map<std::string, Measured> runs;
   for (const std::string& app : bench::appList(opt)) {
     Measured m;

@@ -12,15 +12,31 @@ int main(int argc, char** argv) {
 
   std::printf("Machine-size sweep under optimal prefetching (execution time in "
               "Mpcycles, scale=%.2f)\n", opt.scale);
-  util::AsciiTable t({"Application", "Nodes", "I/O nodes", "Standard", "NWCache",
-                      "Improvement"});
-  std::vector<std::vector<std::string>> rows;
 
   struct Shape {
     int nodes;
     int io;
   };
   const Shape shapes[] = {{4, 2}, {8, 4}, {16, 4}};
+
+  std::vector<bench::PlannedRun> plan;
+  for (const std::string& app : bench::appList(opt)) {
+    for (const Shape& sh : shapes) {
+      for (auto sys : {machine::SystemKind::kStandard, machine::SystemKind::kNWCache}) {
+        machine::MachineConfig cfg =
+            bench::configFor(sys, machine::Prefetch::kOptimal, opt);
+        cfg.num_nodes = sh.nodes;
+        cfg.num_io_nodes = sh.io;
+        cfg.ring_channels = sh.nodes;
+        plan.push_back({cfg, app});
+      }
+    }
+  }
+  bench::runAhead(plan, opt);
+
+  util::AsciiTable t({"Application", "Nodes", "I/O nodes", "Standard", "NWCache",
+                      "Improvement"});
+  std::vector<std::vector<std::string>> rows;
 
   for (const std::string& app : bench::appList(opt)) {
     for (const Shape& sh : shapes) {

@@ -9,6 +9,15 @@ int main(int argc, char** argv) {
 
   std::printf("Table 6: Average Write Combining Under Naive Prefetching "
               "(scale=%.2f)\n", opt.scale);
+
+  std::vector<bench::PlannedRun> plan;
+  for (const std::string& app : bench::appList(opt)) {
+    for (auto sys : {machine::SystemKind::kStandard, machine::SystemKind::kNWCache}) {
+      plan.push_back({bench::configFor(sys, machine::Prefetch::kNaive, opt), app});
+    }
+  }
+  bench::runAhead(plan, opt);
+
   util::AsciiTable t({"Application", "Standard", "NWCache", "Increase"});
   std::vector<std::vector<std::string>> rows;
   for (const std::string& app : bench::appList(opt)) {

@@ -10,6 +10,15 @@ int main(int argc, char** argv) {
 
   std::printf("Table 7: NWCache Hit Rates Under Different Prefetching "
               "Techniques (scale=%.2f)\n", opt.scale);
+
+  std::vector<bench::PlannedRun> plan;
+  for (const std::string& app : bench::appList(opt)) {
+    for (auto pf : {machine::Prefetch::kNaive, machine::Prefetch::kOptimal}) {
+      plan.push_back({bench::configFor(machine::SystemKind::kNWCache, pf, opt), app});
+    }
+  }
+  bench::runAhead(plan, opt);
+
   util::AsciiTable t({"Application", "Naive (%)", "Optimal (%)"});
   std::vector<std::vector<std::string>> rows;
   for (const std::string& app : bench::appList(opt)) {

@@ -1,39 +1,66 @@
 // Quickstart: run one of the paper's applications on both machines and
-// print the headline comparison.
+// print the headline comparison. The four configurations are independent
+// simulations and run concurrently (--jobs=1 forces the serial order).
 //
-//   ./quickstart [app] [scale]
+//   ./quickstart [app] [scale] [--jobs=N]
 //
 // Apps: em3d fft gauss lu mg radix sor (default: mg, scale 1.0).
 #include <cstdio>
-#include <iostream>
 #include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "apps/runner.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace nwc;
-  const std::string app = argc > 1 ? argv[1] : "mg";
-  const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+  std::string app = "mg";
+  double scale = 1.0;
+  unsigned jobs = 0;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(a.c_str() + 7, nullptr, 10));
+    } else if (positional == 0) {
+      app = a;
+      ++positional;
+    } else {
+      scale = std::atof(a.c_str());
+      ++positional;
+    }
+  }
 
   std::printf("NWCache quickstart: %s at scale %.2f on an 8-node machine\n\n",
               app.c_str(), scale);
 
-  util::AsciiTable t({"System", "Prefetch", "Exec (Mpcycles)", "Faults",
-                      "Swap-outs", "Avg swap-out (Kpc)", "Ring hits", "Verified"});
+  std::vector<machine::MachineConfig> cfgs;
   for (auto sys : {machine::SystemKind::kStandard, machine::SystemKind::kNWCache}) {
     for (auto pf : {machine::Prefetch::kOptimal, machine::Prefetch::kNaive}) {
       machine::MachineConfig cfg;
       cfg.withSystem(sys, pf);  // Table 1 defaults + the paper's best min-free
-      const apps::RunSummary s = apps::runApp(cfg, app, scale);
-      t.addRow({machine::toString(sys), machine::toString(pf),
-                util::AsciiTable::fmt(static_cast<double>(s.exec_time) / 1e6),
-                util::AsciiTable::fmtInt(static_cast<long long>(s.metrics.faults)),
-                util::AsciiTable::fmtInt(static_cast<long long>(s.metrics.swap_outs)),
-                util::AsciiTable::fmt(s.metrics.swap_out_ticks.mean() / 1e3),
-                util::AsciiTable::fmtPct(s.metrics.ring_read_hits.rate()),
-                s.ok() ? "yes" : "NO"});
+      cfgs.push_back(cfg);
     }
+  }
+
+  std::vector<apps::RunSummary> runs(cfgs.size());
+  util::ParallelExecutor exec(jobs);
+  exec.forEachIndex(cfgs.size(),
+                    [&](std::size_t i) { runs[i] = apps::runApp(cfgs[i], app, scale); });
+
+  util::AsciiTable t({"System", "Prefetch", "Exec (Mpcycles)", "Faults",
+                      "Swap-outs", "Avg swap-out (Kpc)", "Ring hits", "Verified"});
+  for (const apps::RunSummary& s : runs) {
+    t.addRow({machine::toString(s.cfg.system), machine::toString(s.cfg.prefetch),
+              util::AsciiTable::fmt(static_cast<double>(s.exec_time) / 1e6),
+              util::AsciiTable::fmtInt(static_cast<long long>(s.metrics.faults)),
+              util::AsciiTable::fmtInt(static_cast<long long>(s.metrics.swap_outs)),
+              util::AsciiTable::fmt(s.metrics.swap_out_ticks.mean() / 1e3),
+              util::AsciiTable::fmtPct(s.metrics.ring_read_hits.rate()),
+              s.ok() ? "yes" : "NO"});
   }
   t.print(std::cout);
 

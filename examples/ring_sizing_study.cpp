@@ -3,36 +3,68 @@
 // absorbs bigger swap bursts, but a longer ring raises the circulation
 // latency paid by victim reads and interface drains.
 //
-//   ./ring_sizing_study [app] [scale]
+//   ./ring_sizing_study [app] [scale] [--jobs=N]
+//
+// The five ring sizes are independent simulations and run concurrently
+// (--jobs=1 forces the serial order).
 #include <cstdio>
-#include <iostream>
 #include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "apps/runner.hpp"
 #include "nwcache/optical_ring.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace nwc;
-  const std::string app = argc > 1 ? argv[1] : "sor";
-  const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+  std::string app = "sor";
+  double scale = 1.0;
+  unsigned jobs = 0;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(a.c_str() + 7, nullptr, 10));
+    } else if (positional == 0) {
+      app = a;
+      ++positional;
+    } else {
+      scale = std::atof(a.c_str());
+      ++positional;
+    }
+  }
 
   std::printf("NWCache ring sizing study: %s at scale %.2f\n"
               "(round-trip latency scales with per-channel capacity: the ring\n"
               "IS the storage medium)\n\n", app.c_str(), scale);
 
-  util::AsciiTable t({"Channel KB", "Pages/ch", "Round trip (us)", "Exec (Mpc)",
-                      "Ring hit rate", "Avg swap-out (Kpc)"});
-  for (std::uint64_t kb : {16, 32, 64, 128, 256}) {
+  const std::vector<std::uint64_t> sizes_kb = {16, 32, 64, 128, 256};
+  std::vector<machine::MachineConfig> cfgs;
+  for (std::uint64_t kb : sizes_kb) {
     machine::MachineConfig cfg;
     cfg.withSystem(machine::SystemKind::kNWCache, machine::Prefetch::kOptimal);
     cfg.ring_channel_bytes = kb * 1024;
     // Fiber length (and thus circulation time) scales with capacity.
     cfg.ring_round_trip_us = 52.0 * static_cast<double>(kb) / 64.0;
-    const apps::RunSummary s = apps::runApp(cfg, app, scale);
+    cfgs.push_back(cfg);
+  }
+
+  std::vector<apps::RunSummary> runs(cfgs.size());
+  util::ParallelExecutor exec(jobs);
+  exec.forEachIndex(cfgs.size(),
+                    [&](std::size_t i) { runs[i] = apps::runApp(cfgs[i], app, scale); });
+
+  util::AsciiTable t({"Channel KB", "Pages/ch", "Round trip (us)", "Exec (Mpc)",
+                      "Ring hit rate", "Avg swap-out (Kpc)"});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const std::uint64_t kb = sizes_kb[i];
+    const apps::RunSummary& s = runs[i];
     t.addRow({util::AsciiTable::fmtInt(static_cast<long long>(kb)),
               util::AsciiTable::fmtInt(static_cast<long long>(kb / 4)),
-              util::AsciiTable::fmt(cfg.ring_round_trip_us),
+              util::AsciiTable::fmt(cfgs[i].ring_round_trip_us),
               util::AsciiTable::fmt(static_cast<double>(s.exec_time) / 1e6),
               util::AsciiTable::fmtPct(s.metrics.ring_read_hits.rate()),
               util::AsciiTable::fmt(s.metrics.swap_out_ticks.mean() / 1e3)});

@@ -8,6 +8,7 @@
 #include "machine/config_io.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
+#include "util/parallel.hpp"
 
 namespace nwc::apps {
 
@@ -73,6 +74,10 @@ BatchSpec BatchSpec::fromIni(const util::IniFile& ini) {
   if (const auto v = ini.getBool("batch.best_min_free")) spec.best_min_free = *v;
   if (const auto v = ini.get("batch.csv")) spec.csv_path = *v;
   if (const auto v = ini.get("batch.jsonl")) spec.jsonl_path = *v;
+  if (const auto v = ini.getInt("batch.jobs")) {
+    if (*v < 0) throw std::runtime_error("batch: jobs must be >= 0");
+    spec.jobs = static_cast<unsigned>(*v);
+  }
   return spec;
 }
 
@@ -141,20 +146,14 @@ std::vector<std::string> summaryCsvRow(const RunSummary& s, double scale) {
 }
 
 BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
-  BatchResult result;
-  result.runs.reserve(spec.runCount());
-
-  std::unique_ptr<util::CsvWriter> csv;
-  if (!spec.csv_path.empty()) {
-    csv = std::make_unique<util::CsvWriter>(spec.csv_path, summaryCsvHeader());
-  }
-  std::ofstream jsonl;
-  if (!spec.jsonl_path.empty()) {
-    jsonl.open(spec.jsonl_path);
-    if (!jsonl) throw std::runtime_error("batch: cannot open " + spec.jsonl_path);
-  }
-
-  std::size_t done = 0;
+  // Materialize the grid first: each cell's config (including its seed) is
+  // a pure function of its coordinates, never of execution order.
+  struct Cell {
+    std::string app;
+    machine::MachineConfig cfg;
+  };
+  std::vector<Cell> grid;
+  grid.reserve(spec.runCount());
   for (const std::string& app : spec.apps) {
     for (machine::SystemKind sys : spec.systems) {
       for (machine::Prefetch pf : spec.prefetches) {
@@ -166,19 +165,50 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
           if (spec.best_min_free) {
             cfg.min_free_frames = machine::MachineConfig::bestMinFree(sys, pf);
           }
-          if (progress != nullptr) {
-            *progress << "[" << ++done << "/" << spec.runCount() << "] " << app
-                      << " on " << cfg.describe() << "\n";
-            progress->flush();
-          }
-          RunSummary s = runApp(cfg, app, spec.scale);
-          result.all_ok = result.all_ok && s.ok();
-          if (csv) csv->addRow(summaryCsvRow(s, spec.scale));
-          if (jsonl.is_open()) jsonl << summaryJson(s, spec.scale) << "\n";
-          result.runs.push_back(std::move(s));
+          grid.push_back({app, std::move(cfg)});
         }
       }
     }
+  }
+
+  BatchResult result;
+  result.runs.resize(grid.size());
+
+  const unsigned jobs = util::resolveJobs(spec.jobs);
+  if (jobs <= 1) {
+    // Serial: identical to the historical loop, announcing before each run.
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (progress != nullptr) {
+        *progress << "[" << i + 1 << "/" << grid.size() << "] " << grid[i].app
+                  << " on " << grid[i].cfg.describe() << "\n";
+        progress->flush();
+      }
+      result.runs[i] = runApp(grid[i].cfg, grid[i].app, spec.scale);
+    }
+  } else {
+    util::ProgressMeter meter(grid.size(), progress);
+    util::ParallelExecutor exec(jobs);
+    exec.forEachIndex(grid.size(), [&](std::size_t i) {
+      RunSummary s = runApp(grid[i].cfg, grid[i].app, spec.scale);
+      meter.completed(grid[i].app + " on " + grid[i].cfg.describe(), s.ok());
+      result.runs[i] = std::move(s);
+    });
+  }
+
+  for (const RunSummary& s : result.runs) {
+    result.all_ok = result.all_ok && s.ok();
+  }
+
+  // Outputs are emitted after the grid settles, in grid order, so the files
+  // never depend on completion order.
+  if (!spec.csv_path.empty()) {
+    util::CsvWriter csv(spec.csv_path, summaryCsvHeader());
+    for (const RunSummary& s : result.runs) csv.addRow(summaryCsvRow(s, spec.scale));
+  }
+  if (!spec.jsonl_path.empty()) {
+    std::ofstream jsonl(spec.jsonl_path);
+    if (!jsonl) throw std::runtime_error("batch: cannot open " + spec.jsonl_path);
+    for (const RunSummary& s : result.runs) jsonl << summaryJson(s, spec.scale) << "\n";
   }
   return result;
 }

@@ -23,10 +23,12 @@ struct BatchSpec {
   bool best_min_free = true;  // re-derive min-free per (system, prefetch)
   std::string csv_path;       // empty = no CSV
   std::string jsonl_path;     // empty = no JSON lines
+  unsigned jobs = 0;          // worker threads; 0 = hardware concurrency,
+                              // 1 = serial (today's loop, unchanged)
 
   /// Parses the [machine] and [batch] sections. [batch] keys:
   ///   apps, systems, prefetch (comma lists), scale, seeds, csv, jsonl,
-  ///   best_min_free. Missing keys default to the full matrix of the
+  ///   best_min_free, jobs. Missing keys default to the full matrix of the
   ///   standard+nwcache systems over all seven applications.
   static BatchSpec fromIni(const util::IniFile& ini);
 
@@ -40,8 +42,13 @@ struct BatchResult {
   bool all_ok = true;
 };
 
-/// Executes the grid in a deterministic order (apps outermost, seeds
-/// innermost). Progress lines go to `progress` when non-null.
+/// Executes the grid on `spec.jobs` worker threads (each run gets its own
+/// Machine; seeds come only from the grid coordinates), collecting results
+/// indexed by grid position — apps outermost, seeds innermost — so the
+/// summaries, CSV and JSONL are byte-for-byte identical to a serial run
+/// regardless of scheduling. Progress lines go to `progress` when non-null
+/// and always carry a "[done/total]" prefix; parallel runs add per-run
+/// pass/fail and an ETA.
 BatchResult runBatch(const BatchSpec& spec, std::ostream* progress = nullptr);
 
 /// One-line JSON rendering of a run summary (shared with tools/nwcsim).

@@ -1,0 +1,75 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace nwc::util {
+
+unsigned resolveJobs(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+ParallelExecutor::ParallelExecutor(unsigned jobs) : jobs_(resolveJobs(jobs)) {}
+
+void ParallelExecutor::forEachIndex(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  if (jobs_ <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(n);
+  {
+    ThreadPool pool(static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, n)));
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&fn, &errors, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    // ~ThreadPool drains: every index has run when we leave this scope.
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+ProgressMeter::ProgressMeter(std::size_t total, std::ostream* out)
+    : total_(total), out_(out), start_(std::chrono::steady_clock::now()) {}
+
+void ProgressMeter::completed(const std::string& what, bool ok) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  ++done_;
+  if (out_ == nullptr) return;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+  *out_ << "[" << done_ << "/" << total_ << "] " << what << ": "
+        << (ok ? "ok" : "FAIL");
+  if (done_ < total_ && done_ > 0) {
+    const double per_run = static_cast<double>(elapsed) / static_cast<double>(done_);
+    const auto eta =
+        static_cast<long long>(per_run * static_cast<double>(total_ - done_) + 0.5);
+    *out_ << " (eta " << eta << "s)";
+  }
+  *out_ << "\n";
+  out_->flush();
+}
+
+std::size_t ProgressMeter::done() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return done_;
+}
+
+}  // namespace nwc::util

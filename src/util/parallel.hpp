@@ -1,0 +1,65 @@
+// ParallelExecutor: the experiment-engine layer between a grid of
+// independent simulations and the work-stealing ThreadPool.
+//
+// Callers enumerate work as indices 0..n-1 (grid coordinates) and collect
+// results into pre-sized vectors indexed by those coordinates, so the
+// output of a parallel run is byte-for-byte identical to the serial order
+// regardless of scheduling. jobs == 1 executes inline on the calling
+// thread in index order — exactly the plain loop it replaces.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace nwc::util {
+
+/// Resolves a --jobs / jobs= request: 0 means "auto" and selects
+/// std::thread::hardware_concurrency() (minimum 1).
+unsigned resolveJobs(unsigned requested);
+
+class ParallelExecutor {
+ public:
+  /// `jobs` threads; 0 selects hardware concurrency.
+  explicit ParallelExecutor(unsigned jobs = 0);
+
+  unsigned jobs() const { return jobs_; }
+
+  /// Runs fn(i) for every i in [0, n). With jobs() == 1 the calls happen
+  /// inline in increasing index order; otherwise they are dispatched to a
+  /// work-stealing pool of jobs() threads. Blocks until every index has
+  /// completed. If any call throws, the exception from the lowest index is
+  /// rethrown after the remaining work has drained (matching what a serial
+  /// loop would have surfaced first).
+  void forEachIndex(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  unsigned jobs_;
+};
+
+/// Thread-safe live progress for a batch of runs: counts completions,
+/// reports per-run pass/fail and an ETA extrapolated from the throughput
+/// so far. One line per completion:
+///   [done/total] <what>: ok (eta 42s)
+class ProgressMeter {
+ public:
+  /// `out` may be null (meter counts but prints nothing).
+  ProgressMeter(std::size_t total, std::ostream* out);
+
+  /// Records one completed run and prints its progress line.
+  void completed(const std::string& what, bool ok);
+
+  std::size_t done() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t done_ = 0;
+  const std::size_t total_;
+  std::ostream* const out_;
+  const std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nwc::util

@@ -76,6 +76,53 @@ TEST(BatchRun, ExecutesGridAndWritesOutputs) {
   std::remove(jsonl.c_str());
 }
 
+TEST(BatchSpec, ParsesJobs) {
+  const auto spec = BatchSpec::fromIni(
+      util::IniFile::parse("[batch]\napps = sor\njobs = 4\n"));
+  EXPECT_EQ(spec.jobs, 4u);
+  EXPECT_EQ(BatchSpec::fromIni(util::IniFile::parse("")).jobs, 0u);
+  EXPECT_THROW(BatchSpec::fromIni(util::IniFile::parse("[batch]\njobs = -1\n")),
+               std::runtime_error);
+}
+
+// Reads a whole file; empty string if it does not exist.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(BatchRun, ParallelMatchesSerialByteForByte) {
+  const std::string spec_text =
+      "[machine]\nmemory_per_node = 32768\n"
+      "[batch]\napps = radix, sor\nsystems = standard, nwcache\n"
+      "prefetch = optimal\nseeds = 1, 2\nscale = 0.05\n";
+  const std::string csv1 = "/tmp/nwc_batch_j1.csv";
+  const std::string jsonl1 = "/tmp/nwc_batch_j1.jsonl";
+  const std::string csv4 = "/tmp/nwc_batch_j4.csv";
+  const std::string jsonl4 = "/tmp/nwc_batch_j4.jsonl";
+
+  auto serial = BatchSpec::fromIni(util::IniFile::parse(
+      spec_text + "jobs = 1\ncsv = " + csv1 + "\njsonl = " + jsonl1 + "\n"));
+  auto parallel = BatchSpec::fromIni(util::IniFile::parse(
+      spec_text + "jobs = 4\ncsv = " + csv4 + "\njsonl = " + jsonl4 + "\n"));
+
+  const BatchResult r1 = runBatch(serial);
+  const BatchResult r4 = runBatch(parallel);
+  ASSERT_EQ(r1.runs.size(), 8u);
+  ASSERT_EQ(r4.runs.size(), 8u);
+  for (std::size_t i = 0; i < r1.runs.size(); ++i) {
+    EXPECT_EQ(summaryJson(r1.runs[i], serial.scale),
+              summaryJson(r4.runs[i], parallel.scale))
+        << "summaries diverge at grid index " << i;
+  }
+  EXPECT_EQ(slurp(csv1), slurp(csv4));
+  EXPECT_EQ(slurp(jsonl1), slurp(jsonl4));
+  EXPECT_FALSE(slurp(csv1).empty());
+  for (const auto& p : {csv1, jsonl1, csv4, jsonl4}) std::remove(p.c_str());
+}
+
 TEST(BatchRun, SeedsVaryTiming) {
   auto spec = BatchSpec::fromIni(util::IniFile::parse(
       "[machine]\nmemory_per_node = 32768\n"

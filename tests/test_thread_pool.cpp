@@ -1,0 +1,148 @@
+// Work-stealing thread pool + ParallelExecutor: ordering, exception
+// propagation, drain-on-destruction, deterministic indexed collection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nwc::util {
+namespace {
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder) {
+  std::vector<int> order;
+  std::vector<std::future<void>> futs;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 64; ++i) {
+      futs.push_back(pool.submit([&order, i] { order.push_back(i); }));
+    }
+    for (auto& f : futs) f.get();
+  }
+  std::vector<int> expect(64);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPool, RunsEveryTaskAcrossWorkers) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    for (int i = 0; i < 500; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor drains
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughTheFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  try {
+    fut.get();
+    FAIL() << "expected the task's exception";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_STREQ(ex.what(), "boom");
+  }
+  // The pool survives a throwing task.
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1);
+      });
+    }
+    // No explicit wait: destruction must block until all 32 ran.
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ResolveJobs, ZeroIsAutoAndPositivePassesThrough) {
+  EXPECT_GE(resolveJobs(0), 1u);
+  EXPECT_EQ(resolveJobs(1), 1u);
+  EXPECT_EQ(resolveJobs(7), 7u);
+}
+
+TEST(ParallelExecutor, CoversEveryIndexExactlyOnce) {
+  ParallelExecutor exec(4);
+  std::vector<std::atomic<int>> hits(100);
+  exec.forEachIndex(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelExecutor, SingleJobRunsInlineInIndexOrder) {
+  ParallelExecutor exec(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  exec.forEachIndex(10, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  std::vector<std::size_t> expect(10);
+  std::iota(expect.begin(), expect.end(), std::size_t{0});
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelExecutor, RethrowsTheLowestIndexException) {
+  ParallelExecutor exec(4);
+  try {
+    exec.forEachIndex(16, [](std::size_t i) {
+      if (i == 3 || i == 11) {
+        throw std::runtime_error("index " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_STREQ(ex.what(), "index 3");
+  }
+}
+
+TEST(ParallelExecutor, EmptyRangeIsANoOp) {
+  ParallelExecutor exec(4);
+  bool called = false;
+  exec.forEachIndex(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ProgressMeter, CountsAndReportsPassFailWithPrefix) {
+  std::ostringstream out;
+  ProgressMeter meter(3, &out);
+  meter.completed("a", true);
+  meter.completed("b", false);
+  meter.completed("c", true);
+  EXPECT_EQ(meter.done(), 3u);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("[1/3] a: ok"), std::string::npos);
+  EXPECT_NE(s.find("[2/3] b: FAIL"), std::string::npos);
+  EXPECT_NE(s.find("[3/3] c: ok"), std::string::npos);
+}
+
+TEST(ProgressMeter, NullStreamOnlyCounts) {
+  ProgressMeter meter(2, nullptr);
+  meter.completed("a", true);
+  EXPECT_EQ(meter.done(), 1u);
+}
+
+}  // namespace
+}  // namespace nwc::util

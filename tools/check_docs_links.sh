@@ -1,0 +1,60 @@
+#!/usr/bin/env sh
+# Verify that every relative markdown link and every file path mentioned in
+# the documentation actually exists in the tree. Run from the repo root:
+#
+#   sh tools/check_docs_links.sh
+#
+# Exits non-zero listing the broken references.
+set -u
+
+fail=0
+
+# 1. Relative markdown links [text](target) in the core docs.
+for doc in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md \
+           docs/ARCHITECTURE.md docs/EXPERIMENTS.md; do
+  if [ ! -f "$doc" ]; then
+    echo "MISSING DOC: $doc"
+    fail=1
+    continue
+  fi
+  dir=$(dirname "$doc")
+  # Extract the (target) part of each markdown link; keep local paths only.
+  grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//' |
+    grep -v '^http' | grep -v '^#' | sed 's/#.*$//' | sort -u |
+    {
+      bad=0
+      while IFS= read -r target; do
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+          echo "BROKEN LINK: $doc -> $target"
+          bad=1
+        fi
+      done
+      exit "$bad"
+    } || fail=1
+done
+
+# 2. Source/tool paths referenced in backticks by the new docs must exist
+#    (wildcard mentions like `src/util/thread_pool.*` are skipped).
+for doc in docs/ARCHITECTURE.md docs/EXPERIMENTS.md; do
+  grep -o '`[A-Za-z0-9_./*-]*`' "$doc" | tr -d '\`' |
+    grep -E '^(src|tools|tests|bench|examples|docs)/[A-Za-z0-9_./-]+$' |
+    sort -u |
+    {
+      bad=0
+      while IFS= read -r path; do
+        # Accept both source files and built binaries named after one.
+        if [ ! -e "$path" ] && [ ! -e "$path.cpp" ] && [ ! -e "$path.sh" ]; then
+          echo "BROKEN PATH: $doc mentions $path"
+          bad=1
+        fi
+      done
+      exit "$bad"
+    } || fail=1
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "docs link check OK"

@@ -3,10 +3,12 @@
 //   nwcsim --app=gauss [--scale=1.0] [--system=standard|nwcache|dcd]
 //          [--prefetch=optimal|naive] [--config=machine.ini]
 //          [--set machine.key=value ...] [--trace=trace.csv]
-//          [--json] [--dump-config]
+//          [--jobs=N] [--json] [--dump-config]
 //
-// Runs one application on one machine and reports the metrics the paper's
-// evaluation uses, as a table or as JSON.
+// Runs one or more applications (--app accepts a comma list or "all") on
+// one machine and reports the metrics the paper's evaluation uses, as a
+// table or as JSON. Multiple applications are independent simulations and
+// run concurrently on --jobs threads; output order stays deterministic.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,27 +17,49 @@
 #include <vector>
 
 #include "apps/batch.hpp"
+#include "apps/registry.hpp"
 #include "apps/runner.hpp"
 #include "machine/config_io.hpp"
 #include "util/json.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 [[noreturn]] void usage(int code) {
   std::printf(
-      "usage: nwcsim --app=NAME [options]\n"
-      "  --app=NAME            em3d|fft|gauss|lu|mg|radix|sor\n"
+      "usage: nwcsim --app=NAME[,NAME...] [options]\n"
+      "  --app=NAMES           em3d|fft|gauss|lu|mg|radix|sor, comma list,\n"
+      "                        or \"all\" for the full suite\n"
       "  --scale=F             input scale in (0,1], default 1.0\n"
       "  --system=KIND         standard|nwcache|dcd|remote (default standard)\n"
       "  --prefetch=POLICY     optimal|naive (default optimal)\n"
       "  --minfree=N           override the min-free-frames reserve\n"
       "  --config=FILE         load a [machine] INI section\n"
       "  --set K=V             override one machine key (repeatable)\n"
-      "  --trace=FILE          dump the page-event trace as CSV\n"
+      "  --trace=FILE          dump the page-event trace as CSV (single app)\n"
+      "  --jobs=N              threads for multi-app runs (0 = all cores)\n"
       "  --json                emit the run summary as JSON\n"
       "  --dump-config         print the effective config as INI and exit\n");
   std::exit(code);
+}
+
+std::vector<std::string> parseAppList(const std::string& arg) {
+  std::vector<std::string> out;
+  if (arg == "all") {
+    for (const auto& a : nwc::apps::appRegistry()) out.push_back(a.name);
+    return out;
+  }
+  std::size_t pos = 0;
+  while (pos <= arg.size()) {
+    const auto comma = arg.find(',', pos);
+    const std::string item =
+        arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace
@@ -45,6 +69,7 @@ int main(int argc, char** argv) {
 
   std::string app;
   double scale = 1.0;
+  unsigned jobs = 0;
   std::string trace_path;
   bool as_json = false;
   bool dump_config = false;
@@ -84,6 +109,8 @@ int main(int argc, char** argv) {
         }
       } else if (a.rfind("--trace=", 0) == 0) {
         trace_path = val("--trace=");
+      } else if (a.rfind("--jobs=", 0) == 0) {
+        jobs = static_cast<unsigned>(std::strtoul(val("--jobs=").c_str(), nullptr, 10));
       } else if (a == "--json") {
         as_json = true;
       } else if (a == "--dump-config") {
@@ -122,16 +149,25 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (app.empty()) usage(2);
+    const std::vector<std::string> app_names = parseAppList(app);
+    if (app_names.empty()) usage(2);
+    for (const auto& name : app_names) {
+      if (apps::findApp(name) == nullptr) {
+        std::fprintf(stderr, "nwcsim: unknown application: %s\n", name.c_str());
+        return 2;
+      }
+    }
+    if (!trace_path.empty() && app_names.size() > 1) {
+      std::fprintf(stderr, "nwcsim: --trace requires a single --app\n");
+      return 2;
+    }
 
-    machine::TraceBuffer trace;
-    const apps::RunSummary s =
-        apps::runApp(cfg, app, scale, trace_path.empty() ? nullptr : &trace);
-    if (!trace_path.empty()) trace.dumpCsv(trace_path);
-
-    const auto& m = s.metrics;
-    if (as_json) {
-      std::printf("%s\n", apps::summaryJson(s, scale).c_str());
-    } else {
+    auto printSummary = [&](const apps::RunSummary& s) {
+      const auto& m = s.metrics;
+      if (as_json) {
+        std::printf("%s\n", apps::summaryJson(s, scale).c_str());
+        return;
+      }
       std::printf("%s on %s, scale %.2f\n", s.app.c_str(), cfg.describe().c_str(),
                   scale);
       util::AsciiTable t({"Metric", "Value"});
@@ -153,12 +189,38 @@ int main(int argc, char** argv) {
       row("TLB (Mpcycles)", util::AsciiTable::fmt(m.totalTlb() / 1e6));
       row("Other (Mpcycles)", util::AsciiTable::fmt(m.totalOther() / 1e6));
       t.print(std::cout);
-      if (!trace_path.empty()) {
+    };
+
+    if (app_names.size() == 1) {
+      machine::TraceBuffer trace;
+      const apps::RunSummary s = apps::runApp(cfg, app_names[0], scale,
+                                              trace_path.empty() ? nullptr : &trace);
+      if (!trace_path.empty()) trace.dumpCsv(trace_path);
+      printSummary(s);
+      if (!as_json && !trace_path.empty()) {
         std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
                     trace.size());
       }
+      return s.ok() ? 0 : 1;
     }
-    return s.ok() ? 0 : 1;
+
+    // Several applications: independent machines, run concurrently, printed
+    // in the order they were named.
+    std::vector<apps::RunSummary> summaries(app_names.size());
+    util::ProgressMeter meter(app_names.size(), &std::cerr);
+    util::ParallelExecutor exec(jobs);
+    exec.forEachIndex(app_names.size(), [&](std::size_t i) {
+      apps::RunSummary s = apps::runApp(cfg, app_names[i], scale);
+      meter.completed(app_names[i], s.ok());
+      summaries[i] = std::move(s);
+    });
+    bool all_ok = true;
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+      if (!as_json && i > 0) std::printf("\n");
+      printSummary(summaries[i]);
+      all_ok = all_ok && summaries[i].ok();
+    }
+    return all_ok ? 0 : 1;
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "nwcsim: %s\n", ex.what());
     return 2;
