@@ -4,12 +4,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "apps/registry.hpp"
 #include "machine/config_io.hpp"
+#include "obs/registry.hpp"
+#include "obs/run_meta.hpp"
 #include "util/parallel.hpp"
 
 namespace nwc::bench {
@@ -41,6 +44,35 @@ void printRunWarnings(const apps::RunSummary& s, const std::string& app) {
     std::fprintf(stderr, "  WARNING: invariant violations:\n%s",
                  s.invariant_violations.c_str());
   }
+}
+
+// Runs one simulation, exporting its instrument registry to
+// opt.metrics_dir when requested. File names embed a hash of the full
+// cache key so sweep benches that vary non-(system,prefetch) knobs never
+// overwrite each other.
+apps::RunSummary simulate(const machine::MachineConfig& cfg, const std::string& app,
+                          const Options& opt) {
+  if (opt.metrics_dir.empty()) return apps::runApp(cfg, app, opt.scale);
+  obs::MetricsRegistry reg;
+  apps::ObsSinks sinks;
+  sinks.registry = &reg;
+  apps::RunSummary s = apps::runApp(cfg, app, opt.scale, sinks);
+  char hash[20];
+  std::snprintf(hash, sizeof(hash), "%08llx",
+                static_cast<unsigned long long>(
+                    obs::fnv1aHash(cacheKey(cfg, app, opt.scale)) & 0xffffffffULL));
+  std::string path = opt.metrics_dir;
+  path += '/';
+  path += app;
+  path += '_';
+  path += machine::toString(cfg.system);
+  path += '_';
+  path += machine::toString(cfg.prefetch);
+  path += '_';
+  path += hash;
+  path += ".json";
+  reg.writeJson(path);
+  return s;
 }
 
 std::vector<std::string> splitCsvList(const std::string& s) {
@@ -76,9 +108,12 @@ Options parseArgs(int argc, char** argv, const std::string& bench_name,
       opt.seed = std::strtoull(a.c_str() + 7, nullptr, 0);
     } else if (a.rfind("--jobs=", 0) == 0) {
       opt.jobs = static_cast<unsigned>(std::strtoul(a.c_str() + 7, nullptr, 10));
+    } else if (a.rfind("--metrics-dir=", 0) == 0) {
+      opt.metrics_dir = a.substr(std::strlen("--metrics-dir="));
     } else if (a == "--help" || a == "-h") {
       std::printf(
-          "usage: %s [--scale=F] [--apps=a,b] [--csv=PATH] [--seed=N] [--jobs=N]\n",
+          "usage: %s [--scale=F] [--apps=a,b] [--csv=PATH] [--seed=N] [--jobs=N] "
+          "[--metrics-dir=DIR]\n",
           bench_name.c_str());
       std::exit(0);
     } else {
@@ -90,6 +125,9 @@ Options parseArgs(int argc, char** argv, const std::string& bench_name,
   if (opt.scale <= 0.0 || opt.scale > 1.0) {
     std::fprintf(stderr, "%s: --scale must be in (0, 1]\n", bench_name.c_str());
     std::exit(2);
+  }
+  if (!opt.metrics_dir.empty()) {
+    std::filesystem::create_directories(opt.metrics_dir);
   }
   return opt;
 }
@@ -137,7 +175,7 @@ void runAhead(const std::vector<PlannedRun>& plan, const Options& opt) {
   util::ProgressMeter meter(todo.size(), &std::cerr);
   util::ParallelExecutor exec(jobs);
   exec.forEachIndex(todo.size(), [&](std::size_t i) {
-    apps::RunSummary s = apps::runApp(todo[i]->cfg, todo[i]->app, opt.scale);
+    apps::RunSummary s = simulate(todo[i]->cfg, todo[i]->app, opt);
     meter.completed(todo[i]->app + " on " + todo[i]->cfg.describe(), s.ok());
     out[i] = std::move(s);
   });
@@ -154,7 +192,7 @@ apps::RunSummary run(const machine::MachineConfig& cfg, const std::string& app,
     return it->second;
   }
   std::fprintf(stderr, "  running %-6s on %s ...\n", app.c_str(), cfg.describe().c_str());
-  apps::RunSummary s = apps::runApp(cfg, app, opt.scale);
+  apps::RunSummary s = simulate(cfg, app, opt);
   printRunWarnings(s, app);
   return s;
 }

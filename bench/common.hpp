@@ -6,6 +6,7 @@
 //   --csv=<path>  where to mirror the rows as CSV (default: ./<bench>.csv)
 //   --seed=<n>    machine seed
 //   --jobs=<n>    simulation threads (0 = all cores, 1 = serial)
+//   --metrics-dir=<dir>  export one MetricsRegistry JSON per simulation
 //
 // Parallelism model: a bench declares its full run grid up front with
 // runAhead(), which executes the simulations concurrently and caches the
@@ -29,6 +30,7 @@ struct Options {
   double scale = 1.0;
   std::vector<std::string> apps;  // empty = all seven
   std::string csv_path;
+  std::string metrics_dir;  // non-empty: per-run instrument JSON exports
   std::uint64_t seed = 0x5eed;
   unsigned jobs = 0;  // 0 = hardware concurrency, 1 = serial
 };

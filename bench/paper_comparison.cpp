@@ -77,22 +77,27 @@ int main(int argc, char** argv) {
     runs.emplace(app, std::move(m));
   }
 
-  auto table = [&](const char* title, const std::vector<std::string>& headers,
-                   auto&& row_fn) {
+  // Long-format mirror of every table cell: (table, app, metric, value).
+  // This is what CI pins against a committed golden at small scale.
+  std::vector<std::vector<std::string>> long_rows;
+
+  auto table = [&](const char* key, const char* title,
+                   const std::vector<std::string>& headers, auto&& row_fn) {
     std::printf("\n%s\n", title);
     util::AsciiTable t(headers);
-    std::vector<std::vector<std::string>> rows;
     for (const auto& [app, m] : runs) {
       const auto pit = kPaper.find(app);
       if (pit == kPaper.end()) continue;
       std::vector<std::string> row = row_fn(app, pit->second, m);
       t.addRow(row);
-      rows.push_back(std::move(row));
+      for (std::size_t c = 1; c < row.size(); ++c) {
+        long_rows.push_back({key, app, headers[c], row[c]});
+      }
     }
     t.print(std::cout);
   };
 
-  table("Table 3: avg swap-out, optimal prefetch (Mpcycles)",
+  table("table3", "Table 3: avg swap-out, optimal prefetch (Mpcycles)",
         {"App", "paper std", "ours std", "paper nwc", "ours nwc", "paper ratio",
          "ours ratio"},
         [](const std::string& app, const PaperRow& p, const Measured& m) {
@@ -103,7 +108,7 @@ int main(int argc, char** argv) {
               f1(p.t3_std / p.t3_nwc) + "x", on > 0 ? f1(os / on) + "x" : "-"};
         });
 
-  table("Table 4: avg swap-out, naive prefetch (Kpcycles)",
+  table("table4", "Table 4: avg swap-out, naive prefetch (Kpcycles)",
         {"App", "paper std", "ours std", "paper nwc", "ours nwc", "paper ratio",
          "ours ratio"},
         [](const std::string& app, const PaperRow& p, const Measured& m) {
@@ -114,7 +119,7 @@ int main(int argc, char** argv) {
               f1(p.t4_std / p.t4_nwc) + "x", on > 0 ? f1(os / on) + "x" : "-"};
         });
 
-  table("Table 5: write combining, optimal prefetch",
+  table("table5", "Table 5: write combining, optimal prefetch",
         {"App", "paper std", "ours std", "paper nwc", "ours nwc"},
         [](const std::string& app, const PaperRow& p, const Measured& m) {
           return std::vector<std::string>{
@@ -122,7 +127,7 @@ int main(int argc, char** argv) {
               f2(p.t5_nwc), f2(m.nwc_opt.metrics.write_combining.mean())};
         });
 
-  table("Table 6: write combining, naive prefetch",
+  table("table6", "Table 6: write combining, naive prefetch",
         {"App", "paper std", "ours std", "paper nwc", "ours nwc"},
         [](const std::string& app, const PaperRow& p, const Measured& m) {
           return std::vector<std::string>{
@@ -130,7 +135,7 @@ int main(int argc, char** argv) {
               f2(p.t6_nwc), f2(m.nwc_naive.metrics.write_combining.mean())};
         });
 
-  table("Table 7: NWCache read hit rates (%)",
+  table("table7", "Table 7: NWCache read hit rates (%)",
         {"App", "paper naive", "ours naive", "paper optimal", "ours optimal"},
         [](const std::string& app, const PaperRow& p, const Measured& m) {
           return std::vector<std::string>{
@@ -138,7 +143,7 @@ int main(int argc, char** argv) {
               f1(p.t7_optimal), f1(m.nwc_opt.metrics.ring_read_hits.rate() * 100)};
         });
 
-  table("Table 8: disk-cache-hit fault latency, naive prefetch (Kpcycles)",
+  table("table8", "Table 8: disk-cache-hit fault latency, naive prefetch (Kpcycles)",
         {"App", "paper std", "ours std", "paper nwc", "ours nwc"},
         [](const std::string& app, const PaperRow& p, const Measured& m) {
           return std::vector<std::string>{
@@ -158,8 +163,16 @@ int main(int argc, char** argv) {
     const double i_naive = 1.0 - static_cast<double>(m.nwc_naive.exec_time) /
                                      static_cast<double>(m.std_naive.exec_time);
     t.addRow({app, util::AsciiTable::fmtPct(i_opt), util::AsciiTable::fmtPct(i_naive)});
+    long_rows.push_back({"figure34", app, "optimal (ours)", util::AsciiTable::fmtPct(i_opt)});
+    long_rows.push_back({"figure34", app, "naive (ours)", util::AsciiTable::fmtPct(i_naive)});
   }
   t.print(std::cout);
+
+  if (!opt.csv_path.empty()) {
+    util::CsvWriter csv(opt.csv_path, {"table", "app", "metric", "value"});
+    for (const auto& r : long_rows) csv.addRow(r);
+    std::printf("(csv: %s)\n", opt.csv_path.c_str());
+  }
 
   bool all_ok = true;
   for (const auto& [app, m] : runs) {

@@ -1,11 +1,18 @@
 #include "apps/batch.hpp"
 
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 
 #include "apps/registry.hpp"
 #include "machine/config_io.hpp"
+#include "obs/run_meta.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
@@ -74,9 +81,14 @@ BatchSpec BatchSpec::fromIni(const util::IniFile& ini) {
   if (const auto v = ini.getBool("batch.best_min_free")) spec.best_min_free = *v;
   if (const auto v = ini.get("batch.csv")) spec.csv_path = *v;
   if (const auto v = ini.get("batch.jsonl")) spec.jsonl_path = *v;
+  if (const auto v = ini.get("batch.meta_dir")) spec.meta_dir = *v;
   if (const auto v = ini.getInt("batch.jobs")) {
     if (*v < 0) throw std::runtime_error("batch: jobs must be >= 0");
     spec.jobs = static_cast<unsigned>(*v);
+  }
+  if (const auto v = ini.getInt("batch.heartbeat_secs")) {
+    if (*v < 0) throw std::runtime_error("batch: heartbeat_secs must be >= 0");
+    spec.heartbeat_secs = static_cast<unsigned>(*v);
   }
   return spec;
 }
@@ -174,6 +186,45 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
   BatchResult result;
   result.runs.resize(grid.size());
 
+  if (!spec.meta_dir.empty()) {
+    std::filesystem::create_directories(spec.meta_dir);
+  }
+
+  // Per-cell provenance: wall time and RSS are intentionally kept out of the
+  // summaries (they would break the serial-vs-parallel byte-identity) and
+  // land here instead. Peak RSS is the process high-water mark, so for a
+  // parallel batch it is an upper bound on the cell's own footprint.
+  auto writeCellMeta = [&](std::size_t i, const RunSummary& s, double wall_ms) {
+    if (spec.meta_dir.empty()) return;
+    obs::RunMeta meta;
+    meta.app = grid[i].app;
+    meta.system = machine::toString(grid[i].cfg.system);
+    meta.prefetch = machine::toString(grid[i].cfg.prefetch);
+    meta.seed = grid[i].cfg.seed;
+    meta.scale = spec.scale;
+    meta.config_hash = obs::fnv1aHash(machine::toIni(grid[i].cfg).serialize());
+    meta.git_sha = obs::buildGitSha();
+    meta.wall_ms = wall_ms;
+    meta.peak_rss_bytes = obs::peakRssBytes();
+    meta.exec_pcycles = static_cast<std::uint64_t>(s.exec_time);
+    meta.verified = s.verified;
+    char cell[32];
+    std::snprintf(cell, sizeof(cell), "cell%04zu_", i);
+    meta.write(spec.meta_dir + "/" + cell + meta.app + "_" + meta.system + "_" +
+               meta.prefetch + "_s" + std::to_string(meta.seed) + ".json");
+  };
+
+  auto runCell = [&](std::size_t i) {
+    const auto w0 = std::chrono::steady_clock::now();
+    RunSummary s = runApp(grid[i].cfg, grid[i].app, spec.scale);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  w0)
+            .count();
+    writeCellMeta(i, s, wall_ms);
+    return s;
+  };
+
   const unsigned jobs = util::resolveJobs(spec.jobs);
   if (jobs <= 1) {
     // Serial: identical to the historical loop, announcing before each run.
@@ -183,16 +234,55 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
                   << " on " << grid[i].cfg.describe() << "\n";
         progress->flush();
       }
-      result.runs[i] = runApp(grid[i].cfg, grid[i].app, spec.scale);
+      result.runs[i] = runCell(i);
     }
   } else {
     util::ProgressMeter meter(grid.size(), progress);
+
+    // Heartbeat: a low-duty background thread announcing done/running/ETA
+    // and the process RSS while the grid executes.
+    std::mutex hb_mutex;
+    std::condition_variable hb_cv;
+    bool hb_stop = false;
+    std::thread hb_thread;
+    if (progress != nullptr && spec.heartbeat_secs > 0) {
+      hb_thread = std::thread([&] {
+        std::unique_lock<std::mutex> lk(hb_mutex);
+        while (!hb_cv.wait_for(lk, std::chrono::seconds(spec.heartbeat_secs),
+                               [&] { return hb_stop; })) {
+          meter.heartbeat("rss=" + obs::formatBytes(obs::currentRssBytes()) +
+                          " peak=" + obs::formatBytes(obs::peakRssBytes()));
+        }
+      });
+    }
+
     util::ParallelExecutor exec(jobs);
-    exec.forEachIndex(grid.size(), [&](std::size_t i) {
-      RunSummary s = runApp(grid[i].cfg, grid[i].app, spec.scale);
-      meter.completed(grid[i].app + " on " + grid[i].cfg.describe(), s.ok());
-      result.runs[i] = std::move(s);
-    });
+    try {
+      exec.forEachIndex(grid.size(), [&](std::size_t i) {
+        meter.started();
+        RunSummary s = runCell(i);
+        meter.completed(grid[i].app + " on " + grid[i].cfg.describe(), s.ok());
+        result.runs[i] = std::move(s);
+      });
+    } catch (...) {
+      if (hb_thread.joinable()) {
+        {
+          std::lock_guard<std::mutex> lk(hb_mutex);
+          hb_stop = true;
+        }
+        hb_cv.notify_all();
+        hb_thread.join();
+      }
+      throw;
+    }
+    if (hb_thread.joinable()) {
+      {
+        std::lock_guard<std::mutex> lk(hb_mutex);
+        hb_stop = true;
+      }
+      hb_cv.notify_all();
+      hb_thread.join();
+    }
   }
 
   for (const RunSummary& s : result.runs) {

@@ -23,13 +23,16 @@ struct BatchSpec {
   bool best_min_free = true;  // re-derive min-free per (system, prefetch)
   std::string csv_path;       // empty = no CSV
   std::string jsonl_path;     // empty = no JSON lines
+  std::string meta_dir;       // non-empty: one run_meta.json per grid cell
   unsigned jobs = 0;          // worker threads; 0 = hardware concurrency,
                               // 1 = serial (today's loop, unchanged)
+  unsigned heartbeat_secs = 2;  // parallel-run status cadence; 0 disables
 
   /// Parses the [machine] and [batch] sections. [batch] keys:
   ///   apps, systems, prefetch (comma lists), scale, seeds, csv, jsonl,
-  ///   best_min_free, jobs. Missing keys default to the full matrix of the
-  ///   standard+nwcache systems over all seven applications.
+  ///   meta_dir, best_min_free, jobs, heartbeat_secs. Missing keys default
+  ///   to the full matrix of the standard+nwcache systems over all seven
+  ///   applications.
   static BatchSpec fromIni(const util::IniFile& ini);
 
   std::size_t runCount() const {

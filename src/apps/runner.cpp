@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "apps/app_context.hpp"
+#include "obs/registry.hpp"
+#include "obs/timeline.hpp"
 
 namespace nwc::apps {
 
@@ -18,13 +20,19 @@ sim::Task<> cpuMain(AppContext& ctx, AppInstance& app, int cpu) {
 
 RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name,
                   double scale, machine::TraceBuffer* trace) {
+  return runApp(cfg, app_name, scale, ObsSinks{trace, nullptr, nullptr});
+}
+
+RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name,
+                  double scale, const ObsSinks& sinks) {
   const AppInfo* info = findApp(app_name);
   if (info == nullptr) {
     throw std::invalid_argument("unknown application: " + app_name);
   }
 
   machine::Machine m(cfg);
-  if (trace != nullptr) m.attachTrace(trace);
+  if (sinks.trace != nullptr) m.attachTrace(sinks.trace);
+  if (sinks.timeline != nullptr) m.attachEventTimeline(sinks.timeline);
   std::unique_ptr<AppInstance> app = info->make(scale);
   AppContext ctx(m);
   app->setup(ctx);
@@ -44,6 +52,7 @@ RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name
   s.invariant_violations = m.checkInvariants();
   s.engine_events = m.engine().eventsProcessed();
   s.data_bytes = app->dataBytes();
+  if (sinks.registry != nullptr) m.publishMetrics(*sinks.registry);
   return s;
 }
 

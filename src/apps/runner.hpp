@@ -9,6 +9,11 @@
 #include "machine/metrics.hpp"
 #include "machine/trace.hpp"
 
+namespace nwc::obs {
+class EventTimeline;
+class MetricsRegistry;
+}
+
 namespace nwc::apps {
 
 struct RunSummary {
@@ -24,10 +29,23 @@ struct RunSummary {
   bool ok() const { return verified && invariant_violations.empty(); }
 };
 
+/// Optional observability sinks for a run; every pointer may be null
+/// (detached). `registry` is filled via Machine::publishMetrics after the
+/// run completes; `timeline` records cross-layer events while it runs.
+struct ObsSinks {
+  machine::TraceBuffer* trace = nullptr;
+  obs::EventTimeline* timeline = nullptr;
+  obs::MetricsRegistry* registry = nullptr;
+};
+
 /// Runs `app_name` at input `scale` on a machine built from `cfg`.
 /// If `trace` is non-null, page-grain events are recorded into it.
 /// Throws std::invalid_argument for an unknown application name.
 RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name,
                   double scale = 1.0, machine::TraceBuffer* trace = nullptr);
+
+/// As above, with the full set of observability sinks.
+RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name,
+                  double scale, const ObsSinks& sinks);
 
 }  // namespace nwc::apps

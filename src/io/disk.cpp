@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/registry.hpp"
 #include "util/units.hpp"
 
 namespace nwc::io {
@@ -40,6 +41,15 @@ sim::Tick DiskModel::readTime(std::uint64_t block, int count) {
 sim::Tick DiskModel::writeTime(std::uint64_t block, int count) {
   ++writes_;
   return opTime(block, count);
+}
+
+void DiskModel::publishMetrics(obs::MetricsRegistry& reg,
+                               const std::string& prefix) const {
+  reg.counter(prefix + "reads", reads_);
+  reg.counter(prefix + "writes", writes_);
+  reg.counter(prefix + "pages_transferred", pages_xfer_);
+  obs::publish(reg, prefix + "seek_ticks", seek_stats_);
+  obs::publish(reg, prefix + "arm", arm_);
 }
 
 }  // namespace nwc::io

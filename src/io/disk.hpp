@@ -8,11 +8,16 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/fifo_server.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
+
+namespace nwc::obs {
+class MetricsRegistry;
+}
 
 namespace nwc::io {
 
@@ -49,6 +54,9 @@ class DiskModel {
   std::uint64_t pagesTransferred() const { return pages_xfer_; }
 
   sim::Tick pageTransferTicks() const { return page_xfer_ticks_; }
+
+  /// Registers disk statistics under `prefix` (e.g. "disk0.").
+  void publishMetrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
 
  private:
   sim::Tick opTime(std::uint64_t block, int count);

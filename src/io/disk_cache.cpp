@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+
 namespace nwc::io {
 
 DiskCache::DiskCache(int slots) : slots_(static_cast<std::size_t>(slots)) {}
@@ -154,6 +156,13 @@ int DiskCache::freeCount() const {
   int n = 0;
   for (const auto& s : slots_) n += s.state == State::kFree ? 1 : 0;
   return n;
+}
+
+void DiskCache::publishMetrics(obs::MetricsRegistry& reg,
+                               const std::string& prefix) const {
+  obs::publish(reg, prefix + "lookup", hits_);
+  reg.gauge(prefix + "slots", slots());
+  reg.gauge(prefix + "dirty", dirtyCount());
 }
 
 }  // namespace nwc::io

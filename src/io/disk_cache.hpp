@@ -11,10 +11,15 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
+
+namespace nwc::obs {
+class MetricsRegistry;
+}
 
 namespace nwc::io {
 
@@ -66,6 +71,10 @@ class DiskCache {
   int dirtyCount() const;
   int freeCount() const;
   const sim::RatioCounter& hitStats() const { return hits_; }
+
+  /// Registers controller-cache statistics under `prefix` (e.g.
+  /// "disk0.cache.").
+  void publishMetrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
 
  private:
   enum class State { kFree, kClean, kDirty };

@@ -1,6 +1,7 @@
 // Page-fault service: transit waits, frame allocation (NoFree stalls),
 // disk-controller reads, and NWCache victim reads off the optical ring.
 #include "machine/machine.hpp"
+#include "obs/timeline.hpp"
 
 namespace nwc::machine {
 
@@ -107,6 +108,26 @@ sim::Task<> Machine::pageFault(int cpu, sim::PageId page, bool write) {
                                               : TraceKind::kFaultDiskMiss;
       trace_->record(TraceEvent{f_end, fault_ticks, page, cpu, kind});
     }
+    if (etl_ != nullptr && etl_->enabled(obs::Layer::kFault)) {
+      // Parent/child spans: the fault-service span owns a frame-allocation
+      // child (when reclaim stalled us) and the fetch child on the layer
+      // that actually served the page.
+      const std::uint64_t fid = etl_->reserveSpanId();
+      if (fetch0 > f0) {
+        etl_->span(obs::Layer::kVm, "fault.alloc_frame", f0, fetch0 - f0, cpu, page,
+                   fid);
+      }
+      const obs::Layer fetch_layer = from_ring     ? obs::Layer::kRing
+                                     : from_remote ? obs::Layer::kMesh
+                                                   : obs::Layer::kDisk;
+      const char* fetch_name = from_ring        ? "fault.fetch_ring"
+                               : from_remote    ? "fault.fetch_remote"
+                               : controller_hit ? "fault.fetch_ctrl_hit"
+                                                : "fault.fetch_disk";
+      etl_->span(fetch_layer, fetch_name, fetch0, f_end - fetch0, cpu, page, fid);
+      etl_->span(obs::Layer::kFault, "fault.service", f0, f_end - f0, cpu, page, 0,
+                 fid);
+    }
     sampleTimeline();
     co_return;
   }
@@ -158,6 +179,9 @@ sim::Tick Machine::controllerReadService(DiskCtx& d, sim::PageId page, bool* cac
   // Demand read from the platters, serialized on the arm.
   const sim::Tick svc = d.disk.readTime(pfs_->blockOf(page), 1);
   t = d.disk.arm().request(t, svc);
+  if (etl_ != nullptr && etl_->enabled(obs::Layer::kDisk)) {
+    etl_->span(obs::Layer::kDisk, "disk.read", t - svc, svc, d.node, page);
+  }
   d.cache.insertClean(page);
 
   // Naive sequential prefetch: fill the remaining free slots with the pages

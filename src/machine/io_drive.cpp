@@ -2,6 +2,7 @@
 // combining), the NACK/OK protocol, and the NWCache interface drain loop
 // that copies swapped-out pages from the optical ring into the disk cache.
 #include "machine/machine.hpp"
+#include "obs/timeline.hpp"
 
 namespace nwc::machine {
 
@@ -22,12 +23,21 @@ sim::Task<> Machine::diskDrainLoop(int disk_idx) {
       const sim::Tick t = dc.log->arm().request(eng_->now(), svc);
       co_await eng_->waitUntil(t);
       dc.log->recordAppend(batch);
+      if (etl_ != nullptr && etl_->enabled(obs::Layer::kDisk)) {
+        etl_->span(obs::Layer::kDisk, "disk.log_append", t - svc, svc, dc.node,
+                   batch.front());
+      }
     } else {
       // One physical write for the whole run of consecutive pages.
       const sim::Tick svc = dc.disk.writeTime(pfs_->blockOf(batch.front()),
                                               static_cast<int>(batch.size()));
       const sim::Tick t = dc.disk.arm().request(eng_->now(), svc);
       co_await eng_->waitUntil(t);
+      if (etl_ != nullptr && etl_->enabled(obs::Layer::kDisk)) {
+        // The span covers the arm's service period, not our queueing wait.
+        etl_->span(obs::Layer::kDisk, "disk.write", t - svc, svc, dc.node,
+                   batch.front());
+      }
     }
 
     dc.cache.completeWrite(batch);
@@ -128,9 +138,13 @@ sim::Task<> Machine::nwcDrainLoop(int disk_idx) {
       const sim::Tick circulate =
           must_circulate ? rng_.below(ring_->roundTripTicks()) : 0;
       must_circulate = false;
+      const sim::Tick r0 = eng_->now();
       const sim::Tick t = ring_->drainRx(dc.node).request(
-          eng_->now(), circulate + ring_->pageTransferTicks());
+          r0, circulate + ring_->pageTransferTicks());
       co_await eng_->waitUntil(t);
+      if (etl_ != nullptr && etl_->enabled(obs::Layer::kRing)) {
+        etl_->span(obs::Layer::kRing, "ring.drain", r0, t - r0, dc.node, rec->page);
+      }
 
       fifos.popFront(ch);
       const bool staged = dc.cache.insertDirty(rec->page);

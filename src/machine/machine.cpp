@@ -3,6 +3,7 @@
 #include <cassert>
 #include <sstream>
 
+#include "obs/timeline.hpp"
 #include "util/units.hpp"
 
 namespace nwc::machine {
@@ -156,19 +157,35 @@ sim::Tick Machine::ctrlTransfer(sim::Tick now, sim::NodeId src, sim::NodeId dst)
 }
 
 void Machine::sampleTimeline() {
-  if (!timeline_) return;
+  const bool want_vm = etl_ != nullptr && etl_->enabled(obs::Layer::kVm);
+  const bool want_disk = etl_ != nullptr && etl_->enabled(obs::Layer::kDisk);
+  const bool want_ring = etl_ != nullptr && etl_->enabled(obs::Layer::kRing);
+  if (!timeline_ && !want_vm && !want_disk && !want_ring) return;
   const sim::Tick now = eng_->now();
   double free = 0, in_flight = 0;
   for (const auto& n : nodes_) {
     free += n->frames.freeFrames();
     in_flight += n->swaps_in_flight;
   }
-  timeline_->free_frames.sample(now, free);
-  timeline_->swaps_in_flight.sample(now, in_flight);
   double dirty = 0;
   for (const auto& d : disks_) dirty += d->cache.dirtyCount();
-  timeline_->dirty_slots.sample(now, dirty);
-  timeline_->ring_occupancy.sample(now, ring_ ? ring_->totalOccupancy() : 0);
+  const double on_ring = ring_ ? ring_->totalOccupancy() : 0;
+  if (timeline_) {
+    timeline_->free_frames.sample(now, free);
+    timeline_->swaps_in_flight.sample(now, in_flight);
+    timeline_->dirty_slots.sample(now, dirty);
+    timeline_->ring_occupancy.sample(now, on_ring);
+  }
+  if (want_vm) {
+    etl_->counterSample(obs::Layer::kVm, "vm.free_frames", now, free);
+    etl_->counterSample(obs::Layer::kVm, "vm.swaps_in_flight", now, in_flight);
+  }
+  if (want_disk) {
+    etl_->counterSample(obs::Layer::kDisk, "disk.dirty_slots", now, dirty);
+  }
+  if (want_ring && ring_) {
+    etl_->counterSample(obs::Layer::kRing, "ring.occupancy", now, on_ring);
+  }
 }
 
 std::string Machine::checkInvariants() const {

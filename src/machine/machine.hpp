@@ -37,6 +37,11 @@
 #include "vm/frame_pool.hpp"
 #include "vm/page_table.hpp"
 
+namespace nwc::obs {
+class EventTimeline;
+class MetricsRegistry;
+}
+
 namespace nwc::machine {
 
 class Machine {
@@ -117,6 +122,15 @@ class Machine {
   /// Attaches a page-event trace sink (optional; may be null to detach).
   void attachTrace(TraceBuffer* sink) { trace_ = sink; }
   TraceBuffer* trace() const { return trace_; }
+
+  /// Attaches a cross-layer event timeline (optional; null to detach).
+  /// Each hot-path hook costs one pointer check while detached.
+  void attachEventTimeline(obs::EventTimeline* tl);
+  obs::EventTimeline* eventTimeline() const { return etl_; }
+
+  /// Publishes every component's end-of-run statistics into `reg`
+  /// (observe.cpp has the full instrument catalog).
+  void publishMetrics(obs::MetricsRegistry& reg) const;
 
   /// Machine-state time series, sampled at every page-grain event.
   struct Timeline {
@@ -236,6 +250,7 @@ class Machine {
   std::vector<std::unique_ptr<sim::Signal>> ring_room_;  // per channel
   Metrics metrics_;
   TraceBuffer* trace_ = nullptr;
+  obs::EventTimeline* etl_ = nullptr;
   std::unique_ptr<Timeline> timeline_;
   sim::Rng rng_;
   std::uint64_t next_vaddr_ = 0;

@@ -9,6 +9,7 @@
 //    through the local I/O bus; the frame is reusable as soon as the page
 //    is on the ring (paper 3.2).
 #include "machine/machine.hpp"
+#include "obs/timeline.hpp"
 
 namespace nwc::machine {
 
@@ -16,6 +17,9 @@ using vm::PageState;
 
 void Machine::shootdown(sim::PageId page, sim::NodeId initiator) {
   ++metrics_.shootdowns;
+  if (etl_ != nullptr && etl_->enabled(obs::Layer::kTlb)) {
+    etl_->instant(obs::Layer::kTlb, "tlb.shootdown", eng_->now(), initiator, page);
+  }
   for (int n = 0; n < cfg_.num_nodes; ++n) {
     nodes_[static_cast<std::size_t>(n)]->tlb.invalidate(page);
     if (n != initiator) {
@@ -78,6 +82,10 @@ sim::Task<> Machine::replacementDaemon(sim::NodeId n) {
           trace_->record(
               TraceEvent{eng_->now(), 0, page, n, TraceKind::kCleanEviction});
         }
+        if (etl_ != nullptr && etl_->enabled(obs::Layer::kSwap)) {
+          etl_->instant(obs::Layer::kSwap, "swap.clean_eviction", eng_->now(), n,
+                        page);
+        }
         sampleTimeline();
         continue;
       }
@@ -114,6 +122,12 @@ sim::Task<> Machine::swapOutPage(sim::NodeId n, sim::PageId page, bool force_dis
                               cfg_.hasRing() ? TraceKind::kSwapOutRing
                                              : TraceKind::kSwapOutDisk});
   }
+  if (etl_ != nullptr && etl_->enabled(obs::Layer::kSwap)) {
+    // Async: a node's swap-outs overlap (the replacement daemon spawns them
+    // in bursts), so complete "X" slices would render as overlaps.
+    etl_->asyncSpan(obs::Layer::kSwap,
+                    cfg_.hasRing() ? "swap.ring" : "swap.disk", t0, dt, n, page);
+  }
   sampleTimeline();
 }
 
@@ -142,6 +156,9 @@ sim::Task<> Machine::swapOutStandard(sim::NodeId n, sim::PageId page) {
     ++metrics_.nacks;
     if (trace_ != nullptr) {
       trace_->record(TraceEvent{eng_->now(), 0, page, n, TraceKind::kNack});
+    }
+    if (etl_ != nullptr && etl_->enabled(obs::Layer::kSwap)) {
+      etl_->instant(obs::Layer::kSwap, "swap.nack", eng_->now(), n, page);
     }
     co_await eng_->waitUntil(ctrlTransfer(eng_->now(), io, n));  // NACK delivery
     sim::Trigger ok(*eng_);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+
 namespace nwc::mem {
 
 Tlb::Tlb(int entries) : entries_(entries) { map_.reserve(static_cast<std::size_t>(entries) * 2); }
@@ -34,5 +36,10 @@ void Tlb::insert(sim::PageId page) {
 bool Tlb::invalidate(sim::PageId page) { return map_.erase(page) > 0; }
 
 void Tlb::flush() { map_.clear(); }
+
+void Tlb::publishMetrics(obs::MetricsRegistry& reg, const std::string& prefix) const {
+  obs::publish(reg, prefix + "lookup", hits_);
+  reg.gauge(prefix + "entries", capacity());
+}
 
 }  // namespace nwc::mem

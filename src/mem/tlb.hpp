@@ -2,10 +2,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
+
+namespace nwc::obs {
+class MetricsRegistry;
+}
 
 namespace nwc::mem {
 
@@ -29,6 +34,9 @@ class Tlb {
   int size() const { return static_cast<int>(map_.size()); }
   int capacity() const { return entries_; }
   const sim::RatioCounter& hitStats() const { return hits_; }
+
+  /// Registers TLB statistics under `prefix` (e.g. "tlb3.").
+  void publishMetrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
 
  private:
   int entries_;

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/registry.hpp"
+#include "obs/timeline.hpp"
+
 namespace nwc::net {
 
 const char* toString(TrafficClass c) {
@@ -65,7 +68,12 @@ sim::Tick MeshNetwork::transfer(sim::Tick now, sim::NodeId src, sim::NodeId dst,
   };
   while (x != dx) traverse(x + (dx > x ? 1 : -1), y);
   while (y != dy) traverse(x, y + (dy > y ? 1 : -1));
-  return t + ser;  // message fully delivered once the last link drains
+  const sim::Tick done = t + ser;  // delivered once the last link drains
+  if (timeline_ != nullptr && timeline_->enabled(obs::Layer::kMesh)) {
+    timeline_->asyncSpan(obs::Layer::kMesh, toString(cls), now, done - now, src,
+                         sim::kNoPage);
+  }
+  return done;
 }
 
 std::uint64_t MeshNetwork::messages(TrafficClass c) const {
@@ -92,6 +100,22 @@ sim::Tick MeshNetwork::totalLinkQueuedTicks() const {
   sim::Tick t = 0;
   for (const auto& [k, s] : links_) t += s.queuedTicks();
   return t;
+}
+
+void MeshNetwork::publishMetrics(obs::MetricsRegistry& reg,
+                                 const std::string& prefix) const {
+  for (int c = 0; c < static_cast<int>(TrafficClass::kNumClasses); ++c) {
+    const auto cls = static_cast<TrafficClass>(c);
+    const std::string base = prefix + toString(cls) + ".";
+    reg.counter(base + "messages", stats_[c].messages);
+    reg.counter(base + "bytes", stats_[c].bytes);
+  }
+  reg.counter(prefix + "total_bytes", totalBytes());
+  reg.counter(prefix + "link_busy_ticks",
+              static_cast<std::uint64_t>(totalLinkBusyTicks()));
+  reg.counter(prefix + "link_queued_ticks",
+              static_cast<std::uint64_t>(totalLinkQueuedTicks()));
+  reg.gauge(prefix + "links", static_cast<double>(linkCount()));
 }
 
 }  // namespace nwc::net

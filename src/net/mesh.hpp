@@ -15,6 +15,11 @@
 #include "sim/fifo_server.hpp"
 #include "sim/types.hpp"
 
+namespace nwc::obs {
+class EventTimeline;
+class MetricsRegistry;
+}
+
 namespace nwc::net {
 
 enum class TrafficClass : int {
@@ -65,6 +70,13 @@ class MeshNetwork {
 
   std::size_t linkCount() const { return links_.size(); }
 
+  /// Registers mesh statistics under `prefix` (e.g. "mesh.").
+  void publishMetrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
+
+  /// Attaches an event timeline; every transfer() then records an async
+  /// span on Layer::kMesh (may be null to detach).
+  void setTimeline(obs::EventTimeline* tl) { timeline_ = tl; }
+
  private:
   struct ClassStats {
     std::uint64_t messages = 0;
@@ -79,6 +91,7 @@ class MeshNetwork {
   int height_;
   std::unordered_map<std::uint64_t, sim::FifoServer> links_;
   ClassStats stats_[static_cast<int>(TrafficClass::kNumClasses)];
+  obs::EventTimeline* timeline_ = nullptr;
 };
 
 }  // namespace nwc::net

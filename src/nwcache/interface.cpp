@@ -1,5 +1,7 @@
 #include "nwcache/interface.hpp"
 
+#include "obs/registry.hpp"
+
 namespace nwc::ring {
 
 NwcFifos::NwcFifos(int channels) : fifos_(static_cast<std::size_t>(channels)) {}
@@ -57,6 +59,12 @@ std::optional<SwapRecord> NwcFifos::removePage(sim::PageId page) {
     }
   }
   return std::nullopt;
+}
+
+void NwcFifos::publishMetrics(obs::MetricsRegistry& reg,
+                              const std::string& prefix) const {
+  reg.counter(prefix + "pushes", pushes_);
+  reg.gauge(prefix + "queued", totalSize());
 }
 
 }  // namespace nwc::ring

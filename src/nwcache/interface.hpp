@@ -12,9 +12,14 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sim/types.hpp"
+
+namespace nwc::obs {
+class MetricsRegistry;
+}
 
 namespace nwc::ring {
 
@@ -48,6 +53,9 @@ class NwcFifos {
   std::optional<SwapRecord> removePage(sim::PageId page);
 
   std::uint64_t pushes() const { return pushes_; }
+
+  /// Registers interface statistics under `prefix` (e.g. "iface0.").
+  void publishMetrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
 
  private:
   std::vector<std::deque<SwapRecord>> fifos_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/registry.hpp"
 #include "util/units.hpp"
 
 namespace nwc::ring {
@@ -83,6 +84,44 @@ int OpticalRing::totalOccupancy() const {
 
 const std::deque<sim::PageId>& OpticalRing::pagesOn(int ch) const {
   return stored_[static_cast<std::size_t>(ch)];
+}
+
+void OpticalRing::publishMetrics(obs::MetricsRegistry& reg,
+                                 const std::string& prefix) const {
+  reg.counter(prefix + "inserts", inserts_);
+  reg.counter(prefix + "removes", removes_);
+  reg.gauge(prefix + "capacity_pages", capacity_pages_);
+  reg.gauge(prefix + "occupancy", totalOccupancy());
+  reg.gauge(prefix + "peak_occupancy", peak_total_);
+  std::uint64_t tx_jobs = 0, drain_jobs = 0, fault_jobs = 0;
+  sim::Tick tx_busy = 0, drain_busy = 0, fault_busy = 0;
+  sim::Tick tx_queued = 0, drain_queued = 0, fault_queued = 0;
+  for (const auto& s : tx_) {
+    tx_jobs += s.jobs();
+    tx_busy += s.busyTicks();
+    tx_queued += s.queuedTicks();
+  }
+  for (const auto& s : drain_rx_) {
+    drain_jobs += s.jobs();
+    drain_busy += s.busyTicks();
+    drain_queued += s.queuedTicks();
+  }
+  for (const auto& s : fault_rx_) {
+    fault_jobs += s.jobs();
+    fault_busy += s.busyTicks();
+    fault_queued += s.queuedTicks();
+  }
+  reg.counter(prefix + "tx.jobs", tx_jobs);
+  reg.counter(prefix + "tx.busy_ticks", static_cast<std::uint64_t>(tx_busy));
+  reg.counter(prefix + "tx.queued_ticks", static_cast<std::uint64_t>(tx_queued));
+  reg.counter(prefix + "drain_rx.jobs", drain_jobs);
+  reg.counter(prefix + "drain_rx.busy_ticks", static_cast<std::uint64_t>(drain_busy));
+  reg.counter(prefix + "drain_rx.queued_ticks",
+              static_cast<std::uint64_t>(drain_queued));
+  reg.counter(prefix + "fault_rx.jobs", fault_jobs);
+  reg.counter(prefix + "fault_rx.busy_ticks", static_cast<std::uint64_t>(fault_busy));
+  reg.counter(prefix + "fault_rx.queued_ticks",
+              static_cast<std::uint64_t>(fault_queued));
 }
 
 }  // namespace nwc::ring

@@ -13,11 +13,16 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sim/fifo_server.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
+
+namespace nwc::obs {
+class MetricsRegistry;
+}
 
 namespace nwc::ring {
 
@@ -87,6 +92,11 @@ class OpticalRing {
   std::uint64_t removes() const { return removes_; }
   int peakOccupancy(int ch) const { return peak_[static_cast<std::size_t>(ch)]; }
   int peakTotalOccupancy() const { return peak_total_; }
+
+  /// Registers this ring's end-of-run statistics under `prefix` (e.g.
+  /// "ring." -> "ring.inserts"). Snapshot publication: costs nothing until
+  /// called, so instrumentation-off runs pay zero on the hot path.
+  void publishMetrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
 
  private:
   RingParams params_;

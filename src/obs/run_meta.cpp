@@ -1,0 +1,107 @@
+#include "obs/run_meta.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+#ifndef NWC_GIT_SHA
+#define NWC_GIT_SHA "unknown"
+#endif
+
+namespace nwc::obs {
+
+std::uint64_t fnv1aHash(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string buildGitSha() { return NWC_GIT_SHA; }
+
+namespace {
+
+// Reads the n-th whitespace-separated field of a /proc single-line file.
+std::uint64_t procStatmField(int field) {
+  std::ifstream in("/proc/self/statm");
+  if (!in) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i <= field; ++i) {
+    if (!(in >> v)) return 0;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t currentRssBytes() {
+  // statm field 1 is resident pages.
+  return procStatmField(1) * 4096ULL;
+}
+
+std::uint64_t peakRssBytes() {
+  std::ifstream in("/proc/self/status");
+  if (!in) return 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::uint64_t kb = 0;
+      if (std::sscanf(line.c_str() + 6, "%llu",
+                      reinterpret_cast<unsigned long long*>(&kb)) == 1) {
+        return kb * 1024ULL;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+std::string formatBytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+  }
+  return buf;
+}
+
+std::string RunMeta::toJson() const {
+  char hash_hex[20];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                static_cast<unsigned long long>(config_hash));
+  util::JsonObject o;
+  o.add("schema", "nwc-run-meta-v1")
+      .add("app", app)
+      .add("system", system)
+      .add("prefetch", prefetch)
+      .add("seed", seed)
+      .add("scale", scale)
+      .add("config_hash", std::string(hash_hex))
+      .add("git_sha", git_sha)
+      .add("wall_ms", wall_ms)
+      .add("peak_rss_bytes", peak_rss_bytes)
+      .add("exec_pcycles", exec_pcycles)
+      .add("verified", verified);
+  return o.str();
+}
+
+void RunMeta::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("run_meta: cannot open " + path);
+  out << toJson() << "\n";
+  if (!out) throw std::runtime_error("run_meta: write failed for " + path);
+}
+
+}  // namespace nwc::obs

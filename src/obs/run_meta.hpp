@@ -1,0 +1,46 @@
+// Per-run provenance: everything needed to reproduce or audit one grid
+// cell — config hash, build git sha, seed, scale, wall time, peak RSS —
+// written as a small run_meta.json next to the run's outputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nwc::obs {
+
+/// FNV-1a 64-bit hash (stable across platforms; used for config hashes).
+std::uint64_t fnv1aHash(const std::string& s);
+
+/// Git sha the binary was built from (CMake bakes it in; "unknown" when the
+/// build did not run inside a checkout).
+std::string buildGitSha();
+
+/// Current resident set size in bytes (/proc/self/statm; 0 if unavailable).
+std::uint64_t currentRssBytes();
+
+/// Process peak resident set size in bytes (/proc/self/status VmHWM; 0 if
+/// unavailable). Note: process-wide high-water mark, so per-cell readings
+/// in a batch are an upper bound on the cell's own footprint.
+std::uint64_t peakRssBytes();
+
+/// Renders bytes as a short human string ("1.5 GB", "312 MB", "8 KB").
+std::string formatBytes(std::uint64_t bytes);
+
+struct RunMeta {
+  std::string app;
+  std::string system;
+  std::string prefetch;
+  std::uint64_t seed = 0;
+  double scale = 1.0;
+  std::uint64_t config_hash = 0;  // fnv1aHash of the serialized machine INI
+  std::string git_sha;
+  double wall_ms = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t exec_pcycles = 0;
+  bool verified = false;
+
+  std::string toJson() const;
+  void write(const std::string& path) const;  // throws on I/O failure
+};
+
+}  // namespace nwc::obs

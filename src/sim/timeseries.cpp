@@ -7,28 +7,45 @@ namespace nwc::sim {
 
 void TimeSeries::sample(Tick t, double v) {
   assert(points_.empty() || t >= points_.back().first);
+  if (points_.empty()) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
   points_.emplace_back(t, v);
   if (points_.size() > max_points_) decimate();
 }
 
 void TimeSeries::decimate() {
+  // Merge adjacent pairs by their hold durations: the pair (a, b) followed
+  // by a point at `end` collapses to one sample at a's timestamp whose
+  // value reproduces the pair's integral over [a, end). The kept
+  // timestamps are every other original one, and the series' integral —
+  // hence timeWeightedMean() — is unchanged.
   std::vector<std::pair<Tick, double>> kept;
-  kept.reserve(points_.size() / 2 + 1);
-  for (std::size_t i = 0; i < points_.size(); i += 2) kept.push_back(points_[i]);
+  const std::size_t n = points_.size();
+  kept.reserve(n / 2 + 2);
+  std::size_t i = 0;
+  while (i + 2 < n) {
+    const auto& a = points_[i];
+    const auto& b = points_[i + 1];
+    const double wa = static_cast<double>(b.first - a.first);
+    const double wb = static_cast<double>(points_[i + 2].first - b.first);
+    const double w = wa + wb;
+    kept.emplace_back(a.first, w > 0 ? (a.second * wa + b.second * wb) / w
+                                     : 0.5 * (a.second + b.second));
+    i += 2;
+  }
+  // The final one or two samples carry the current level (the last value
+  // holds past the end of the series); keep them verbatim.
+  for (; i < n; ++i) kept.push_back(points_[i]);
   points_ = std::move(kept);
 }
 
-double TimeSeries::minValue() const {
-  double m = points_.empty() ? 0.0 : points_[0].second;
-  for (const auto& [t, v] : points_) m = std::min(m, v);
-  return m;
-}
+double TimeSeries::minValue() const { return points_.empty() ? 0.0 : min_; }
 
-double TimeSeries::maxValue() const {
-  double m = points_.empty() ? 0.0 : points_[0].second;
-  for (const auto& [t, v] : points_) m = std::max(m, v);
-  return m;
-}
+double TimeSeries::maxValue() const { return points_.empty() ? 0.0 : max_; }
 
 double TimeSeries::timeWeightedMean() const {
   if (points_.size() < 2) return points_.empty() ? 0.0 : points_[0].second;

@@ -1,8 +1,11 @@
 // Time series of sampled simulation state (occupancy, free frames, ...).
 //
-// Samples are appended in time order; when the buffer exceeds its cap it is
-// decimated (every other point dropped) so long runs stay bounded while
-// preserving overall shape. Renders as an ASCII sparkline for terminal
+// Samples are appended in time order; when the buffer exceeds its cap,
+// adjacent samples are merged by their time-weighted hold values, so long
+// runs stay bounded while the series' integral (and thus its time-weighted
+// mean) is preserved. Extremes are tracked at sample time, so minValue()
+// and maxValue() are exact over every sample ever fed regardless of how
+// many merge rounds have run. Renders as an ASCII sparkline for terminal
 // output.
 #pragma once
 
@@ -25,6 +28,7 @@ class TimeSeries {
   bool empty() const { return points_.empty(); }
   const std::vector<std::pair<Tick, double>>& points() const { return points_; }
 
+  /// Extremes over every sample ever fed (exact across decimation).
   double minValue() const;
   double maxValue() const;
   /// Time-weighted mean (each sample holds until the next).
@@ -42,6 +46,8 @@ class TimeSeries {
 
   std::size_t max_points_;
   std::vector<std::pair<Tick, double>> points_;
+  double min_ = 0.0;  // running extremes, valid while !points_.empty()
+  double max_ = 0.0;
 };
 
 }  // namespace nwc::sim

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 namespace nwc::util {
 
@@ -77,5 +79,208 @@ std::string jsonArray(const std::vector<std::string>& elements) {
   }
   return out + "]";
 }
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) throw std::runtime_error("json: missing member \"" + key + "\"");
+  return *v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValue parseDocument() {
+    JsonValue v = parseValue();
+    skipWs();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeIf(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(const char* w) {
+    const std::size_t len = std::char_traits<char>::length(w);
+    if (s_.compare(pos_, len, w) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parseValue() {
+    skipWs();
+    JsonValue v;
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"':
+        v.type = JsonValue::Type::kString;
+        v.string = parseString();
+        return v;
+      case 't':
+        if (!consumeWord("true")) fail("bad literal");
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consumeWord("false")) fail("bad literal");
+        v.type = JsonValue::Type::kBool;
+        return v;
+      case 'n':
+        if (!consumeWord("null")) fail("bad literal");
+        return v;
+      default: return parseNumber();
+    }
+  }
+
+  JsonValue parseObject() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    skipWs();
+    if (consumeIf('}')) return v;
+    for (;;) {
+      skipWs();
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      v.object.emplace_back(std::move(key), parseValue());
+      skipWs();
+      if (consumeIf(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parseArray() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    skipWs();
+    if (consumeIf(']')) return v;
+    for (;;) {
+      v.array.push_back(parseValue());
+      skipWs();
+      if (consumeIf(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode (BMP only; surrogate pairs unsupported).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parseNumber() {
+    const std::size_t start = pos_;
+    if (consumeIf('-')) {}
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' || s_[pos_] == 'e' ||
+            s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && s_[start] == '-')) fail("bad number");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    v.number = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("bad number");
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parseJson(const std::string& text) { return Parser(text).parseDocument(); }
 
 }  // namespace nwc::util

@@ -1,9 +1,11 @@
 // Minimal JSON emitter (objects/arrays of scalars) for machine-readable
-// run summaries. Writing only — this library never parses JSON.
+// run summaries, plus a small recursive-descent parser so tools (nwcstat)
+// and tests can read the files back.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace nwc::util {
@@ -35,5 +37,31 @@ class JsonObject {
 
 /// Renders a JSON array of pre-rendered values.
 std::string jsonArray(const std::vector<std::string>& elements);
+
+/// Parsed JSON document node. Object members keep their source order.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  bool isObject() const { return type == Type::kObject; }
+  bool isArray() const { return type == Type::kArray; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Member lookup that throws std::runtime_error when absent.
+  const JsonValue& at(const std::string& key) const;
+};
+
+/// Parses a complete JSON document (RFC 8259 subset: no \uXXXX surrogate
+/// pairs beyond the BMP). Throws std::runtime_error with an offset on
+/// malformed input or trailing garbage.
+JsonValue parseJson(const std::string& text);
 
 }  // namespace nwc::util

@@ -48,19 +48,40 @@ void ParallelExecutor::forEachIndex(
 ProgressMeter::ProgressMeter(std::size_t total, std::ostream* out)
     : total_(total), out_(out), start_(std::chrono::steady_clock::now()) {}
 
-void ProgressMeter::completed(const std::string& what, bool ok) {
+void ProgressMeter::started() {
   std::lock_guard<std::mutex> lk(mutex_);
-  ++done_;
-  if (out_ == nullptr) return;
+  ++running_;
+}
+
+long long ProgressMeter::etaSecondsLocked() const {
+  if (done_ == 0 || done_ >= total_) return -1;
   const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
                            std::chrono::steady_clock::now() - start_)
                            .count();
+  const double per_run = static_cast<double>(elapsed) / static_cast<double>(done_);
+  return static_cast<long long>(per_run * static_cast<double>(total_ - done_) + 0.5);
+}
+
+void ProgressMeter::completed(const std::string& what, bool ok) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  ++done_;
+  if (running_ > 0) --running_;
+  if (out_ == nullptr) return;
   *out_ << "[" << done_ << "/" << total_ << "] " << what << ": "
         << (ok ? "ok" : "FAIL");
-  if (done_ < total_ && done_ > 0) {
-    const double per_run = static_cast<double>(elapsed) / static_cast<double>(done_);
-    const auto eta =
-        static_cast<long long>(per_run * static_cast<double>(total_ - done_) + 0.5);
+  if (const long long eta = etaSecondsLocked(); eta >= 0) {
+    *out_ << " (eta " << eta << "s)";
+  }
+  *out_ << "\n";
+  out_->flush();
+}
+
+void ProgressMeter::heartbeat(const std::string& extra) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (out_ == nullptr) return;
+  *out_ << "[hb " << done_ << "/" << total_ << "] running=" << running_;
+  if (!extra.empty()) *out_ << " " << extra;
+  if (const long long eta = etaSecondsLocked(); eta >= 0) {
     *out_ << " (eta " << eta << "s)";
   }
   *out_ << "\n";
@@ -70,6 +91,11 @@ void ProgressMeter::completed(const std::string& what, bool ok) {
 std::size_t ProgressMeter::done() const {
   std::lock_guard<std::mutex> lk(mutex_);
   return done_;
+}
+
+std::size_t ProgressMeter::running() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return running_;
 }
 
 }  // namespace nwc::util

@@ -40,23 +40,37 @@ class ParallelExecutor {
   unsigned jobs_;
 };
 
-/// Thread-safe live progress for a batch of runs: counts completions,
-/// reports per-run pass/fail and an ETA extrapolated from the throughput
-/// so far. One line per completion:
+/// Thread-safe live progress for a batch of runs: counts starts and
+/// completions, reports per-run pass/fail and an ETA extrapolated from the
+/// throughput so far. One line per completion:
 ///   [done/total] <what>: ok (eta 42s)
 class ProgressMeter {
  public:
   /// `out` may be null (meter counts but prints nothing).
   ProgressMeter(std::size_t total, std::ostream* out);
 
+  /// Records one run entering execution (for running()/heartbeat lines).
+  void started();
+
   /// Records one completed run and prints its progress line.
   void completed(const std::string& what, bool ok);
 
+  /// Prints a periodic status line without consuming a completion:
+  ///   [hb done/total] running=N <extra> (eta 42s)
+  /// `extra` carries caller context (e.g. process RSS); may be empty.
+  void heartbeat(const std::string& extra);
+
   std::size_t done() const;
+  std::size_t running() const;
 
  private:
+  /// ETA seconds from throughput so far; < 0 when not yet estimable.
+  /// Caller must hold mutex_.
+  long long etaSecondsLocked() const;
+
   mutable std::mutex mutex_;
   std::size_t done_ = 0;
+  std::size_t running_ = 0;
   const std::size_t total_;
   std::ostream* const out_;
   const std::chrono::steady_clock::time_point start_;

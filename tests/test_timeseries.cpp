@@ -1,6 +1,8 @@
 // TimeSeries: sampling, decimation, statistics, sparkline rendering.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "machine/machine.hpp"
 #include "sim/timeseries.hpp"
 
@@ -35,6 +37,29 @@ TEST(TimeSeries, DecimationBoundsMemory) {
   for (Tick t = 0; t < 10000; ++t) ts.sample(t, static_cast<double>(t));
   EXPECT_LE(ts.size(), 64u);
   EXPECT_DOUBLE_EQ(ts.maxValue(), ts.points().back().second);
+}
+
+TEST(TimeSeries, DecimationPreservesStats) {
+  // A spiky sawtooth through many merge rounds: the undecimated reference
+  // statistics must survive exactly (extremes) or to float tolerance (the
+  // hold integral behind timeWeightedMean).
+  TimeSeries full(1 << 20);  // never decimates at this length
+  TimeSeries dec(32);        // many rounds of pair-merging
+  Tick t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = (i % 17) * ((i % 5 == 0) ? -1.0 : 3.0);
+    t += 1 + static_cast<Tick>(i % 7);  // irregular spacing
+    full.sample(t, v);
+    dec.sample(t, v);
+  }
+  EXPECT_LE(dec.size(), 32u);
+  EXPECT_DOUBLE_EQ(dec.minValue(), full.minValue());
+  EXPECT_DOUBLE_EQ(dec.maxValue(), full.maxValue());
+  EXPECT_NEAR(dec.timeWeightedMean(), full.timeWeightedMean(),
+              1e-9 * std::abs(full.timeWeightedMean()) + 1e-12);
+  // Merged series spans the same time window.
+  EXPECT_EQ(dec.points().front().first, full.points().front().first);
+  EXPECT_EQ(dec.points().back().first, full.points().back().first);
 }
 
 TEST(TimeSeries, SparklineShape) {

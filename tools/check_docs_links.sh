@@ -11,7 +11,7 @@ fail=0
 
 # 1. Relative markdown links [text](target) in the core docs.
 for doc in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md \
-           docs/ARCHITECTURE.md docs/EXPERIMENTS.md; do
+           docs/ARCHITECTURE.md docs/EXPERIMENTS.md docs/OBSERVABILITY.md; do
   if [ ! -f "$doc" ]; then
     echo "MISSING DOC: $doc"
     fail=1
@@ -36,7 +36,7 @@ done
 
 # 2. Source/tool paths referenced in backticks by the new docs must exist
 #    (wildcard mentions like `src/util/thread_pool.*` are skipped).
-for doc in docs/ARCHITECTURE.md docs/EXPERIMENTS.md; do
+for doc in docs/ARCHITECTURE.md docs/EXPERIMENTS.md docs/OBSERVABILITY.md; do
   grep -o '`[A-Za-z0-9_./*-]*`' "$doc" | tr -d '\`' |
     grep -E '^(src|tools|tests|bench|examples|docs)/[A-Za-z0-9_./-]+$' |
     sort -u |

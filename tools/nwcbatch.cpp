@@ -1,6 +1,6 @@
 // nwcbatch: run an experiment grid described by an INI file.
 //
-//   nwcbatch [--jobs=N] experiments.ini
+//   nwcbatch [--jobs=N] [--meta-dir=DIR] [--heartbeat=SECS] experiments.ini
 //
 //   # experiments.ini
 //   [machine]
@@ -14,6 +14,8 @@
 //   jobs = 0          # worker threads; 0 = all cores, 1 = serial
 //   csv = grid.csv
 //   jsonl = grid.jsonl
+//   meta_dir = meta   # one run_meta.json per grid cell
+//   heartbeat_secs = 2  # parallel status cadence on stderr; 0 disables
 //
 // Grid cells are independent simulations; they run concurrently on
 // --jobs threads (default: all cores) with results — table, CSV, JSONL —
@@ -31,7 +33,12 @@
 int main(int argc, char** argv) {
   using namespace nwc;
   std::string ini_path;
-  long jobs = -1;  // -1 = use the INI's jobs key (default auto)
+  std::string meta_dir;
+  long jobs = -1;       // -1 = use the INI's jobs key (default auto)
+  long heartbeat = -1;  // -1 = use the INI's heartbeat_secs key
+  const char* usage =
+      "usage: nwcbatch [--jobs=N] [--meta-dir=DIR] [--heartbeat=SECS] "
+      "<experiments.ini>\n";
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--jobs=", 0) == 0) {
@@ -40,25 +47,38 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "nwcbatch: --jobs must be >= 0\n");
         return 2;
       }
+    } else if (a.rfind("--meta-dir=", 0) == 0) {
+      meta_dir = a.substr(std::strlen("--meta-dir="));
+    } else if (a.rfind("--heartbeat=", 0) == 0) {
+      heartbeat = std::strtol(a.c_str() + 12, nullptr, 10);
+      if (heartbeat < 0) {
+        std::fprintf(stderr, "nwcbatch: --heartbeat must be >= 0\n");
+        return 2;
+      }
     } else if (a == "--help" || a == "-h") {
-      std::printf("usage: nwcbatch [--jobs=N] <experiments.ini>\n"
-                  "  --jobs=N   worker threads (0 = all cores, 1 = serial;\n"
-                  "             overrides the INI's batch.jobs key)\n");
+      std::printf("%s"
+                  "  --jobs=N          worker threads (0 = all cores, 1 = serial;\n"
+                  "                    overrides the INI's batch.jobs key)\n"
+                  "  --meta-dir=DIR    write one run_meta.json per grid cell\n"
+                  "  --heartbeat=SECS  parallel status cadence on stderr (0 = off)\n",
+                  usage);
       return 0;
     } else if (ini_path.empty()) {
       ini_path = a;
     } else {
-      std::fprintf(stderr, "usage: nwcbatch [--jobs=N] <experiments.ini>\n");
+      std::fputs(usage, stderr);
       return 2;
     }
   }
   if (ini_path.empty()) {
-    std::fprintf(stderr, "usage: nwcbatch [--jobs=N] <experiments.ini>\n");
+    std::fputs(usage, stderr);
     return 2;
   }
   try {
     auto spec = apps::BatchSpec::fromIni(util::IniFile::load(ini_path));
     if (jobs >= 0) spec.jobs = static_cast<unsigned>(jobs);
+    if (!meta_dir.empty()) spec.meta_dir = meta_dir;
+    if (heartbeat >= 0) spec.heartbeat_secs = static_cast<unsigned>(heartbeat);
     std::printf("running %zu configurations at scale %.2f on %u threads\n",
                 spec.runCount(), spec.scale, util::resolveJobs(spec.jobs));
     const apps::BatchResult res = apps::runBatch(spec, &std::cerr);
@@ -75,6 +95,7 @@ int main(int argc, char** argv) {
     t.print(std::cout);
     if (!spec.csv_path.empty()) std::printf("csv: %s\n", spec.csv_path.c_str());
     if (!spec.jsonl_path.empty()) std::printf("jsonl: %s\n", spec.jsonl_path.c_str());
+    if (!spec.meta_dir.empty()) std::printf("meta: %s\n", spec.meta_dir.c_str());
     return res.all_ok ? 0 : 1;
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "nwcbatch: %s\n", ex.what());

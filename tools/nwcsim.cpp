@@ -3,6 +3,8 @@
 //   nwcsim --app=gauss [--scale=1.0] [--system=standard|nwcache|dcd]
 //          [--prefetch=optimal|naive] [--config=machine.ini]
 //          [--set machine.key=value ...] [--trace=trace.csv]
+//          [--metrics=out.json] [--timeline=out.trace.json]
+//          [--timeline-layers=ring,disk] [--timeline-cap=N]
 //          [--jobs=N] [--json] [--dump-config]
 //
 // Runs one or more applications (--app accepts a comma list or "all") on
@@ -20,6 +22,8 @@
 #include "apps/registry.hpp"
 #include "apps/runner.hpp"
 #include "machine/config_io.hpp"
+#include "obs/registry.hpp"
+#include "obs/timeline.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -38,6 +42,13 @@ namespace {
       "  --config=FILE         load a [machine] INI section\n"
       "  --set K=V             override one machine key (repeatable)\n"
       "  --trace=FILE          dump the page-event trace as CSV (single app)\n"
+      "  --metrics=FILE        export the instrument catalog as JSON (plus a\n"
+      "                        sibling .csv); single app\n"
+      "  --timeline=FILE       export a Chrome trace-event JSON timeline\n"
+      "                        (load in Perfetto); single app\n"
+      "  --timeline-layers=L   comma list: fault,swap,ring,mesh,disk,vm,tlb\n"
+      "                        or \"all\" (default all)\n"
+      "  --timeline-cap=N      keep only the newest N timeline events\n"
       "  --jobs=N              threads for multi-app runs (0 = all cores)\n"
       "  --json                emit the run summary as JSON\n"
       "  --dump-config         print the effective config as INI and exit\n");
@@ -71,6 +82,10 @@ int main(int argc, char** argv) {
   double scale = 1.0;
   unsigned jobs = 0;
   std::string trace_path;
+  std::string metrics_path;
+  std::string timeline_path;
+  unsigned timeline_layers = nwc::obs::kAllLayers;
+  std::size_t timeline_cap = 0;
   bool as_json = false;
   bool dump_config = false;
   bool minfree_overridden = false;
@@ -109,6 +124,14 @@ int main(int argc, char** argv) {
         }
       } else if (a.rfind("--trace=", 0) == 0) {
         trace_path = val("--trace=");
+      } else if (a.rfind("--metrics=", 0) == 0) {
+        metrics_path = val("--metrics=");
+      } else if (a.rfind("--timeline=", 0) == 0) {
+        timeline_path = val("--timeline=");
+      } else if (a.rfind("--timeline-layers=", 0) == 0) {
+        timeline_layers = obs::layerMaskFromString(val("--timeline-layers="));
+      } else if (a.rfind("--timeline-cap=", 0) == 0) {
+        timeline_cap = std::strtoul(val("--timeline-cap=").c_str(), nullptr, 10);
       } else if (a.rfind("--jobs=", 0) == 0) {
         jobs = static_cast<unsigned>(std::strtoul(val("--jobs=").c_str(), nullptr, 10));
       } else if (a == "--json") {
@@ -157,8 +180,10 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    if (!trace_path.empty() && app_names.size() > 1) {
-      std::fprintf(stderr, "nwcsim: --trace requires a single --app\n");
+    if ((!trace_path.empty() || !metrics_path.empty() || !timeline_path.empty()) &&
+        app_names.size() > 1) {
+      std::fprintf(stderr,
+                   "nwcsim: --trace/--metrics/--timeline require a single --app\n");
       return 2;
     }
 
@@ -193,13 +218,41 @@ int main(int argc, char** argv) {
 
     if (app_names.size() == 1) {
       machine::TraceBuffer trace;
-      const apps::RunSummary s = apps::runApp(cfg, app_names[0], scale,
-                                              trace_path.empty() ? nullptr : &trace);
+      obs::EventTimeline timeline(timeline_layers, timeline_cap);
+      obs::MetricsRegistry registry;
+      apps::ObsSinks sinks;
+      sinks.trace = trace_path.empty() ? nullptr : &trace;
+      sinks.timeline = timeline_path.empty() ? nullptr : &timeline;
+      sinks.registry = metrics_path.empty() ? nullptr : &registry;
+      const apps::RunSummary s = apps::runApp(cfg, app_names[0], scale, sinks);
       if (!trace_path.empty()) trace.dumpCsv(trace_path);
+      if (!metrics_path.empty()) {
+        registry.writeJson(metrics_path);
+        // Sibling flat CSV: out.json -> out.csv (or path + ".csv").
+        std::string csv_path = metrics_path;
+        if (csv_path.size() > 5 && csv_path.rfind(".json") == csv_path.size() - 5) {
+          csv_path.replace(csv_path.size() - 5, 5, ".csv");
+        } else {
+          csv_path += ".csv";
+        }
+        registry.writeCsv(csv_path);
+      }
+      if (!timeline_path.empty()) {
+        timeline.writeChromeTrace(timeline_path, cfg.pcycle_ns);
+      }
       printSummary(s);
       if (!as_json && !trace_path.empty()) {
         std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
                     trace.size());
+      }
+      if (!as_json && !metrics_path.empty()) {
+        std::printf("metrics written to %s (%zu instruments)\n", metrics_path.c_str(),
+                    registry.size());
+      }
+      if (!as_json && !timeline_path.empty()) {
+        std::printf("timeline written to %s (%zu events, %llu dropped)\n",
+                    timeline_path.c_str(), timeline.size(),
+                    static_cast<unsigned long long>(timeline.dropped()));
       }
       return s.ok() ? 0 : 1;
     }

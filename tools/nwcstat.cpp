@@ -1,0 +1,199 @@
+// nwcstat: inspect and compare MetricsRegistry JSON exports
+// (schema nwc-metrics-v1, written by nwcsim --metrics= or the benches'
+// --metrics-dir=).
+//
+//   nwcstat show  run.metrics.json            # pretty-print every instrument
+//   nwcstat show  run.metrics.json ring disk  # only these component prefixes
+//   nwcstat diff  a.metrics.json b.metrics.json [--all]
+//
+// diff prints one line per instrument whose value changed between the two
+// runs (plus instruments present on only one side); --all includes the
+// unchanged ones too. Histograms compare through their exported summary
+// (count/p50/p90/p99).
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+using nwc::util::JsonValue;
+
+struct Instrument {
+  std::string kind;  // counter | gauge | histogram
+  // Scalar slots; histograms are flattened to .count/.p50/.p90/.p99 by
+  // flatten() below, so a populated Instrument always has one value.
+  double value = 0.0;
+};
+
+using InstrumentMap = std::map<std::string, Instrument>;
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Loads a metrics export and flattens it to name -> scalar. Histogram
+// instruments become four derived entries sharing the histogram kind.
+InstrumentMap loadMetrics(const std::string& path) {
+  const JsonValue doc = nwc::util::parseJson(readFile(path));
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->string != "nwc-metrics-v1") {
+    throw std::runtime_error(path + ": not an nwc-metrics-v1 export");
+  }
+  InstrumentMap out;
+  for (const auto& [name, inst] : doc.at("instruments").object) {
+    const std::string kind = inst.at("kind").string;
+    if (kind == "histogram") {
+      for (const char* field : {"count", "p50", "p90", "p99"}) {
+        out[name + "." + field] = {kind, inst.at(field).number};
+      }
+    } else {
+      out[name] = {kind, inst.at("value").number};
+    }
+  }
+  return out;
+}
+
+std::string component(const std::string& name) {
+  const auto dot = name.find('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+std::string fmtValue(const Instrument& i) {
+  char buf[64];
+  if (i.kind == "gauge") {
+    std::snprintf(buf, sizeof(buf), "%.6g", i.value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", i.value);
+  }
+  return buf;
+}
+
+int cmdShow(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: nwcstat show <metrics.json> [component...]\n");
+    return 2;
+  }
+  const InstrumentMap m = loadMetrics(args[0]);
+  const std::set<std::string> only(args.begin() + 1, args.end());
+
+  std::set<std::string> components;
+  for (const auto& [name, inst] : m) components.insert(component(name));
+  std::printf("%s: %zu instruments across %zu components\n", args[0].c_str(),
+              m.size(), components.size());
+
+  std::string current;
+  for (const auto& [name, inst] : m) {
+    const std::string comp = component(name);
+    if (!only.empty() && only.count(comp) == 0) continue;
+    if (comp != current) {
+      std::printf("\n[%s]\n", comp.c_str());
+      current = comp;
+    }
+    std::printf("  %-44s %14s  (%s)\n", name.c_str(), fmtValue(inst).c_str(),
+                inst.kind.c_str());
+  }
+  return 0;
+}
+
+int cmdDiff(const std::vector<std::string>& args) {
+  bool all = false;
+  std::vector<std::string> paths;
+  for (const auto& a : args) {
+    if (a == "--all") {
+      all = true;
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr, "usage: nwcstat diff <a.json> <b.json> [--all]\n");
+    return 2;
+  }
+  const InstrumentMap ma = loadMetrics(paths[0]);
+  const InstrumentMap mb = loadMetrics(paths[1]);
+
+  std::set<std::string> names;
+  for (const auto& [n, i] : ma) names.insert(n);
+  for (const auto& [n, i] : mb) names.insert(n);
+
+  std::size_t changed = 0, added = 0, removed = 0, same = 0;
+  std::printf("%-44s %14s %14s %14s\n", "instrument", "a", "b", "delta");
+  for (const std::string& name : names) {
+    const auto ia = ma.find(name);
+    const auto ib = mb.find(name);
+    if (ia == ma.end()) {
+      ++added;
+      std::printf("%-44s %14s %14s %14s\n", name.c_str(), "-",
+                  fmtValue(ib->second).c_str(), "added");
+      continue;
+    }
+    if (ib == mb.end()) {
+      ++removed;
+      std::printf("%-44s %14s %14s %14s\n", name.c_str(),
+                  fmtValue(ia->second).c_str(), "-", "removed");
+      continue;
+    }
+    const double d = ib->second.value - ia->second.value;
+    if (d == 0.0) {
+      ++same;
+      if (all) {
+        std::printf("%-44s %14s %14s %14s\n", name.c_str(),
+                    fmtValue(ia->second).c_str(), fmtValue(ib->second).c_str(), "=");
+      }
+      continue;
+    }
+    ++changed;
+    char delta[64];
+    if (ia->second.value != 0.0) {
+      std::snprintf(delta, sizeof(delta), "%+.6g (%+.1f%%)", d,
+                    100.0 * d / std::fabs(ia->second.value));
+    } else {
+      std::snprintf(delta, sizeof(delta), "%+.6g", d);
+    }
+    std::printf("%-44s %14s %14s %s\n", name.c_str(), fmtValue(ia->second).c_str(),
+                fmtValue(ib->second).c_str(), delta);
+  }
+  std::printf("\n%zu changed, %zu added, %zu removed, %zu unchanged\n", changed,
+              added, removed, same);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* usage =
+      "usage: nwcstat <command> ...\n"
+      "  show <metrics.json> [component...]   pretty-print instruments\n"
+      "  diff <a.json> <b.json> [--all]       compare two exports\n";
+  if (argc < 2) {
+    std::fputs(usage, stderr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "show") return cmdShow(args);
+    if (cmd == "diff") return cmdDiff(args);
+    if (cmd == "--help" || cmd == "-h") {
+      std::fputs(usage, stdout);
+      return 0;
+    }
+    std::fprintf(stderr, "nwcstat: unknown command %s\n%s", cmd.c_str(), usage);
+    return 2;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "nwcstat: %s\n", ex.what());
+    return 2;
+  }
+}
