@@ -168,6 +168,45 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
+  // Attribution: where fault latency goes (stage-tagged accountant, see
+  // docs/OBSERVABILITY.md). Queue share = ticks spent waiting behind other
+  // traffic across all stages / end-to-end fault latency — the contention
+  // the NWCache is supposed to remove. Appended after the classic tables so
+  // the long-CSV keeps the historical rows as a stable prefix.
+  auto faultQueueShare = [](const apps::RunSummary& s) {
+    std::uint64_t queue = 0, total = 0;
+    for (auto oc : {obs::AttrOutcome::kRing, obs::AttrOutcome::kCtrlCache,
+                    obs::AttrOutcome::kPlatter, obs::AttrOutcome::kRemote}) {
+      const obs::AttrGroup& g = s.metrics.attr.group(obs::AttrOp::kFault, oc);
+      total += g.end_to_end_ticks;
+      for (const auto& st : g.stages) queue += static_cast<std::uint64_t>(st.queue);
+    }
+    return total > 0 ? static_cast<double>(queue) / static_cast<double>(total) : 0.0;
+  };
+  auto ringFaultShare = [](const apps::RunSummary& s) {
+    std::uint64_t ring = 0, total = 0;
+    for (auto oc : {obs::AttrOutcome::kRing, obs::AttrOutcome::kCtrlCache,
+                    obs::AttrOutcome::kPlatter, obs::AttrOutcome::kRemote}) {
+      const std::uint64_t c = s.metrics.attr.group(obs::AttrOp::kFault, oc).count;
+      total += c;
+      if (oc == obs::AttrOutcome::kRing) ring += c;
+    }
+    return total > 0 ? static_cast<double>(ring) / static_cast<double>(total) : 0.0;
+  };
+  std::printf("\nAttribution: fault queue-wait share, naive prefetch\n");
+  std::printf("(stage-attributed waiting as %% of end-to-end fault latency)\n");
+  util::AsciiTable at({"App", "std queue", "nwc queue", "nwc ring hits"});
+  for (const auto& [app, m] : runs) {
+    const std::string sq = util::AsciiTable::fmtPct(faultQueueShare(m.std_naive));
+    const std::string nq = util::AsciiTable::fmtPct(faultQueueShare(m.nwc_naive));
+    const std::string rh = util::AsciiTable::fmtPct(ringFaultShare(m.nwc_naive));
+    at.addRow({app, sq, nq, rh});
+    long_rows.push_back({"attr", app, "std queue", sq});
+    long_rows.push_back({"attr", app, "nwc queue", nq});
+    long_rows.push_back({"attr", app, "nwc ring hits", rh});
+  }
+  at.print(std::cout);
+
   if (!opt.csv_path.empty()) {
     util::CsvWriter csv(opt.csv_path, {"table", "app", "metric", "value"});
     for (const auto& r : long_rows) csv.addRow(r);

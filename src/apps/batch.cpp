@@ -90,6 +90,7 @@ BatchSpec BatchSpec::fromIni(const util::IniFile& ini) {
     if (*v < 0) throw std::runtime_error("batch: heartbeat_secs must be >= 0");
     spec.heartbeat_secs = static_cast<unsigned>(*v);
   }
+  if (const auto v = ini.getBool("batch.resume")) spec.resume = *v;
   return spec;
 }
 
@@ -186,6 +187,115 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
   BatchResult result;
   result.runs.resize(grid.size());
 
+  // One JSONL line per completed cell, prefixed with its grid index — the
+  // line is both the result row and the resume checkpoint.
+  auto cellLine = [&](std::size_t i, const RunSummary& s) {
+    return "{\"cell\":" + std::to_string(i) + "," +
+           summaryJson(s, spec.scale).substr(1);
+  };
+
+  // Resume: trust a checkpoint line only if its index AND coordinates match
+  // the current grid (coordinates come from the grid, not the file, so a
+  // changed INI invalidates stale cells instead of skipping wrong ones).
+  std::vector<bool> resumed(grid.size(), false);
+  std::vector<std::string> resumed_lines(grid.size());
+  std::vector<std::vector<std::string>> resumed_csv(grid.size());
+  if (spec.resume) {
+    if (spec.jsonl_path.empty()) {
+      throw std::runtime_error("batch: resume requires a jsonl path");
+    }
+    std::ifstream in(spec.jsonl_path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      if (line.empty()) continue;
+      try {
+        const util::JsonValue v = util::parseJson(line);
+        const util::JsonValue* cell = v.find("cell");
+        if (cell == nullptr) continue;
+        const std::size_t i = static_cast<std::size_t>(cell->number);
+        if (i >= grid.size() || resumed[i]) continue;
+        const Cell& c = grid[i];
+        if (v.at("app").string != c.app ||
+            v.at("system").string != machine::toString(c.cfg.system) ||
+            v.at("prefetch").string != machine::toString(c.cfg.prefetch) ||
+            v.at("seed").number != static_cast<double>(c.cfg.seed) ||
+            v.at("scale").number != spec.scale) {
+          continue;
+        }
+        // Partial reconstruction: enough for the result table, all_ok and
+        // the CSV row. Histogram/accumulator internals are not persisted,
+        // so means are re-seeded as single samples.
+        RunSummary s;
+        s.app = c.app;
+        s.cfg = c.cfg;
+        s.exec_time = static_cast<sim::Tick>(v.at("exec_pcycles").number);
+        s.verified = v.at("verified").boolean;
+        if (!v.at("invariants_ok").boolean) {
+          s.invariant_violations = "checkpointed run reported violations";
+        }
+        s.metrics.faults =
+            static_cast<std::uint64_t>(v.at("faults").number);
+        s.metrics.swap_outs =
+            static_cast<std::uint64_t>(v.at("swap_outs").number);
+        s.metrics.fault_ticks.add(v.at("fault_mean_pcycles").number);
+        s.metrics.swap_out_ticks.add(v.at("swap_out_mean_pcycles").number);
+        // The CSV row is rebuilt from the checkpoint's own numbers (JSON
+        // doubles round-trip exactly through %.17g), not from the partial
+        // summary, so resumed and fresh rows are formatted identically.
+        auto d = [](double x) { return std::to_string(x); };
+        auto u = [](double x) {
+          return std::to_string(static_cast<std::uint64_t>(x));
+        };
+        resumed_csv[i] = {c.app,
+                          machine::toString(c.cfg.system),
+                          machine::toString(c.cfg.prefetch),
+                          u(static_cast<double>(c.cfg.seed)),
+                          d(spec.scale),
+                          s.verified ? "1" : "0",
+                          u(v.at("exec_pcycles").number),
+                          u(v.at("faults").number),
+                          u(v.at("swap_outs").number),
+                          u(v.at("nacks").number),
+                          d(v.at("swap_out_mean_pcycles").number),
+                          d(v.at("fault_mean_pcycles").number),
+                          d(v.at("write_combining").number),
+                          d(v.at("ring_hit_rate").number),
+                          u(v.at("nofree_pcycles").number),
+                          u(v.at("transit_pcycles").number),
+                          u(v.at("fault_pcycles").number),
+                          u(v.at("tlb_pcycles").number),
+                          u(v.at("other_pcycles").number)};
+        resumed[i] = true;
+        resumed_lines[i] = line;
+        result.runs[i] = std::move(s);
+      } catch (const std::exception&) {
+        continue;  // torn line from a crash mid-write: rerun that cell
+      }
+    }
+  }
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (!resumed[i]) pending.push_back(i);
+  }
+
+  // Incremental checkpoint stream: completed cells append (flushed) so a
+  // crash loses at most the in-flight runs; grid-order rewrite happens at
+  // the end.
+  std::ofstream ckpt;
+  std::mutex ckpt_mutex;
+  if (!spec.jsonl_path.empty()) {
+    ckpt.open(spec.jsonl_path,
+              spec.resume ? std::ios::out | std::ios::app : std::ios::out | std::ios::trunc);
+    if (!ckpt) throw std::runtime_error("batch: cannot open " + spec.jsonl_path);
+  }
+  auto checkpoint = [&](std::size_t i, const RunSummary& s) {
+    if (!ckpt.is_open()) return;
+    const std::string line = cellLine(i, s);
+    std::lock_guard<std::mutex> lk(ckpt_mutex);
+    ckpt << line << "\n";
+    ckpt.flush();
+  };
+
   if (!spec.meta_dir.empty()) {
     std::filesystem::create_directories(spec.meta_dir);
   }
@@ -228,16 +338,18 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
   const unsigned jobs = util::resolveJobs(spec.jobs);
   if (jobs <= 1) {
     // Serial: identical to the historical loop, announcing before each run.
-    for (std::size_t i = 0; i < grid.size(); ++i) {
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      const std::size_t i = pending[k];
       if (progress != nullptr) {
-        *progress << "[" << i + 1 << "/" << grid.size() << "] " << grid[i].app
+        *progress << "[" << k + 1 << "/" << pending.size() << "] " << grid[i].app
                   << " on " << grid[i].cfg.describe() << "\n";
         progress->flush();
       }
       result.runs[i] = runCell(i);
+      checkpoint(i, result.runs[i]);
     }
   } else {
-    util::ProgressMeter meter(grid.size(), progress);
+    util::ProgressMeter meter(pending.size(), progress);
 
     // Heartbeat: a low-duty background thread announcing done/running/ETA
     // and the process RSS while the grid executes.
@@ -258,10 +370,12 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
 
     util::ParallelExecutor exec(jobs);
     try {
-      exec.forEachIndex(grid.size(), [&](std::size_t i) {
+      exec.forEachIndex(pending.size(), [&](std::size_t k) {
+        const std::size_t i = pending[k];
         meter.started();
         RunSummary s = runCell(i);
         meter.completed(grid[i].app + " on " + grid[i].cfg.describe(), s.ok());
+        checkpoint(i, s);
         result.runs[i] = std::move(s);
       });
     } catch (...) {
@@ -290,15 +404,28 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
   }
 
   // Outputs are emitted after the grid settles, in grid order, so the files
-  // never depend on completion order.
+  // never depend on completion order. Resumed cells reuse their original
+  // checkpoint line / reconstructed CSV row byte-for-byte.
   if (!spec.csv_path.empty()) {
     util::CsvWriter csv(spec.csv_path, summaryCsvHeader());
-    for (const RunSummary& s : result.runs) csv.addRow(summaryCsvRow(s, spec.scale));
+    for (std::size_t i = 0; i < result.runs.size(); ++i) {
+      csv.addRow(resumed[i] ? resumed_csv[i]
+                            : summaryCsvRow(result.runs[i], spec.scale));
+    }
   }
   if (!spec.jsonl_path.empty()) {
-    std::ofstream jsonl(spec.jsonl_path);
-    if (!jsonl) throw std::runtime_error("batch: cannot open " + spec.jsonl_path);
-    for (const RunSummary& s : result.runs) jsonl << summaryJson(s, spec.scale) << "\n";
+    ckpt.close();
+    const std::string tmp = spec.jsonl_path + ".tmp";
+    {
+      std::ofstream jsonl(tmp, std::ios::out | std::ios::trunc);
+      if (!jsonl) throw std::runtime_error("batch: cannot open " + tmp);
+      for (std::size_t i = 0; i < result.runs.size(); ++i) {
+        jsonl << (resumed[i] ? resumed_lines[i]
+                             : cellLine(i, result.runs[i]))
+              << "\n";
+      }
+    }
+    std::filesystem::rename(tmp, spec.jsonl_path);
   }
   return result;
 }

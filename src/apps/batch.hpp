@@ -27,12 +27,14 @@ struct BatchSpec {
   unsigned jobs = 0;          // worker threads; 0 = hardware concurrency,
                               // 1 = serial (today's loop, unchanged)
   unsigned heartbeat_secs = 2;  // parallel-run status cadence; 0 disables
+  bool resume = false;        // skip grid cells already checkpointed in the
+                              // JSONL (crashed grids restart where they died)
 
   /// Parses the [machine] and [batch] sections. [batch] keys:
   ///   apps, systems, prefetch (comma lists), scale, seeds, csv, jsonl,
-  ///   meta_dir, best_min_free, jobs, heartbeat_secs. Missing keys default
-  ///   to the full matrix of the standard+nwcache systems over all seven
-  ///   applications.
+  ///   meta_dir, best_min_free, jobs, heartbeat_secs, resume. Missing keys
+  ///   default to the full matrix of the standard+nwcache systems over all
+  ///   seven applications.
   static BatchSpec fromIni(const util::IniFile& ini);
 
   std::size_t runCount() const {
@@ -52,6 +54,14 @@ struct BatchResult {
 /// regardless of scheduling. Progress lines go to `progress` when non-null
 /// and always carry a "[done/total]" prefix; parallel runs add per-run
 /// pass/fail and an ETA.
+///
+/// Checkpointing: with a `jsonl` path each completed cell is appended to
+/// the file as it finishes (one `{"cell":i,...}` line, flushed), and the
+/// file is rewritten in grid order once the grid settles. With
+/// `spec.resume`, lines whose cell index and coordinates match the current
+/// grid are trusted and those cells are not rerun — their summaries are
+/// reconstructed from the checkpoint (timings and counters; histogram
+/// internals are not persisted).
 BatchResult runBatch(const BatchSpec& spec, std::ostream* progress = nullptr);
 
 /// One-line JSON rendering of a run summary (shared with tools/nwcsim).

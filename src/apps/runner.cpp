@@ -33,6 +33,7 @@ RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name
   machine::Machine m(cfg);
   if (sinks.trace != nullptr) m.attachTrace(sinks.trace);
   if (sinks.timeline != nullptr) m.attachEventTimeline(sinks.timeline);
+  if (sinks.attr_records != nullptr) m.attachAttrRecords(sinks.attr_records);
   std::unique_ptr<AppInstance> app = info->make(scale);
   AppContext ctx(m);
   app->setup(ctx);

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "apps/registry.hpp"
 #include "machine/config.hpp"
@@ -32,10 +33,13 @@ struct RunSummary {
 /// Optional observability sinks for a run; every pointer may be null
 /// (detached). `registry` is filled via Machine::publishMetrics after the
 /// run completes; `timeline` records cross-layer events while it runs.
+/// `attr_records` retains one obs::AttrRecord per completed fault/swap-out/
+/// shootdown (aggregates are always in RunSummary.metrics.attr).
 struct ObsSinks {
   machine::TraceBuffer* trace = nullptr;
   obs::EventTimeline* timeline = nullptr;
   obs::MetricsRegistry* registry = nullptr;
+  std::vector<obs::AttrRecord>* attr_records = nullptr;
 };
 
 /// Runs `app_name` at input `scale` on a machine built from `cfg`.

@@ -44,6 +44,10 @@ class LogDisk {
   /// The log spindle arm (serialize appends/reads/destage reads on it).
   sim::FifoServer& arm() { return disk_.arm(); }
 
+  /// Data-transfer component of a one-page log read (the rest of
+  /// `readTime()` is seek + rotation).
+  sim::Tick pageTransferTicks() const { return disk_.pageTransferTicks(); }
+
   std::size_t liveCount() const { return block_of_.size(); }
   std::uint64_t appends() const { return appends_; }
   std::uint64_t logReads() const { return log_reads_; }

@@ -74,15 +74,16 @@ sim::Task<> Machine::pageFault(int cpu, sim::PageId page, bool write) {
     nc.replace_kick.notifyAll();  // allocation may have dipped below reserve
 
     const sim::Tick fetch0 = eng_->now();
+    obs::AttrCtx actx;
     bool controller_hit = false;
     if (from_ring) {
       metrics_.ring_read_hits.hit();
-      co_await fetchFromRing(cpu, page);
+      co_await fetchFromRing(cpu, page, actx);
     } else if (from_remote) {
-      co_await fetchFromRemote(cpu, page, remote_holder);
+      co_await fetchFromRemote(cpu, page, remote_holder, actx);
     } else {
       if (cfg_.hasRing()) metrics_.ring_read_hits.miss();
-      controller_hit = co_await fetchFromDisk(cpu, page);
+      controller_hit = co_await fetchFromDisk(cpu, page, actx);
     }
 
     nc.frames.addResident(page);
@@ -102,6 +103,14 @@ sim::Task<> Machine::pageFault(int cpu, sim::PageId page, bool write) {
     if (controller_hit) {
       metrics_.disk_cache_hit_fault_ticks.add(static_cast<double>(f_end - fetch0));
     }
+    // The fault stalled the cpu for exactly [fetch0, f_end] beyond its
+    // NoFree share; the stage ticks in `actx` must tile that interval.
+    const obs::AttrOutcome attr_outcome =
+        from_ring        ? obs::AttrOutcome::kRing
+        : from_remote    ? obs::AttrOutcome::kRemote
+        : controller_hit ? obs::AttrOutcome::kCtrlCache
+                         : obs::AttrOutcome::kPlatter;
+    recordAttr(obs::AttrOp::kFault, attr_outcome, fault_ticks, actx, page, cpu);
     if (trace_ != nullptr) {
       const TraceKind kind = from_ring ? TraceKind::kFaultRingHit
                              : controller_hit ? TraceKind::kFaultDiskHit
@@ -144,8 +153,10 @@ sim::Task<> Machine::ensureFreeFrame(int cpu, sim::NodeId n) {
   metrics_.cpu(cpu).nofree += eng_->now() - t0;
 }
 
-sim::Tick Machine::controllerReadService(DiskCtx& d, sim::PageId page, bool* cache_hit) {
+sim::Tick Machine::controllerReadService(DiskCtx& d, sim::PageId page, bool* cache_hit,
+                                         obs::AttrCtx& actx) {
   sim::Tick t = eng_->now() + cfg_.controller_overhead;
+  actx.add(obs::AttrStage::kDiskCtrl, 0, cfg_.controller_overhead);
 
   if (cfg_.prefetch == Prefetch::kOptimal ||
       (cfg_.prefetch == Prefetch::kHinted && rng_.chance(cfg_.hint_accuracy))) {
@@ -171,14 +182,26 @@ sim::Tick Machine::controllerReadService(DiskCtx& d, sim::PageId page, bool* cac
     // spindle (random access: seek + rotation). No sequential prefetch —
     // log neighbours are unrelated pages.
     const sim::Tick svc = d.log->readTime(page);
-    t = d.log->arm().request(t, svc);
+    const sim::Tick done = d.log->arm().request(t, svc);
+    actx.add(obs::AttrStage::kDiskQueue, done - svc - t, 0);
+    const sim::Tick xfer = d.log->pageTransferTicks();
+    actx.add(obs::AttrStage::kDiskSeek, 0, svc - xfer);
+    actx.add(obs::AttrStage::kDiskTransfer, 0, xfer);
+    t = done;
     d.cache.insertClean(page);
     return t;
   }
 
   // Demand read from the platters, serialized on the arm.
   const sim::Tick svc = d.disk.readTime(pfs_->blockOf(page), 1);
-  t = d.disk.arm().request(t, svc);
+  {
+    const sim::Tick done = d.disk.arm().request(t, svc);
+    actx.add(obs::AttrStage::kDiskQueue, done - svc - t, 0);
+    const sim::Tick xfer = d.disk.pageTransferTicks();
+    actx.add(obs::AttrStage::kDiskSeek, 0, svc - xfer);
+    actx.add(obs::AttrStage::kDiskTransfer, 0, xfer);
+    t = done;
+  }
   if (etl_ != nullptr && etl_->enabled(obs::Layer::kDisk)) {
     etl_->span(obs::Layer::kDisk, "disk.read", t - svc, svc, d.node, page);
   }
@@ -199,38 +222,45 @@ sim::Tick Machine::controllerReadService(DiskCtx& d, sim::PageId page, bool* cac
   return t;
 }
 
-sim::Task<bool> Machine::fetchFromDisk(int cpu, sim::PageId page) {
+sim::Task<bool> Machine::fetchFromDisk(int cpu, sim::PageId page, obs::AttrCtx& actx) {
   const int di = diskIndexOf(page);
   DiskCtx& dc = *disks_[static_cast<std::size_t>(di)];
   const sim::NodeId io = dc.node;
 
   // Request message to the I/O node.
-  co_await eng_->waitUntil(ctrlTransfer(eng_->now(), cpu, io));
+  co_await eng_->waitUntil(ctrlTransfer(eng_->now(), cpu, io, &actx));
 
   bool hit = false;
-  co_await eng_->waitUntil(controllerReadService(dc, page, &hit));
+  co_await eng_->waitUntil(controllerReadService(dc, page, &hit, actx));
 
   // Page data: I/O bus at the I/O node -> mesh -> memory bus at the reader.
-  sim::Tick t = nodes_[static_cast<std::size_t>(io)]->io_bus.request(eng_->now(),
-                                                                     page_ser_iobus_);
-  t = mesh_->transfer(t, io, cpu, cfg_.page_bytes, net::TrafficClass::kPageRead);
-  t = nodes_[static_cast<std::size_t>(cpu)]->mem_bus.request(t, page_ser_membus_);
+  sim::Tick t = attrRequest(actx, obs::AttrStage::kIoBus,
+                            nodes_[static_cast<std::size_t>(io)]->io_bus,
+                            eng_->now(), page_ser_iobus_);
+  t = attrMeshTransfer(actx, t, io, cpu, cfg_.page_bytes,
+                       net::TrafficClass::kPageRead);
+  t = attrRequest(actx, obs::AttrStage::kMemBus,
+                  nodes_[static_cast<std::size_t>(cpu)]->mem_bus, t,
+                  page_ser_membus_);
   co_await eng_->waitUntil(t);
   co_return hit;
 }
 
-sim::Task<> Machine::fetchFromRing(int cpu, sim::PageId page) {
+sim::Task<> Machine::fetchFromRing(int cpu, sim::PageId page, obs::AttrCtx& actx) {
   vm::PageEntry& e = pt_->entry(page);
   const int ch = e.ring_channel;
 
   // Snoop the page off the swapper's cache channel: wait for it to
   // circulate past this node, pull it through the tunable receiver, then
-  // cross the local I/O and memory buses.
+  // cross the local I/O and memory buses. Circulation + receiver transfer
+  // is ring service; contention for the node's tunable receiver is queue.
   const sim::Tick circulate = rng_.below(ring_->roundTripTicks());
-  sim::Tick t = ring_->faultRx(cpu).request(eng_->now(),
-                                            circulate + ring_->pageTransferTicks());
-  t = nodes_[static_cast<std::size_t>(cpu)]->io_bus.request(t, page_ser_iobus_);
-  t = nodes_[static_cast<std::size_t>(cpu)]->mem_bus.request(t, page_ser_membus_);
+  sim::Tick t = attrRequest(actx, obs::AttrStage::kRing, ring_->faultRx(cpu),
+                            eng_->now(), circulate + ring_->pageTransferTicks());
+  t = attrRequest(actx, obs::AttrStage::kIoBus,
+                  nodes_[static_cast<std::size_t>(cpu)]->io_bus, t, page_ser_iobus_);
+  t = attrRequest(actx, obs::AttrStage::kMemBus,
+                  nodes_[static_cast<std::size_t>(cpu)]->mem_bus, t, page_ser_membus_);
 
   // Tell the responsible I/O node the page went back to memory (off the
   // critical path).
@@ -259,7 +289,8 @@ sim::Task<> Machine::ringBackgroundRequest(int cpu, sim::PageId page) {
   // Data discarded on arrival: the ring already delivered the page.
 }
 
-sim::Task<> Machine::fetchFromRemote(int cpu, sim::PageId page, sim::NodeId holder) {
+sim::Task<> Machine::fetchFromRemote(int cpu, sim::PageId page, sim::NodeId holder,
+                                     obs::AttrCtx& actx) {
   // Remote-memory baseline: pull the page straight out of the donor's
   // memory — request message, donor memory bus, page over the mesh, local
   // memory bus. The donor's frame frees on departure.
@@ -271,10 +302,12 @@ sim::Task<> Machine::fetchFromRemote(int cpu, sim::PageId page, sim::NodeId hold
     }
   }
 
-  sim::Tick t = ctrlTransfer(eng_->now(), cpu, holder);
-  t = dn.mem_bus.request(t, page_ser_membus_);
-  t = mesh_->transfer(t, holder, cpu, cfg_.page_bytes, net::TrafficClass::kPageRead);
-  t = nodes_[static_cast<std::size_t>(cpu)]->mem_bus.request(t, page_ser_membus_);
+  sim::Tick t = ctrlTransfer(eng_->now(), cpu, holder, &actx);
+  t = attrRequest(actx, obs::AttrStage::kMemBus, dn.mem_bus, t, page_ser_membus_);
+  t = attrMeshTransfer(actx, t, holder, cpu, cfg_.page_bytes,
+                       net::TrafficClass::kPageRead);
+  t = attrRequest(actx, obs::AttrStage::kMemBus,
+                  nodes_[static_cast<std::size_t>(cpu)]->mem_bus, t, page_ser_membus_);
   co_await eng_->waitUntil(t);
 
   dn.frames.releaseFrame();

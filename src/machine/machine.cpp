@@ -152,8 +152,24 @@ sim::Tick Machine::pageSerTicks(double bps) const {
   return sim::transferTicks(cfg_.page_bytes, bps, cfg_.pcycle_ns);
 }
 
-sim::Tick Machine::ctrlTransfer(sim::Tick now, sim::NodeId src, sim::NodeId dst) {
-  return mesh_->transfer(now, src, dst, cfg_.ctrl_msg_bytes, net::TrafficClass::kControl);
+sim::Tick Machine::ctrlTransfer(sim::Tick now, sim::NodeId src, sim::NodeId dst,
+                                obs::AttrCtx* actx) {
+  if (actx == nullptr) {
+    return mesh_->transfer(now, src, dst, cfg_.ctrl_msg_bytes,
+                           net::TrafficClass::kControl);
+  }
+  return attrMeshTransfer(*actx, now, src, dst, cfg_.ctrl_msg_bytes,
+                          net::TrafficClass::kControl);
+}
+
+void Machine::recordAttr(obs::AttrOp op, obs::AttrOutcome outcome,
+                         sim::Tick end_to_end, const obs::AttrCtx& actx,
+                         sim::PageId page, sim::NodeId node) {
+  metrics_.attr.record(op, outcome, end_to_end, actx);
+  if (attr_records_ != nullptr) {
+    attr_records_->push_back(obs::AttrRecord{op, outcome, end_to_end, eng_->now(),
+                                             page, node, actx.stages()});
+  }
 }
 
 void Machine::sampleTimeline() {

@@ -128,6 +128,13 @@ class Machine {
   void attachEventTimeline(obs::EventTimeline* tl);
   obs::EventTimeline* eventTimeline() const { return etl_; }
 
+  /// Attaches a per-operation attribution record sink (optional; null to
+  /// detach). Aggregates land in `metrics().attr` regardless — this sink
+  /// additionally retains every completed record, for tests and tooling.
+  void attachAttrRecords(std::vector<obs::AttrRecord>* sink) {
+    attr_records_ = sink;
+  }
+
   /// Publishes every component's end-of-run statistics into `reg`
   /// (observe.cpp has the full instrument catalog).
   void publishMetrics(obs::MetricsRegistry& reg) const;
@@ -196,19 +203,22 @@ class Machine {
 
   // -- fault path (fault.cpp) -------------------------------------------------
   sim::Task<> pageFault(int cpu, sim::PageId page, bool write);
-  sim::Task<bool> fetchFromDisk(int cpu, sim::PageId page);  // returns ctrl-cache hit
-  sim::Task<> fetchFromRing(int cpu, sim::PageId page);
+  sim::Task<bool> fetchFromDisk(int cpu, sim::PageId page,
+                                obs::AttrCtx& actx);  // returns ctrl-cache hit
+  sim::Task<> fetchFromRing(int cpu, sim::PageId page, obs::AttrCtx& actx);
   sim::Task<> ringBackgroundRequest(int cpu, sim::PageId page);
   sim::Task<> ensureFreeFrame(int cpu, sim::NodeId n);
-  sim::Tick controllerReadService(DiskCtx& d, sim::PageId page, bool* cache_hit);
+  sim::Tick controllerReadService(DiskCtx& d, sim::PageId page, bool* cache_hit,
+                                  obs::AttrCtx& actx);
 
   // -- replacement & swap-out (swap.cpp) --------------------------------------
   sim::Task<> replacementDaemon(sim::NodeId n);
   sim::Task<> swapOutPage(sim::NodeId n, sim::PageId page, bool force_disk = false);
-  sim::Task<> swapOutStandard(sim::NodeId n, sim::PageId page);
-  sim::Task<> swapOutRing(sim::NodeId n, sim::PageId page);
-  sim::Task<> swapOutRemoteOrDisk(sim::NodeId n, sim::PageId page);
-  sim::Task<> fetchFromRemote(int cpu, sim::PageId page, sim::NodeId holder);
+  sim::Task<> swapOutStandard(sim::NodeId n, sim::PageId page, obs::AttrCtx& actx);
+  sim::Task<> swapOutRing(sim::NodeId n, sim::PageId page, obs::AttrCtx& actx);
+  sim::Task<> swapOutRemoteOrDisk(sim::NodeId n, sim::PageId page, obs::AttrCtx& actx);
+  sim::Task<> fetchFromRemote(int cpu, sim::PageId page, sim::NodeId holder,
+                              obs::AttrCtx& actx);
   /// Node with spare frames beyond its reserve (excluding `self`); kNoNode
   /// when every node is fully committed — the paper's expected situation.
   sim::NodeId findSpareDonor(sim::NodeId self) const;
@@ -232,7 +242,34 @@ class Machine {
 
   // -- timing helpers ----------------------------------------------------------
   sim::Tick pageSerTicks(double bps) const;
-  sim::Tick ctrlTransfer(sim::Tick now, sim::NodeId src, sim::NodeId dst);
+  sim::Tick ctrlTransfer(sim::Tick now, sim::NodeId src, sim::NodeId dst,
+                         obs::AttrCtx* actx = nullptr);
+
+  // -- attribution helpers (see obs/attribution.hpp) --------------------------
+  /// `srv.request()` that also charges the queue/service split to `actx`.
+  static sim::Tick attrRequest(obs::AttrCtx& actx, obs::AttrStage stage,
+                               sim::FifoServer& srv, sim::Tick now,
+                               sim::Tick service) {
+    const sim::Tick done = srv.request(now, service);
+    actx.add(stage, done - service - now, service);
+    return done;
+  }
+
+  /// `mesh_->transfer()` that charges per-link queueing as kMesh queue time
+  /// and the remainder (hops + serialization) as kMesh service time.
+  sim::Tick attrMeshTransfer(obs::AttrCtx& actx, sim::Tick now, sim::NodeId src,
+                             sim::NodeId dst, std::uint64_t bytes,
+                             net::TrafficClass cls) {
+    sim::Tick queued = 0;
+    const sim::Tick done = mesh_->transfer(now, src, dst, bytes, cls, &queued);
+    actx.add(obs::AttrStage::kMesh, queued, done - now - queued);
+    return done;
+  }
+
+  /// Folds a completed operation into metrics().attr and the optional
+  /// per-record sink.
+  void recordAttr(obs::AttrOp op, obs::AttrOutcome outcome, sim::Tick end_to_end,
+                  const obs::AttrCtx& actx, sim::PageId page, sim::NodeId node);
 
   /// Records one timeline snapshot (no-op when sampling is disabled).
   void sampleTimeline();
@@ -251,6 +288,7 @@ class Machine {
   Metrics metrics_;
   TraceBuffer* trace_ = nullptr;
   obs::EventTimeline* etl_ = nullptr;
+  std::vector<obs::AttrRecord>* attr_records_ = nullptr;
   std::unique_ptr<Timeline> timeline_;
   sim::Rng rng_;
   std::uint64_t next_vaddr_ = 0;

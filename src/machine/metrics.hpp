@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/attribution.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -47,6 +48,11 @@ class Metrics {
   sim::Accumulator fault_ticks;
   sim::Log2Histogram fault_hist;
   sim::Log2Histogram swap_out_hist;
+
+  /// Per-stage critical-path attribution (queue vs service ticks for every
+  /// fault, swap-out and shootdown, keyed by outcome). Always on; adds no
+  /// simulated events and never perturbs timing.
+  obs::AttrAccountant attr;
 
   // --- counters -----------------------------------------------------------
   std::uint64_t faults = 0;

@@ -22,6 +22,10 @@ void Machine::publishMetrics(obs::MetricsRegistry& reg) const {
   reg.counter("cpu.stall.transit_ticks", static_cast<std::uint64_t>(metrics_.totalTransit()));
   reg.counter("cpu.stall.fault_ticks", static_cast<std::uint64_t>(metrics_.totalFault()));
   reg.counter("cpu.stall.tlb_ticks", static_cast<std::uint64_t>(metrics_.totalTlb()));
+  reg.counter("cpu.stall.other_ticks", static_cast<std::uint64_t>(metrics_.totalOther()));
+
+  // --- critical-path attribution (see obs/attribution.hpp) -----------------
+  metrics_.attr.publish(reg);
 
   // --- fault path ----------------------------------------------------------
   reg.counter("fault.count", metrics_.faults);

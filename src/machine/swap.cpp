@@ -27,6 +27,17 @@ void Machine::shootdown(sim::PageId page, sim::NodeId initiator) {
     }
   }
   nodes_[static_cast<std::size_t>(initiator)]->tlb_penalty += cfg_.tlb_shootdown_latency;
+
+  // Shootdowns are cycle-charged (they consume no simulated wall time), so
+  // they are their own attribution op rather than a stage of the enclosing
+  // swap-out: initiator latency as service, the remote interrupt charges as
+  // queue, end-to-end = the total penalty billed to the TLB category.
+  obs::AttrCtx sctx;
+  const sim::Tick remote_cost =
+      static_cast<sim::Tick>(cfg_.num_nodes - 1) * cfg_.interrupt_latency;
+  sctx.add(obs::AttrStage::kTlbShootdown, remote_cost, cfg_.tlb_shootdown_latency);
+  recordAttr(obs::AttrOp::kShootdown, obs::AttrOutcome::kNone,
+             cfg_.tlb_shootdown_latency + remote_cost, sctx, page, initiator);
 }
 
 void Machine::dropPageFromCachesAndDirectory(sim::PageId page) {
@@ -102,12 +113,13 @@ sim::Task<> Machine::replacementDaemon(sim::NodeId n) {
 
 sim::Task<> Machine::swapOutPage(sim::NodeId n, sim::PageId page, bool force_disk) {
   const sim::Tick t0 = eng_->now();
+  obs::AttrCtx actx;
   if (cfg_.hasRing()) {
-    co_await swapOutRing(n, page);
+    co_await swapOutRing(n, page, actx);
   } else if (cfg_.system == SystemKind::kRemoteMemory && !force_disk) {
-    co_await swapOutRemoteOrDisk(n, page);
+    co_await swapOutRemoteOrDisk(n, page, actx);
   } else {
-    co_await swapOutStandard(n, page);
+    co_await swapOutStandard(n, page, actx);
   }
   NodeCtx& nc = *nodes_[static_cast<std::size_t>(n)];
   --nc.swaps_in_flight;
@@ -117,6 +129,7 @@ sim::Task<> Machine::swapOutPage(sim::NodeId n, sim::PageId page, bool force_dis
   const sim::Tick dt = eng_->now() - t0;
   metrics_.swap_out_ticks.add(static_cast<double>(dt));
   metrics_.swap_out_hist.add(dt);
+  recordAttr(obs::AttrOp::kSwap, actx.outcome(), dt, actx, page, n);
   if (trace_ != nullptr) {
     trace_->record(TraceEvent{eng_->now(), dt, page, n,
                               cfg_.hasRing() ? TraceKind::kSwapOutRing
@@ -131,23 +144,30 @@ sim::Task<> Machine::swapOutPage(sim::NodeId n, sim::PageId page, bool force_dis
   sampleTimeline();
 }
 
-sim::Task<> Machine::swapOutStandard(sim::NodeId n, sim::PageId page) {
+sim::Task<> Machine::swapOutStandard(sim::NodeId n, sim::PageId page,
+                                     obs::AttrCtx& actx) {
   const int di = diskIndexOf(page);
   DiskCtx& dc = *disks_[static_cast<std::size_t>(di)];
   const sim::NodeId io = dc.node;
   vm::PageEntry& e = pt_->entry(page);
+  actx.setOutcome(obs::AttrOutcome::kCtrlCache);
 
   for (;;) {
     // Page data: local memory bus -> mesh -> I/O bus at the I/O node.
-    sim::Tick t = nodes_[static_cast<std::size_t>(n)]->mem_bus.request(eng_->now(),
-                                                                       page_ser_membus_);
-    t = mesh_->transfer(t, n, io, cfg_.page_bytes, net::TrafficClass::kSwapOut);
-    t = nodes_[static_cast<std::size_t>(io)]->io_bus.request(t, page_ser_iobus_);
+    sim::Tick t = attrRequest(actx, obs::AttrStage::kMemBus,
+                              nodes_[static_cast<std::size_t>(n)]->mem_bus,
+                              eng_->now(), page_ser_membus_);
+    t = attrMeshTransfer(actx, t, n, io, cfg_.page_bytes,
+                         net::TrafficClass::kSwapOut);
+    t = attrRequest(actx, obs::AttrStage::kIoBus,
+                    nodes_[static_cast<std::size_t>(io)]->io_bus, t,
+                    page_ser_iobus_);
+    actx.add(obs::AttrStage::kDiskCtrl, 0, cfg_.controller_overhead);
     co_await eng_->waitUntil(t + cfg_.controller_overhead);
 
     if (dc.cache.insertDirty(page)) {
       dc.work.notifyAll();  // a Dirty slot for the write-behind drain
-      co_await eng_->waitUntil(ctrlTransfer(eng_->now(), io, n));  // ACK
+      co_await eng_->waitUntil(ctrlTransfer(eng_->now(), io, n, &actx));  // ACK
       break;
     }
 
@@ -160,10 +180,13 @@ sim::Task<> Machine::swapOutStandard(sim::NodeId n, sim::PageId page) {
     if (etl_ != nullptr && etl_->enabled(obs::Layer::kSwap)) {
       etl_->instant(obs::Layer::kSwap, "swap.nack", eng_->now(), n, page);
     }
-    co_await eng_->waitUntil(ctrlTransfer(eng_->now(), io, n));  // NACK delivery
+    co_await eng_->waitUntil(ctrlTransfer(eng_->now(), io, n, &actx));  // NACK delivery
     sim::Trigger ok(*eng_);
     dc.nack_fifo.push_back(NackWaiter{n, &ok});
+    const sim::Tick ok_wait0 = eng_->now();
     co_await ok.wait();
+    // Waiting for the controller's OK is time spent queued on it.
+    actx.add(obs::AttrStage::kDiskCtrl, eng_->now() - ok_wait0, 0);
     // OK received: loop re-sends the page.
   }
 
@@ -171,22 +194,30 @@ sim::Task<> Machine::swapOutStandard(sim::NodeId n, sim::PageId page) {
   pt_->setState(page, PageState::kDisk);
 }
 
-sim::Task<> Machine::swapOutRing(sim::NodeId n, sim::PageId page) {
+sim::Task<> Machine::swapOutRing(sim::NodeId n, sim::PageId page,
+                                 obs::AttrCtx& actx) {
   const int ch = static_cast<int>(n) % cfg_.ring_channels;
   vm::PageEntry& e = pt_->entry(page);
+  actx.setOutcome(obs::AttrOutcome::kRing);
 
-  // A swap-out to the NWCache needs room on the node's own cache channel.
+  // A swap-out to the NWCache needs room on the node's own cache channel;
+  // time spent waiting for a slot is queueing on the ring.
+  const sim::Tick room0 = eng_->now();
   while (!ring_->hasRoom(ch)) {
     co_await ring_room_[static_cast<std::size_t>(ch)]->wait();
   }
+  actx.add(obs::AttrStage::kRing, eng_->now() - room0, 0);
   ring_->reserve(ch);  // claim the slot before the (timed) transmit
 
   // Page data: local memory bus -> local I/O bus -> fixed transmitter.
   // No mesh crossing: this is the contention benefit.
-  sim::Tick t = nodes_[static_cast<std::size_t>(n)]->mem_bus.request(eng_->now(),
-                                                                     page_ser_membus_);
-  t = nodes_[static_cast<std::size_t>(n)]->io_bus.request(t, page_ser_iobus_);
-  t = ring_->channelTx(ch).request(t, ring_->pageTransferTicks());
+  sim::Tick t = attrRequest(actx, obs::AttrStage::kMemBus,
+                            nodes_[static_cast<std::size_t>(n)]->mem_bus,
+                            eng_->now(), page_ser_membus_);
+  t = attrRequest(actx, obs::AttrStage::kIoBus,
+                  nodes_[static_cast<std::size_t>(n)]->io_bus, t, page_ser_iobus_);
+  t = attrRequest(actx, obs::AttrStage::kRing, ring_->channelTx(ch), t,
+                  ring_->pageTransferTicks());
   co_await eng_->waitUntil(t);
 
   ring_->insert(ch, page);
@@ -234,15 +265,17 @@ sim::NodeId Machine::findSpareDonor(sim::NodeId self) const {
   return best;
 }
 
-sim::Task<> Machine::swapOutRemoteOrDisk(sim::NodeId n, sim::PageId page) {
+sim::Task<> Machine::swapOutRemoteOrDisk(sim::NodeId n, sim::PageId page,
+                                         obs::AttrCtx& actx) {
   const sim::NodeId donor = findSpareDonor(n);
   if (donor == sim::kNoNode) {
     // The paper's expected case on an out-of-core multiprocessor: every
     // node is part of the computation, nobody has spare memory.
     ++metrics_.remote_fallbacks;
-    co_await swapOutStandard(n, page);
+    co_await swapOutStandard(n, page, actx);
     co_return;
   }
+  actx.setOutcome(obs::AttrOutcome::kRemote);
 
   // Claim the donor frame synchronously, then ship the page across the
   // mesh: source memory bus -> mesh -> donor memory bus.
@@ -250,10 +283,12 @@ sim::Task<> Machine::swapOutRemoteOrDisk(sim::NodeId n, sim::PageId page) {
   dn.frames.consumeFrame();
   dn.remote_stored.push_back(page);
 
-  sim::Tick t = nodes_[static_cast<std::size_t>(n)]->mem_bus.request(eng_->now(),
-                                                                     page_ser_membus_);
-  t = mesh_->transfer(t, n, donor, cfg_.page_bytes, net::TrafficClass::kSwapOut);
-  t = dn.mem_bus.request(t, page_ser_membus_);
+  sim::Tick t = attrRequest(actx, obs::AttrStage::kMemBus,
+                            nodes_[static_cast<std::size_t>(n)]->mem_bus,
+                            eng_->now(), page_ser_membus_);
+  t = attrMeshTransfer(actx, t, n, donor, cfg_.page_bytes,
+                       net::TrafficClass::kSwapOut);
+  t = attrRequest(actx, obs::AttrStage::kMemBus, dn.mem_bus, t, page_ser_membus_);
   co_await eng_->waitUntil(t);
 
   vm::PageEntry& e = pt_->entry(page);

@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
-#include <vector>
 
 #include "sim/types.hpp"
 
@@ -35,13 +35,30 @@ struct TraceEvent {
   TraceKind kind = TraceKind::kFaultDiskHit;
 };
 
+/// Unbounded by default; construct with a capacity to get a ring buffer
+/// that keeps the newest events and counts the dropped ones (mirrors
+/// obs::EventTimeline's cap mode — long runs stay bounded in memory).
 class TraceBuffer {
  public:
-  void record(const TraceEvent& e) { events_.push_back(e); }
+  TraceBuffer() = default;
+  explicit TraceBuffer(std::size_t capacity) : capacity_(capacity) {}
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  void record(const TraceEvent& e) {
+    if (capacity_ != 0 && events_.size() == capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(e);
+  }
+
+  const std::deque<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
   void clear() { events_.clear(); }
+
+  /// 0 = unbounded.
+  std::size_t capacity() const { return capacity_; }
+  /// Oldest events evicted to stay within capacity.
+  std::uint64_t dropped() const { return dropped_; }
 
   std::size_t count(TraceKind k) const;
 
@@ -49,7 +66,9 @@ class TraceBuffer {
   void dumpCsv(const std::string& path) const;
 
  private:
-  std::vector<TraceEvent> events_;
+  std::deque<TraceEvent> events_;
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace nwc::machine

@@ -46,7 +46,8 @@ int MeshNetwork::hops(sim::NodeId src, sim::NodeId dst) const {
 }
 
 sim::Tick MeshNetwork::transfer(sim::Tick now, sim::NodeId src, sim::NodeId dst,
-                                std::uint64_t bytes, TrafficClass cls) {
+                                std::uint64_t bytes, TrafficClass cls,
+                                sim::Tick* queued_out) {
   auto& st = stats_[static_cast<int>(cls)];
   ++st.messages;
   st.bytes += bytes;
@@ -62,7 +63,9 @@ sim::Tick MeshNetwork::transfer(sim::Tick now, sim::NodeId src, sim::NodeId dst,
   sim::Tick t = now;
   auto traverse = [&](int nx, int ny) {
     t += params_.hop_latency;
+    const sim::Tick arrival = t;
     t = link(x, y, nx, ny).request(t, ser) - ser;  // grant time of this link
+    if (queued_out != nullptr) *queued_out += t - arrival;
     x = nx;
     y = ny;
   };

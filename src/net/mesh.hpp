@@ -45,9 +45,12 @@ class MeshNetwork {
 
   /// Schedules a `bytes`-long message from `src` to `dst` arriving no
   /// earlier than `now`; returns its delivery completion tick.
-  /// `src == dst` costs nothing.
+  /// `src == dst` costs nothing. When `queued_out` is non-null, the summed
+  /// per-link queueing delay of this message is added to it (the rest of
+  /// `done - now` is hop latency + serialization, i.e. service time).
   sim::Tick transfer(sim::Tick now, sim::NodeId src, sim::NodeId dst,
-                     std::uint64_t bytes, TrafficClass cls);
+                     std::uint64_t bytes, TrafficClass cls,
+                     sim::Tick* queued_out = nullptr);
 
   /// Route length in hops.
   int hops(sim::NodeId src, sim::NodeId dst) const;

@@ -123,6 +123,60 @@ TEST(BatchRun, ParallelMatchesSerialByteForByte) {
   for (const auto& p : {csv1, jsonl1, csv4, jsonl4}) std::remove(p.c_str());
 }
 
+TEST(BatchRun, ResumeMatchesFreshRunByteForByte) {
+  const std::string spec_text =
+      "[machine]\nmemory_per_node = 32768\n"
+      "[batch]\napps = radix\nsystems = standard, nwcache\n"
+      "prefetch = optimal\nseeds = 1\nscale = 0.05\n";
+  const std::string csv_full = "/tmp/nwc_batch_full.csv";
+  const std::string jsonl_full = "/tmp/nwc_batch_full.jsonl";
+  const std::string csv_res = "/tmp/nwc_batch_res.csv";
+  const std::string jsonl_res = "/tmp/nwc_batch_res.jsonl";
+
+  auto full = BatchSpec::fromIni(util::IniFile::parse(
+      spec_text + "csv = " + csv_full + "\njsonl = " + jsonl_full + "\n"));
+  runBatch(full);
+
+  // Simulate a crash after the first cell: keep only its checkpoint line,
+  // then resume. The resumed grid must reproduce the full run's outputs
+  // byte-for-byte without rerunning the checkpointed cell.
+  {
+    std::ifstream in(jsonl_full);
+    std::string first;
+    ASSERT_TRUE(std::getline(in, first));
+    std::ofstream out(jsonl_res);
+    out << first << "\n";
+  }
+  auto resume = BatchSpec::fromIni(util::IniFile::parse(
+      spec_text + "resume = true\ncsv = " + csv_res + "\njsonl = " + jsonl_res +
+      "\n"));
+  std::ostringstream progress;
+  const BatchResult res = runBatch(resume, &progress);
+  ASSERT_EQ(res.runs.size(), 2u);
+  EXPECT_TRUE(res.all_ok);
+  // Only the missing cell reran.
+  EXPECT_NE(progress.str().find("[1/1]"), std::string::npos);
+  EXPECT_EQ(slurp(csv_full), slurp(csv_res));
+  EXPECT_EQ(slurp(jsonl_full), slurp(jsonl_res));
+
+  // Resuming a complete checkpoint runs nothing and leaves it unchanged.
+  std::ostringstream progress2;
+  runBatch(resume, &progress2);
+  EXPECT_EQ(progress2.str().find(" on "), std::string::npos);
+  EXPECT_EQ(slurp(jsonl_full), slurp(jsonl_res));
+
+  for (const auto& p : {csv_full, jsonl_full, csv_res, jsonl_res}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(BatchRun, ResumeRequiresJsonl) {
+  auto spec = BatchSpec::fromIni(util::IniFile::parse(
+      "[batch]\napps = radix\nsystems = standard\nprefetch = optimal\n"
+      "resume = true\n"));
+  EXPECT_THROW(runBatch(spec), std::runtime_error);
+}
+
 TEST(BatchRun, SeedsVaryTiming) {
   auto spec = BatchSpec::fromIni(util::IniFile::parse(
       "[machine]\nmemory_per_node = 32768\n"

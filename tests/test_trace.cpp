@@ -24,6 +24,23 @@ TEST(TraceBuffer, RecordsAndCounts) {
   EXPECT_EQ(t.size(), 0u);
 }
 
+TEST(TraceBuffer, CapacityEvictsOldestAndCountsDrops) {
+  TraceBuffer t(2);
+  EXPECT_EQ(t.capacity(), 2u);
+  t.record({100, 0, 1, 0, TraceKind::kNack});
+  t.record({200, 0, 2, 0, TraceKind::kNack});
+  EXPECT_EQ(t.dropped(), 0u);
+  t.record({300, 0, 3, 0, TraceKind::kNack});
+  t.record({400, 0, 4, 0, TraceKind::kNack});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.dropped(), 2u);
+  // The newest events survive; the oldest were evicted.
+  EXPECT_EQ(t.events().front().at, 300);
+  EXPECT_EQ(t.events().back().at, 400);
+  // Default construction stays unbounded.
+  EXPECT_EQ(TraceBuffer().capacity(), 0u);
+}
+
 TEST(TraceBuffer, CsvDump) {
   TraceBuffer t;
   t.record({100, 10, 5, 0, TraceKind::kSwapOutRing});

@@ -1,6 +1,7 @@
 // nwcbatch: run an experiment grid described by an INI file.
 //
-//   nwcbatch [--jobs=N] [--meta-dir=DIR] [--heartbeat=SECS] experiments.ini
+//   nwcbatch [--jobs=N] [--meta-dir=DIR] [--heartbeat=SECS] [--resume]
+//            experiments.ini
 //
 //   # experiments.ini
 //   [machine]
@@ -36,9 +37,10 @@ int main(int argc, char** argv) {
   std::string meta_dir;
   long jobs = -1;       // -1 = use the INI's jobs key (default auto)
   long heartbeat = -1;  // -1 = use the INI's heartbeat_secs key
+  bool resume = false;
   const char* usage =
       "usage: nwcbatch [--jobs=N] [--meta-dir=DIR] [--heartbeat=SECS] "
-      "<experiments.ini>\n";
+      "[--resume] <experiments.ini>\n";
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--jobs=", 0) == 0) {
@@ -55,12 +57,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "nwcbatch: --heartbeat must be >= 0\n");
         return 2;
       }
+    } else if (a == "--resume") {
+      resume = true;
     } else if (a == "--help" || a == "-h") {
       std::printf("%s"
                   "  --jobs=N          worker threads (0 = all cores, 1 = serial;\n"
                   "                    overrides the INI's batch.jobs key)\n"
                   "  --meta-dir=DIR    write one run_meta.json per grid cell\n"
-                  "  --heartbeat=SECS  parallel status cadence on stderr (0 = off)\n",
+                  "  --heartbeat=SECS  parallel status cadence on stderr (0 = off)\n"
+                  "  --resume          skip grid cells already checkpointed in the\n"
+                  "                    batch.jsonl file; rerun only the rest\n",
                   usage);
       return 0;
     } else if (ini_path.empty()) {
@@ -79,6 +85,7 @@ int main(int argc, char** argv) {
     if (jobs >= 0) spec.jobs = static_cast<unsigned>(jobs);
     if (!meta_dir.empty()) spec.meta_dir = meta_dir;
     if (heartbeat >= 0) spec.heartbeat_secs = static_cast<unsigned>(heartbeat);
+    if (resume) spec.resume = true;
     std::printf("running %zu configurations at scale %.2f on %u threads\n",
                 spec.runCount(), spec.scale, util::resolveJobs(spec.jobs));
     const apps::BatchResult res = apps::runBatch(spec, &std::cerr);

@@ -42,6 +42,8 @@ namespace {
       "  --config=FILE         load a [machine] INI section\n"
       "  --set K=V             override one machine key (repeatable)\n"
       "  --trace=FILE          dump the page-event trace as CSV (single app)\n"
+      "  --trace-cap=N         keep only the newest N trace events (ring\n"
+      "                        buffer; dropped events are counted)\n"
       "  --metrics=FILE        export the instrument catalog as JSON (plus a\n"
       "                        sibling .csv); single app\n"
       "  --timeline=FILE       export a Chrome trace-event JSON timeline\n"
@@ -82,6 +84,7 @@ int main(int argc, char** argv) {
   double scale = 1.0;
   unsigned jobs = 0;
   std::string trace_path;
+  std::size_t trace_cap = 0;
   std::string metrics_path;
   std::string timeline_path;
   unsigned timeline_layers = nwc::obs::kAllLayers;
@@ -124,6 +127,8 @@ int main(int argc, char** argv) {
         }
       } else if (a.rfind("--trace=", 0) == 0) {
         trace_path = val("--trace=");
+      } else if (a.rfind("--trace-cap=", 0) == 0) {
+        trace_cap = std::strtoul(val("--trace-cap=").c_str(), nullptr, 10);
       } else if (a.rfind("--metrics=", 0) == 0) {
         metrics_path = val("--metrics=");
       } else if (a.rfind("--timeline=", 0) == 0) {
@@ -217,7 +222,7 @@ int main(int argc, char** argv) {
     };
 
     if (app_names.size() == 1) {
-      machine::TraceBuffer trace;
+      machine::TraceBuffer trace(trace_cap);
       obs::EventTimeline timeline(timeline_layers, timeline_cap);
       obs::MetricsRegistry registry;
       apps::ObsSinks sinks;
@@ -242,8 +247,9 @@ int main(int argc, char** argv) {
       }
       printSummary(s);
       if (!as_json && !trace_path.empty()) {
-        std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
-                    trace.size());
+        std::printf("trace written to %s (%zu events, %llu dropped)\n",
+                    trace_path.c_str(), trace.size(),
+                    static_cast<unsigned long long>(trace.dropped()));
       }
       if (!as_json && !metrics_path.empty()) {
         std::printf("metrics written to %s (%zu instruments)\n", metrics_path.c_str(),
