@@ -7,6 +7,10 @@
 //   --seed=<n>    machine seed
 //   --jobs=<n>    simulation threads (0 = all cores, 1 = serial)
 //   --metrics-dir=<dir>  export one MetricsRegistry JSON per simulation
+//   --trace-dir=<dir>    kernel trace cache: replay hits, record misses
+//   --record      with --trace-dir: always execute and (re)write traces
+//   --replay      with --trace-dir: strict replay, never fall back
+//   --no-trace    ignore the trace cache even if --trace-dir is given
 //
 // Parallelism model: a bench declares its full run grid up front with
 // runAhead(), which executes the simulations concurrently and caches the
@@ -20,6 +24,7 @@
 #include <vector>
 
 #include "apps/runner.hpp"
+#include "apps/trace_cache.hpp"
 #include "machine/config.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -33,6 +38,7 @@ struct Options {
   std::string metrics_dir;  // non-empty: per-run instrument JSON exports
   std::uint64_t seed = 0x5eed;
   unsigned jobs = 0;  // 0 = hardware concurrency, 1 = serial
+  apps::TraceCacheConfig trace;  // --trace-dir / --record / --replay / --no-trace
 };
 
 /// Parses the common flags; unknown flags abort with a usage message.
@@ -70,6 +76,11 @@ apps::RunSummary run(const machine::MachineConfig& cfg, const std::string& app,
 void emit(const Options& opt, const util::AsciiTable& table,
           const std::vector<std::string>& headers,
           const std::vector<std::vector<std::string>>& rows);
+
+/// One stderr line with the process-wide trace-cache totals (no-op when
+/// the cache is disabled). emit() calls this; benches with bespoke output
+/// paths call it directly.
+void printTraceCacheSummary(const Options& opt);
 
 /// Renders fraction in [0,1] as a crude ASCII bar (for the figure benches).
 std::string bar(double fraction, int width = 40);

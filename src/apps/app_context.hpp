@@ -88,6 +88,10 @@ class AppContext {
   /// Charge `cycles` of local computation on `cpu` (scaled by the machine's
   /// `compute_cycle_scale` to approximate a full instruction stream).
   void compute(int cpu, sim::Tick cycles) {
+    // Recorded raw: replay re-applies the replay config's scale, so traces
+    // stay valid across compute_cycle_scale sweeps.
+    if (auto* rec = m_->refRecorder())
+      rec->onCompute(cpu, static_cast<std::uint64_t>(cycles));
     m_->compute(cpu, static_cast<sim::Tick>(
                          static_cast<double>(cycles) *
                          m_->config().compute_cycle_scale));
@@ -95,6 +99,7 @@ class AppContext {
 
   /// Global barrier across all cpus (flushes local time first).
   sim::Task<> barrier(int cpu) {
+    if (auto* rec = m_->refRecorder()) rec->onBarrier(cpu);
     co_await m_->fence(cpu);
     co_await barrier_.arriveAndWait();
   }

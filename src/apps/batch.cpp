@@ -1,5 +1,6 @@
 #include "apps/batch.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -91,6 +92,12 @@ BatchSpec BatchSpec::fromIni(const util::IniFile& ini) {
     spec.heartbeat_secs = static_cast<unsigned>(*v);
   }
   if (const auto v = ini.getBool("batch.resume")) spec.resume = *v;
+  if (const auto v = ini.get("batch.trace_dir")) spec.trace_dir = *v;
+  if (const auto v = ini.get("batch.trace_mode")) {
+    if (!parseTraceMode(*v, spec.trace_mode)) {
+      throw std::runtime_error("batch: trace_mode must be off/auto/record/replay, got " + *v);
+    }
+  }
   return spec;
 }
 
@@ -304,7 +311,8 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
   // summaries (they would break the serial-vs-parallel byte-identity) and
   // land here instead. Peak RSS is the process high-water mark, so for a
   // parallel batch it is an upper bound on the cell's own footprint.
-  auto writeCellMeta = [&](std::size_t i, const RunSummary& s, double wall_ms) {
+  auto writeCellMeta = [&](std::size_t i, const RunSummary& s, double wall_ms,
+                           const TraceCacheResult& tr) {
     if (spec.meta_dir.empty()) return;
     obs::RunMeta meta;
     meta.app = grid[i].app;
@@ -318,20 +326,40 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
     meta.peak_rss_bytes = obs::peakRssBytes();
     meta.exec_pcycles = static_cast<std::uint64_t>(s.exec_time);
     meta.verified = s.verified;
+    meta.trace_outcome = toString(tr.outcome);
+    meta.kernel_trace_hash = tr.kernel_hash;
+    meta.trace_bytes = tr.trace_bytes;
     char cell[32];
     std::snprintf(cell, sizeof(cell), "cell%04zu_", i);
     meta.write(spec.meta_dir + "/" + cell + meta.app + "_" + meta.system + "_" +
                meta.prefetch + "_s" + std::to_string(meta.seed) + ".json");
   };
 
+  const TraceCacheConfig tc{spec.trace_dir, spec.trace_mode};
+  // Largest RSS observed right after a cell finished — with the per-worker
+  // arena this is close to the steady per-cell footprint (process-wide, so
+  // parallel runs see the sum of concurrent workers).
+  std::atomic<std::uint64_t> cell_rss_peak{0};
+
   auto runCell = [&](std::size_t i) {
     const auto w0 = std::chrono::steady_clock::now();
-    RunSummary s = runApp(grid[i].cfg, grid[i].app, spec.scale);
+    // One arena per worker thread: the page table survives from cell to
+    // cell instead of being reallocated per Machine.
+    thread_local machine::MachineArena arena;
+    ObsSinks sinks;
+    sinks.arena = &arena;
+    TraceCacheResult tr;
+    RunSummary s = runAppCached(grid[i].cfg, grid[i].app, spec.scale, tc, sinks, &tr);
     const double wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                   w0)
             .count();
-    writeCellMeta(i, s, wall_ms);
+    std::uint64_t rss = obs::currentRssBytes();
+    std::uint64_t seen = cell_rss_peak.load(std::memory_order_relaxed);
+    while (rss > seen &&
+           !cell_rss_peak.compare_exchange_weak(seen, rss, std::memory_order_relaxed)) {
+    }
+    writeCellMeta(i, s, wall_ms, tr);
     return s;
   };
 
@@ -363,7 +391,10 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
         while (!hb_cv.wait_for(lk, std::chrono::seconds(spec.heartbeat_secs),
                                [&] { return hb_stop; })) {
           meter.heartbeat("rss=" + obs::formatBytes(obs::currentRssBytes()) +
-                          " peak=" + obs::formatBytes(obs::peakRssBytes()));
+                          " peak=" + obs::formatBytes(obs::peakRssBytes()) +
+                          " cell_peak=" +
+                          obs::formatBytes(
+                              cell_rss_peak.load(std::memory_order_relaxed)));
         }
       });
     }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "apps/runner.hpp"
+#include "apps/trace_cache.hpp"
 #include "machine/config.hpp"
 #include "util/ini.hpp"
 
@@ -29,12 +30,15 @@ struct BatchSpec {
   unsigned heartbeat_secs = 2;  // parallel-run status cadence; 0 disables
   bool resume = false;        // skip grid cells already checkpointed in the
                               // JSONL (crashed grids restart where they died)
+  std::string trace_dir;      // non-empty: kernel trace cache directory
+  TraceMode trace_mode = TraceMode::kAuto;  // what to do with the cache
 
   /// Parses the [machine] and [batch] sections. [batch] keys:
   ///   apps, systems, prefetch (comma lists), scale, seeds, csv, jsonl,
-  ///   meta_dir, best_min_free, jobs, heartbeat_secs, resume. Missing keys
-  ///   default to the full matrix of the standard+nwcache systems over all
-  ///   seven applications.
+  ///   meta_dir, best_min_free, jobs, heartbeat_secs, resume, trace_dir,
+  ///   trace_mode (off/auto/record/replay). Missing keys default to the
+  ///   full matrix of the standard+nwcache systems over all seven
+  ///   applications.
   static BatchSpec fromIni(const util::IniFile& ini);
 
   std::size_t runCount() const {

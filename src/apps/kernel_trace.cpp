@@ -1,0 +1,265 @@
+#include "apps/kernel_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/run_meta.hpp"
+
+namespace nwc::apps {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'W', 'C', 'T', 'R', 'C', '1', '\n'};
+constexpr std::uint64_t kTrailer = 0x444e454354574eULL;  // "NWCTEND"
+
+void putU32(std::ostream& os, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(b, 4);
+}
+
+void putU64(std::ostream& os, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(b, 8);
+}
+
+void putStr(std::ostream& os, const std::string& s) {
+  putU32(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+struct TraceParser {
+  std::ifstream in;
+  std::string path;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("kernel trace '" + path + "': " + what);
+  }
+
+  void read(char* dst, std::size_t n) {
+    in.read(dst, static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in.gcount()) != n) fail("truncated file");
+  }
+
+  std::uint32_t getU32() {
+    char b[4];
+    read(b, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(b[i])) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t getU64() {
+    char b[8];
+    read(b, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(b[i])) << (8 * i);
+    return v;
+  }
+
+  std::string getStr(std::uint32_t max_len, const char* what) {
+    const std::uint32_t n = getU32();
+    if (n > max_len) fail(std::string("implausible ") + what + " length");
+    std::string s(n, '\0');
+    if (n != 0) read(s.data(), n);
+    return s;
+  }
+};
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t kernelStreamHash(const std::string& app, double scale,
+                               int num_nodes) {
+  // %.17g round-trips doubles exactly, so equal hashes mean equal scales.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "|%.17g|%d", scale, num_nodes);
+  return obs::fnv1aHash("nwctrace-v" + std::to_string(kKernelTraceVersion) +
+                        "|" + app + buf);
+}
+
+std::string kernelTraceFileName(const std::string& app, int num_nodes,
+                                std::uint64_t kernel_hash) {
+  return app + "_n" + std::to_string(num_nodes) + "_" + hex16(kernel_hash) +
+         ".nwct";
+}
+
+std::uint64_t KernelTrace::streamBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  return total;
+}
+
+StreamStats KernelTrace::totals() const {
+  StreamStats t;
+  for (const auto& s : stats) {
+    t.reads += s.reads;
+    t.writes += s.writes;
+    t.computes += s.computes;
+    t.barriers += s.barriers;
+  }
+  return t;
+}
+
+void writeKernelTrace(const KernelTrace& t, const std::string& path) {
+  if (t.streams.size() != static_cast<std::size_t>(t.num_nodes) ||
+      t.stats.size() != t.streams.size()) {
+    throw std::runtime_error("kernel trace '" + path +
+                             "': stream count does not match num_nodes");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("kernel trace '" + path + "': cannot open for writing");
+
+  out.write(kMagic, sizeof kMagic);
+  putU32(out, kKernelTraceVersion);
+  putStr(out, t.app);
+  std::uint64_t scale_bits;
+  static_assert(sizeof scale_bits == sizeof t.scale);
+  std::memcpy(&scale_bits, &t.scale, sizeof scale_bits);
+  putU64(out, scale_bits);
+  putU32(out, static_cast<std::uint32_t>(t.num_nodes));
+  putU64(out, t.kernel_hash);
+  putU32(out, t.verified ? 1 : 0);
+  putU64(out, t.data_bytes);
+
+  putU32(out, static_cast<std::uint32_t>(t.regions.size()));
+  for (const auto& r : t.regions) {
+    putU64(out, r.bytes);
+    putStr(out, r.name);
+  }
+
+  putU32(out, static_cast<std::uint32_t>(t.streams.size()));
+  for (std::size_t i = 0; i < t.streams.size(); ++i) {
+    const auto& st = t.stats[i];
+    putU64(out, st.reads);
+    putU64(out, st.writes);
+    putU64(out, st.computes);
+    putU64(out, st.barriers);
+    putStr(out, t.streams[i]);
+  }
+  putU64(out, kTrailer);
+
+  out.flush();
+  if (!out) throw std::runtime_error("kernel trace '" + path + "': write failed");
+}
+
+KernelTrace readKernelTrace(const std::string& path) {
+  TraceParser p{std::ifstream(path, std::ios::binary), path};
+  if (!p.in) p.fail("cannot open (missing or unreadable)");
+
+  char magic[sizeof kMagic];
+  p.read(magic, sizeof magic);
+  if (!std::equal(magic, magic + sizeof magic, kMagic))
+    p.fail("bad magic (not a kernel trace file)");
+
+  const std::uint32_t version = p.getU32();
+  if (version != kKernelTraceVersion)
+    p.fail("unsupported format version " + std::to_string(version) +
+           " (this build reads version " + std::to_string(kKernelTraceVersion) +
+           "; re-record the trace)");
+
+  KernelTrace t;
+  t.app = p.getStr(1024, "app name");
+  const std::uint64_t scale_bits = p.getU64();
+  std::memcpy(&t.scale, &scale_bits, sizeof t.scale);
+  t.num_nodes = static_cast<int>(p.getU32());
+  t.kernel_hash = p.getU64();
+  t.verified = p.getU32() != 0;
+  t.data_bytes = p.getU64();
+
+  if (t.num_nodes <= 0 || t.num_nodes > 4096) p.fail("implausible num_nodes");
+  const std::uint64_t expect = kernelStreamHash(t.app, t.scale, t.num_nodes);
+  if (t.kernel_hash != expect)
+    p.fail("header hash " + hex16(t.kernel_hash) +
+           " does not match its own app/scale/num_nodes (expected " +
+           hex16(expect) + ") — corrupt or hand-edited trace");
+
+  const std::uint32_t num_regions = p.getU32();
+  if (num_regions > 1u << 20) p.fail("implausible region count");
+  t.regions.resize(num_regions);
+  for (auto& r : t.regions) {
+    r.bytes = p.getU64();
+    r.name = p.getStr(4096, "region name");
+  }
+
+  const std::uint32_t num_streams = p.getU32();
+  if (num_streams != static_cast<std::uint32_t>(t.num_nodes))
+    p.fail("stream count does not match num_nodes");
+  t.streams.resize(num_streams);
+  t.stats.resize(num_streams);
+  for (std::uint32_t i = 0; i < num_streams; ++i) {
+    auto& st = t.stats[i];
+    st.reads = p.getU64();
+    st.writes = p.getU64();
+    st.computes = p.getU64();
+    st.barriers = p.getU64();
+    t.streams[i] = p.getStr(0xffffffffu, "stream");
+  }
+  if (p.getU64() != kTrailer) p.fail("bad trailer (truncated or corrupt)");
+  return t;
+}
+
+KernelTraceRecorder::KernelTraceRecorder(const std::string& app, double scale,
+                                         int num_nodes) {
+  trace_.app = app;
+  trace_.scale = scale;
+  trace_.num_nodes = num_nodes;
+  trace_.kernel_hash = kernelStreamHash(app, scale, num_nodes);
+  writers_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void KernelTraceRecorder::onRegion(std::uint64_t base, std::uint64_t bytes,
+                                   const std::string& name) {
+  region_base_.push_back(base);
+  trace_.regions.push_back(RegionDecl{bytes, name});
+}
+
+std::uint32_t KernelTraceRecorder::regionOf(std::uint64_t vaddr) const {
+  // Bases are allocated in ascending order; find the last base <= vaddr.
+  auto it = std::upper_bound(region_base_.begin(), region_base_.end(), vaddr);
+  if (it == region_base_.begin())
+    throw std::logic_error("kernel trace: access below every region base");
+  return static_cast<std::uint32_t>((it - region_base_.begin()) - 1);
+}
+
+void KernelTraceRecorder::onAccess(int cpu, std::uint64_t vaddr, bool write) {
+  const std::uint32_t region = regionOf(vaddr);
+  writers_[static_cast<std::size_t>(cpu)].access(
+      region, vaddr - region_base_[region], write);
+}
+
+void KernelTraceRecorder::onCompute(int cpu, std::uint64_t raw_cycles) {
+  writers_[static_cast<std::size_t>(cpu)].compute(raw_cycles);
+}
+
+void KernelTraceRecorder::onBarrier(int cpu) {
+  writers_[static_cast<std::size_t>(cpu)].barrier();
+}
+
+KernelTrace KernelTraceRecorder::finish(bool verified,
+                                        std::uint64_t data_bytes) {
+  trace_.verified = verified;
+  trace_.data_bytes = data_bytes;
+  trace_.streams.clear();
+  trace_.stats.clear();
+  for (auto& w : writers_) {
+    if (!w.finished()) w.finish();
+    trace_.stats.push_back(
+        StreamStats{w.reads(), w.writes(), w.computes(), w.barriers()});
+    trace_.streams.push_back(w.takeBytes());
+  }
+  return std::move(trace_);
+}
+
+}  // namespace nwc::apps

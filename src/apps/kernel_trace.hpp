@@ -1,0 +1,97 @@
+// Kernel trace format: one file per (app, scale, num_nodes) holding each
+// simulated cpu's full reference stream plus the provenance needed to
+// decide whether a replay is valid.
+//
+// A trace captures exactly what an application kernel feeds the machine —
+// region allocations, virtual-address accesses, raw compute charges and
+// barriers — and nothing about the machine's response. Any config axis
+// that does not perturb that stream (system/prefetch mode, memory per
+// node, cache/TLB/bus/disk/ring parameters, seed, page_bytes,
+// compute_cycle_scale) can therefore be swept by replaying the trace;
+// axes baked into the stream (app, scale, num_nodes) key the trace via
+// `kernelStreamHash` and force re-execution when they change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/trace.hpp"
+#include "sim/refstream.hpp"
+
+namespace nwc::apps {
+
+/// Bumped whenever the on-disk layout or opcode set changes; readers
+/// reject other versions outright.
+inline constexpr std::uint32_t kKernelTraceVersion = 1;
+
+/// Hash of everything that shapes the reference stream. Two runs with
+/// equal hashes have byte-identical streams; anything else must re-execute.
+std::uint64_t kernelStreamHash(const std::string& app, double scale,
+                               int num_nodes);
+
+/// Canonical file name for a trace inside a trace directory.
+std::string kernelTraceFileName(const std::string& app, int num_nodes,
+                                std::uint64_t kernel_hash);
+
+struct RegionDecl {
+  std::uint64_t bytes = 0;  // requested size, before page rounding
+  std::string name;
+};
+
+struct StreamStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t computes = 0;
+  std::uint64_t barriers = 0;
+};
+
+struct KernelTrace {
+  std::string app;
+  double scale = 1.0;
+  int num_nodes = 0;
+  std::uint64_t kernel_hash = 0;
+  bool verified = false;         // the recording run's numerical check
+  std::uint64_t data_bytes = 0;  // AppInstance::dataBytes() of the recording
+  std::vector<RegionDecl> regions;
+  std::vector<std::string> streams;  // one encoded RefStream per cpu
+  std::vector<StreamStats> stats;    // parallel to streams
+
+  std::uint64_t streamBytes() const;
+  StreamStats totals() const;
+};
+
+/// Serializes to `path` (overwrites). Throws std::runtime_error on I/O
+/// failure or if the trace is internally inconsistent.
+void writeKernelTrace(const KernelTrace& t, const std::string& path);
+
+/// Parses `path`. Throws std::runtime_error with a message naming the file
+/// and the problem (missing, truncated, bad magic, unsupported version,
+/// header hash inconsistent with its own app/scale/num_nodes).
+KernelTrace readKernelTrace(const std::string& path);
+
+/// RefRecorder that encodes the run into a KernelTrace. Attach via
+/// ObsSinks::ref_recorder (before setup, so every region is seen), run the
+/// app, then call `finish()` with the run's verification outcome.
+class KernelTraceRecorder : public machine::RefRecorder {
+ public:
+  KernelTraceRecorder(const std::string& app, double scale, int num_nodes);
+
+  void onRegion(std::uint64_t base, std::uint64_t bytes,
+                const std::string& name) override;
+  void onAccess(int cpu, std::uint64_t vaddr, bool write) override;
+  void onCompute(int cpu, std::uint64_t raw_cycles) override;
+  void onBarrier(int cpu) override;
+
+  /// Seals every stream and returns the finished trace.
+  KernelTrace finish(bool verified, std::uint64_t data_bytes);
+
+ private:
+  std::uint32_t regionOf(std::uint64_t vaddr) const;
+
+  KernelTrace trace_;
+  std::vector<std::uint64_t> region_base_;  // sorted (allocation order)
+  std::vector<sim::RefStreamWriter> writers_;
+};
+
+}  // namespace nwc::apps

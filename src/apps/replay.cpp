@@ -1,0 +1,88 @@
+#include "apps/replay.hpp"
+
+#include <stdexcept>
+
+#include "apps/app_context.hpp"
+#include "obs/registry.hpp"
+
+namespace nwc::apps {
+
+namespace {
+
+// Mirrors runner.cpp's cpuMain: recorded ops in order, then the final
+// fence + cpuDone that cpuMain adds around every kernel. Compute and
+// barrier go through AppContext so scaling/fencing use the exact same
+// expressions as execution-driven runs (byte-identity depends on it).
+sim::Task<> replayCpu(AppContext& ctx, sim::RefStreamReader& r,
+                      const std::vector<std::uint64_t>& bases, int cpu) {
+  machine::Machine& m = ctx.machine();
+  sim::RefEvent e;
+  while (r.next(e)) {
+    switch (e.op) {
+      case sim::RefOp::kAccess:
+        if (e.region >= bases.size())
+          throw std::runtime_error("kernel trace: region index out of range");
+        co_await m.access(cpu, bases[e.region] + e.offset, e.write);
+        break;
+      case sim::RefOp::kCompute:
+        ctx.compute(cpu, static_cast<sim::Tick>(e.cycles));
+        break;
+      case sim::RefOp::kBarrier:
+        co_await ctx.barrier(cpu);
+        break;
+    }
+  }
+  co_await m.fence(cpu);
+  m.cpuDone(cpu);
+}
+
+}  // namespace
+
+RunSummary replayKernelTrace(const machine::MachineConfig& cfg,
+                             const KernelTrace& trace, const ObsSinks& sinks) {
+  if (cfg.num_nodes != trace.num_nodes) {
+    throw std::invalid_argument(
+        "replay: config has num_nodes=" + std::to_string(cfg.num_nodes) +
+        " but trace '" + trace.app + "' was recorded with num_nodes=" +
+        std::to_string(trace.num_nodes) +
+        " (the interleave is baked into the streams; re-record)");
+  }
+
+  machine::Machine m(cfg, sinks.arena);
+  if (sinks.trace != nullptr) m.attachTrace(sinks.trace);
+  if (sinks.timeline != nullptr) m.attachEventTimeline(sinks.timeline);
+  if (sinks.attr_records != nullptr) m.attachAttrRecords(sinks.attr_records);
+  // Re-recording a replay yields an identical trace (round-trip tests).
+  if (sinks.ref_recorder != nullptr) m.attachRefRecorder(sinks.ref_recorder);
+
+  AppContext ctx(m);
+  std::vector<std::uint64_t> bases;
+  bases.reserve(trace.regions.size());
+  for (const auto& r : trace.regions) {
+    bases.push_back(m.allocRegion(r.bytes, r.name));
+  }
+  m.start();
+
+  std::vector<sim::RefStreamReader> readers;
+  readers.reserve(trace.streams.size());
+  for (const auto& s : trace.streams) readers.emplace_back(s);
+  for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
+    m.engine().spawn(
+        replayCpu(ctx, readers[static_cast<std::size_t>(cpu)], bases, cpu));
+  }
+  m.engine().run();
+
+  RunSummary s;
+  s.app = trace.app;
+  s.cfg = cfg;
+  s.metrics = m.metrics();
+  s.exec_time = m.metrics().executionTime();
+  s.verified = trace.verified;
+  s.invariant_violations = m.checkInvariants();
+  s.engine_events = m.engine().eventsProcessed();
+  s.data_bytes = trace.data_bytes;
+  if (sinks.registry != nullptr) m.publishMetrics(*sinks.registry);
+  return s;
+}
+
+}  // namespace nwc::apps

@@ -1,0 +1,24 @@
+// Trace-driven replay: feed a recorded kernel reference stream through the
+// full machine model (ring, mesh, buses, disks all arbitrate normally).
+#pragma once
+
+#include "apps/kernel_trace.hpp"
+#include "apps/runner.hpp"
+
+namespace nwc::apps {
+
+/// Replays `trace` on a machine built from `cfg`, mirroring the
+/// execution-driven runner exactly: same region allocation order, one
+/// driver coroutine per cpu issuing the recorded access/compute/barrier
+/// sequence, final fence + cpuDone. For config axes that do not perturb
+/// the reference stream the resulting RunSummary is byte-identical to
+/// `runApp`'s (verified/data_bytes/app come from the trace header — the
+/// numerics were checked when the trace was recorded).
+///
+/// Throws std::invalid_argument if `cfg.num_nodes` differs from the
+/// trace's (the interleave is baked into the streams).
+RunSummary replayKernelTrace(const machine::MachineConfig& cfg,
+                             const KernelTrace& trace,
+                             const ObsSinks& sinks = {});
+
+}  // namespace nwc::apps

@@ -30,10 +30,11 @@ RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name
     throw std::invalid_argument("unknown application: " + app_name);
   }
 
-  machine::Machine m(cfg);
+  machine::Machine m(cfg, sinks.arena);
   if (sinks.trace != nullptr) m.attachTrace(sinks.trace);
   if (sinks.timeline != nullptr) m.attachEventTimeline(sinks.timeline);
   if (sinks.attr_records != nullptr) m.attachAttrRecords(sinks.attr_records);
+  if (sinks.ref_recorder != nullptr) m.attachRefRecorder(sinks.ref_recorder);
   std::unique_ptr<AppInstance> app = info->make(scale);
   AppContext ctx(m);
   app->setup(ctx);

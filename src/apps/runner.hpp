@@ -40,6 +40,12 @@ struct ObsSinks {
   obs::EventTimeline* timeline = nullptr;
   obs::MetricsRegistry* registry = nullptr;
   std::vector<obs::AttrRecord>* attr_records = nullptr;
+  /// Kernel reference-stream capture (trace-driven replay); attached before
+  /// setup() so region allocations are seen. See apps/kernel_trace.hpp.
+  machine::RefRecorder* ref_recorder = nullptr;
+  /// Allocation pool shared by runs on one worker thread (not thread-safe);
+  /// the machine draws its page table from here and parks it on teardown.
+  machine::MachineArena* arena = nullptr;
 };
 
 /// Runs `app_name` at input `scale` on a machine built from `cfg`.

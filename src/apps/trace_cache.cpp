@@ -1,0 +1,168 @@
+#include "apps/trace_cache.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+#include "apps/replay.hpp"
+#include "obs/registry.hpp"
+
+namespace nwc::apps {
+
+namespace fs = std::filesystem;
+
+const char* toString(TraceMode m) {
+  switch (m) {
+    case TraceMode::kOff: return "off";
+    case TraceMode::kAuto: return "auto";
+    case TraceMode::kRecord: return "record";
+    case TraceMode::kReplay: return "replay";
+  }
+  return "?";
+}
+
+bool parseTraceMode(const std::string& s, TraceMode& out) {
+  if (s == "off") out = TraceMode::kOff;
+  else if (s == "auto") out = TraceMode::kAuto;
+  else if (s == "record") out = TraceMode::kRecord;
+  else if (s == "replay") out = TraceMode::kReplay;
+  else return false;
+  return true;
+}
+
+const char* toString(TraceOutcome o) {
+  switch (o) {
+    case TraceOutcome::kExecuted: return "executed";
+    case TraceOutcome::kRecorded: return "recorded";
+    case TraceOutcome::kReplayed: return "replayed";
+  }
+  return "?";
+}
+
+TraceCacheStats& traceCacheStats() {
+  static TraceCacheStats stats;
+  return stats;
+}
+
+void publishTraceCacheMetrics(obs::MetricsRegistry& reg) {
+  const TraceCacheStats& s = traceCacheStats();
+  reg.counter("trace_cache.executes", s.executes.load());
+  reg.counter("trace_cache.records", s.records.load());
+  reg.counter("trace_cache.replays", s.replays.load());
+  reg.counter("trace_cache.fallbacks", s.fallbacks.load());
+  reg.counter("trace_cache.bytes_written", s.bytes_written.load());
+  reg.counter("trace_cache.bytes_read", s.bytes_read.load());
+}
+
+namespace {
+
+// Tmp names are unique per write so concurrent batch workers recording the
+// same trace cannot clobber each other's partial file; the final rename is
+// atomic within the directory.
+std::string uniqueTmpPath(const std::string& final_path) {
+  static std::atomic<std::uint64_t> seq{0};
+  return final_path + ".tmp." + std::to_string(seq.fetch_add(1));
+}
+
+RunSummary executeAndRecord(const machine::MachineConfig& cfg,
+                            const std::string& app_name, double scale,
+                            const std::string& path, const ObsSinks& sinks,
+                            TraceCacheResult* result) {
+  KernelTraceRecorder rec(app_name, scale, cfg.num_nodes);
+  ObsSinks with_rec = sinks;
+  with_rec.ref_recorder = &rec;
+  RunSummary s = runApp(cfg, app_name, scale, with_rec);
+  const KernelTrace t = rec.finish(s.verified, s.data_bytes);
+
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  const std::string tmp = uniqueTmpPath(path);
+  writeKernelTrace(t, tmp);
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp);
+    throw std::runtime_error("trace cache: cannot move '" + tmp + "' to '" +
+                             path + "': " + ec.message());
+  }
+  const std::uint64_t bytes = fs::file_size(path, ec);
+  traceCacheStats().records.fetch_add(1);
+  traceCacheStats().bytes_written.fetch_add(ec ? 0 : bytes);
+  if (result != nullptr) {
+    result->outcome = TraceOutcome::kRecorded;
+    result->trace_path = path;
+    result->trace_bytes = ec ? 0 : bytes;
+  }
+  return s;
+}
+
+}  // namespace
+
+RunSummary runAppCached(const machine::MachineConfig& cfg,
+                        const std::string& app_name, double scale,
+                        const TraceCacheConfig& tc, const ObsSinks& sinks,
+                        TraceCacheResult* result) {
+  const std::uint64_t hash = kernelStreamHash(app_name, scale, cfg.num_nodes);
+  if (result != nullptr) *result = TraceCacheResult{};
+  if (result != nullptr) result->kernel_hash = hash;
+
+  // A caller-attached recorder owns the machine's single recorder slot, so
+  // the cache cannot also record; run plain in that case.
+  if (!tc.enabled() || sinks.ref_recorder != nullptr) {
+    traceCacheStats().executes.fetch_add(1);
+    return runApp(cfg, app_name, scale, sinks);
+  }
+
+  const std::string path =
+      (fs::path(tc.dir) / kernelTraceFileName(app_name, cfg.num_nodes, hash))
+          .string();
+
+  if (tc.mode == TraceMode::kRecord) {
+    return executeAndRecord(cfg, app_name, scale, path, sinks, result);
+  }
+
+  // kAuto / kReplay: try the trace first. A plain miss (no file yet) is the
+  // expected cold-cache case in auto mode; only a file that exists but fails
+  // to load counts as a fallback.
+  if (!fs::exists(path)) {
+    if (tc.mode == TraceMode::kReplay) {
+      throw std::runtime_error(
+          "trace cache (strict replay): kernel trace '" + path +
+          "' not found — record it first (--record, or trace mode auto)");
+    }
+    return executeAndRecord(cfg, app_name, scale, path, sinks, result);
+  }
+
+  std::string load_error;
+  try {
+    KernelTrace t = readKernelTrace(path);
+    if (t.kernel_hash != hash) {
+      throw std::runtime_error(
+          "kernel trace '" + path + "': keyed for app=" + t.app +
+          " scale=" + std::to_string(t.scale) +
+          " num_nodes=" + std::to_string(t.num_nodes) +
+          ", which does not match this run — re-record");
+    }
+    RunSummary s = replayKernelTrace(cfg, t, sinks);
+    std::error_code ec;
+    const std::uint64_t bytes = fs::file_size(path, ec);
+    traceCacheStats().replays.fetch_add(1);
+    traceCacheStats().bytes_read.fetch_add(ec ? 0 : bytes);
+    if (result != nullptr) {
+      result->outcome = TraceOutcome::kReplayed;
+      result->trace_path = path;
+      result->trace_bytes = ec ? 0 : bytes;
+    }
+    return s;
+  } catch (const std::runtime_error& e) {
+    load_error = e.what();
+  }
+
+  if (tc.mode == TraceMode::kReplay) {
+    throw std::runtime_error(std::string("trace cache (strict replay): ") +
+                             load_error);
+  }
+  traceCacheStats().fallbacks.fetch_add(1);
+  return executeAndRecord(cfg, app_name, scale, path, sinks, result);
+}
+
+}  // namespace nwc::apps

@@ -1,0 +1,81 @@
+// On-disk kernel trace cache: execute each (app, scale, num_nodes) kernel
+// once, replay it for every other grid cell.
+//
+// `runAppCached` is a drop-in for `runApp`: given a trace directory and a
+// mode it records on miss, replays on hit, and always returns the same
+// RunSummary an execution-driven run would have produced (byte-identical
+// for stream-invariant config axes). Process-global counters track what
+// the cache did so sweeps can report executes vs replays.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "apps/runner.hpp"
+
+namespace nwc::obs {
+class MetricsRegistry;
+}
+
+namespace nwc::apps {
+
+enum class TraceMode : std::uint8_t {
+  kOff,     // never touch the trace cache (plain execution)
+  kAuto,    // replay when a valid trace exists, otherwise execute + record
+  kRecord,  // always execute and (re)write the trace
+  kReplay,  // strict: replay or fail loudly — never fall back to execution
+};
+
+const char* toString(TraceMode m);
+/// Parses "off" / "auto" / "record" / "replay"; returns false on anything else.
+bool parseTraceMode(const std::string& s, TraceMode& out);
+
+struct TraceCacheConfig {
+  std::string dir;  // empty disables the cache regardless of mode
+  TraceMode mode = TraceMode::kAuto;
+
+  bool enabled() const { return !dir.empty() && mode != TraceMode::kOff; }
+};
+
+/// What `runAppCached` did for one run (provenance for run_meta et al.).
+enum class TraceOutcome : std::uint8_t {
+  kExecuted,  // cache off / disabled: plain execution, nothing written
+  kRecorded,  // executed and wrote a trace
+  kReplayed,  // served from a trace, kernel not executed
+};
+
+const char* toString(TraceOutcome o);
+
+struct TraceCacheResult {
+  TraceOutcome outcome = TraceOutcome::kExecuted;
+  std::uint64_t kernel_hash = 0;
+  std::string trace_path;          // empty when the cache was not involved
+  std::uint64_t trace_bytes = 0;   // on-disk trace size (written or read)
+};
+
+/// Process-wide cache activity (atomic: batch workers share it).
+struct TraceCacheStats {
+  std::atomic<std::uint64_t> executes{0};  // runs with the cache uninvolved
+  std::atomic<std::uint64_t> records{0};   // runs that executed + wrote
+  std::atomic<std::uint64_t> replays{0};   // runs served by replay
+  std::atomic<std::uint64_t> fallbacks{0}; // auto-mode loads that failed
+  std::atomic<std::uint64_t> bytes_written{0};
+  std::atomic<std::uint64_t> bytes_read{0};
+};
+
+TraceCacheStats& traceCacheStats();
+
+/// Publishes the process-wide totals as `trace_cache.*` instruments.
+void publishTraceCacheMetrics(obs::MetricsRegistry& reg);
+
+/// `runApp` with a trace cache in front. See TraceMode for semantics; in
+/// kReplay mode a missing/invalid/mismatched trace throws std::runtime_error
+/// with a message naming the file and the reason (never a silent fallback).
+/// `result`, when non-null, receives what happened.
+RunSummary runAppCached(const machine::MachineConfig& cfg,
+                        const std::string& app_name, double scale,
+                        const TraceCacheConfig& tc, const ObsSinks& sinks = {},
+                        TraceCacheResult* result = nullptr);
+
+}  // namespace nwc::apps

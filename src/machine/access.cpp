@@ -13,63 +13,66 @@ bool Machine::tryFastAccess(int cpu, std::uint64_t vaddr, bool write) {
   NodeCtx& nc = *nodes_[static_cast<std::size_t>(cpu)];
   if (nc.pending + nc.tlb_penalty >= cfg_.access_quantum) return false;
 
-  const sim::PageId page = static_cast<sim::PageId>(vaddr / cfg_.page_bytes);
+  const sim::PageId page = pageOf(vaddr);
   const vm::PageEntry& e = pt_->entry(page);
   if (e.state != vm::PageState::kResident) return false;
 
-  if (write) {
-    if (nc.wb.full(eng_->now())) return false;
-  } else {
-    if (!nc.l1.contains(vaddr) && !nc.l2.contains(vaddr)) return false;
+  if (!write) {
+    // Fused gate+access: an L1 hit costs one set probe. Cache bookkeeping
+    // is independent of the TLB/frame touch, so committing after the cache
+    // access is observationally identical to the old gate-first order.
+    if (nc.l1.accessIfHit(vaddr, false)) {
+      commitResidentTouch(cpu, page, false);
+      nc.pending += cfg_.l1_hit_latency;
+      return true;
+    }
+    if (!nc.l2.contains(vaddr)) return false;  // L1 state untouched above
+    commitResidentTouch(cpu, page, false);
+    (void)nc.l1.access(vaddr, false);  // counts the miss and fills the line
+    (void)nc.l2.access(vaddr, false);  // guaranteed hit: containment checked
+    nc.pending += cfg_.l1_hit_latency + cfg_.l2_hit_latency;
+    return true;
   }
 
-  commitResidentTouch(cpu, page, write);
+  if (nc.wb.full(eng_->now())) return false;
 
-  if (write) {
-    const std::uint64_t line = vaddr / cfg_.l2.line_bytes;
-    auto o1 = nc.l1.access(vaddr, true);
-    if (!o1.hit) {
-      auto o2 = nc.l2.access(vaddr, true);
-      if (o2.evicted && o2.evicted_dirty) {
-        nc.mem_bus.request(eng_->now(), line_ser_membus_);
-        dir_->onWriteback(cpu, o2.evicted_line);
-      }
-      if (!o2.hit) {
-        auto act = dir_->onWrite(cpu, line);
-        for (int n = 0; n < cfg_.num_nodes; ++n) {
-          if (act.invalidate_mask & (1u << n)) {
-            nodes_[static_cast<std::size_t>(n)]->l1.invalidateLine(nc.l1.lineOf(vaddr));
-            nodes_[static_cast<std::size_t>(n)]->l2.invalidateLine(line);
-            ctrlTransfer(eng_->now(), cpu, n);
-          }
+  commitResidentTouch(cpu, page, true);
+
+  const std::uint64_t line = lineNumOf(vaddr);
+  auto o1 = nc.l1.access(vaddr, true);
+  if (!o1.hit) {
+    auto o2 = nc.l2.access(vaddr, true);
+    if (o2.evicted && o2.evicted_dirty) {
+      nc.mem_bus.request(eng_->now(), line_ser_membus_);
+      dir_->onWriteback(cpu, o2.evicted_line);
+    }
+    if (!o2.hit) {
+      auto act = dir_->onWrite(cpu, line);
+      for (int n = 0; n < cfg_.num_nodes; ++n) {
+        if (act.invalidate_mask & (1u << n)) {
+          nodes_[static_cast<std::size_t>(n)]->l1.invalidateLine(nc.l1.lineOf(vaddr));
+          nodes_[static_cast<std::size_t>(n)]->l2.invalidateLine(line);
+          ctrlTransfer(eng_->now(), cpu, n);
         }
       }
     }
-    // Release consistency: the write retires through the write buffer; the
-    // processor pays only the pipeline cost. The drain occupies the memory
-    // bus (and the mesh if the page is homed remotely).
-    if (nc.wb.coalesces(eng_->now(), line)) {
-      nc.wb.insert(eng_->now(), line, 0);
-    } else {
-      sim::Tick done = nc.mem_bus.request(eng_->now(), line_ser_membus_);
-      if (e.home != cpu) {
-        done = mesh_->transfer(done, cpu, e.home, cfg_.l2.line_bytes,
-                               net::TrafficClass::kCoherence);
-        done = nodes_[static_cast<std::size_t>(e.home)]->mem_bus.request(done,
-                                                                         line_ser_membus_);
-      }
-      nc.wb.insert(eng_->now(), line, done);
-    }
-    nc.pending += cfg_.l1_hit_latency;
-  } else {
-    auto o1 = nc.l1.access(vaddr, false);
-    nc.pending += cfg_.l1_hit_latency;
-    if (!o1.hit) {
-      auto o2 = nc.l2.access(vaddr, false);
-      nc.pending += cfg_.l2_hit_latency;
-      (void)o2;  // guaranteed hit: the fast path pre-checked containment
-    }
   }
+  // Release consistency: the write retires through the write buffer; the
+  // processor pays only the pipeline cost. The drain occupies the memory
+  // bus (and the mesh if the page is homed remotely).
+  if (nc.wb.coalesces(eng_->now(), line)) {
+    nc.wb.insert(eng_->now(), line, 0);
+  } else {
+    sim::Tick done = nc.mem_bus.request(eng_->now(), line_ser_membus_);
+    if (e.home != cpu) {
+      done = mesh_->transfer(done, cpu, e.home, cfg_.l2.line_bytes,
+                             net::TrafficClass::kCoherence);
+      done = nodes_[static_cast<std::size_t>(e.home)]->mem_bus.request(done,
+                                                                       line_ser_membus_);
+    }
+    nc.wb.insert(eng_->now(), line, done);
+  }
+  nc.pending += cfg_.l1_hit_latency;
   return true;
 }
 
@@ -92,8 +95,8 @@ sim::Task<> Machine::slowAccess(int cpu, std::uint64_t vaddr, bool write) {
   NodeCtx& nc = *nodes_[static_cast<std::size_t>(cpu)];
   co_await fence(cpu);  // put accumulated local time on the global clock
 
-  const sim::PageId page = static_cast<sim::PageId>(vaddr / cfg_.page_bytes);
-  const std::uint64_t line = vaddr / cfg_.l2.line_bytes;
+  const sim::PageId page = pageOf(vaddr);
+  const std::uint64_t line = lineNumOf(vaddr);
 
   for (;;) {
     vm::PageEntry& e = pt_->entry(page);

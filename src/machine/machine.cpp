@@ -1,5 +1,6 @@
 #include "machine/machine.hpp"
 
+#include <bit>
 #include <cassert>
 #include <sstream>
 
@@ -39,10 +40,11 @@ Machine::DiskCtx::DiskCtx(sim::Engine& eng, const MachineConfig& cfg, sim::NodeI
       cache(cfg.diskCacheSlots()),
       work(eng) {}
 
-Machine::Machine(const MachineConfig& cfg)
+Machine::Machine(const MachineConfig& cfg, MachineArena* arena)
     : cfg_(cfg),
       eng_(std::make_unique<sim::Engine>()),
       metrics_(cfg.num_nodes),
+      arena_(arena),
       rng_(cfg.seed) {
   for (int n = 0; n < cfg_.num_nodes; ++n) {
     nodes_.push_back(std::make_unique<NodeCtx>(*eng_, cfg_));
@@ -56,7 +58,7 @@ Machine::Machine(const MachineConfig& cfg)
   mesh_ = std::make_unique<net::MeshNetwork>(mp);
 
   dir_ = std::make_unique<mem::Directory>(cfg_.num_nodes);
-  pt_ = std::make_unique<vm::PageTable>(*eng_, 0);
+  pt_ = arena_ ? arena_->takePageTable(*eng_) : std::make_unique<vm::PageTable>(*eng_, 0);
 
   pfs_ = std::make_unique<io::ParallelFileSystem>(cfg_.ioNodes(), cfg_.pages_per_group);
   int d = 0;
@@ -96,6 +98,13 @@ Machine::Machine(const MachineConfig& cfg)
     }
   }
 
+  if (std::has_single_bit(cfg_.page_bytes)) {
+    page_shift_ = std::countr_zero(cfg_.page_bytes);
+  }
+  if (std::has_single_bit(static_cast<std::uint64_t>(cfg_.l2.line_bytes))) {
+    line_shift_ = std::countr_zero(static_cast<std::uint64_t>(cfg_.l2.line_bytes));
+  }
+
   page_ser_membus_ = sim::transferTicks(cfg_.page_bytes, cfg_.memory_bus_bps, cfg_.pcycle_ns);
   page_ser_iobus_ = sim::transferTicks(cfg_.page_bytes, cfg_.io_bus_bps, cfg_.pcycle_ns);
   line_ser_membus_ =
@@ -106,12 +115,15 @@ Machine::~Machine() {
   // Destroy the engine (and every coroutine frame it owns) while the
   // machine's signals/mutexes those frames reference are still alive.
   eng_.reset();
+  // Only now is it safe to park the page table: frame destruction above may
+  // have released Guard objects pointing into its entries.
+  if (arena_ && pt_) arena_->returnPageTable(std::move(pt_));
 }
 
 std::uint64_t Machine::allocRegion(std::uint64_t bytes, std::string name) {
-  (void)name;
   assert(!started_ && "allocRegion must precede start()");
   const std::uint64_t base = next_vaddr_;
+  if (ref_recorder_) ref_recorder_->onRegion(base, bytes, name);
   const std::uint64_t pages = (bytes + cfg_.page_bytes - 1) / cfg_.page_bytes;
   pt_->addPages(*eng_, static_cast<std::int64_t>(pages));
   next_vaddr_ += pages * cfg_.page_bytes;

@@ -44,9 +44,39 @@ class MetricsRegistry;
 
 namespace nwc::machine {
 
+/// Pool of the big per-Machine allocations, reused across grid cells run
+/// sequentially by one worker thread (not thread-safe). Today the dominant
+/// allocation by far is the page table — one entry per simulated page, tens
+/// of MB at paper scales — so that is what the arena keeps; the remaining
+/// per-Machine state (frame-pool LRU vectors, fixed histogram arrays) is
+/// O(config), not O(data size).
+class MachineArena {
+ public:
+  /// A recycled page table if one is pooled, else a fresh empty one.
+  std::unique_ptr<vm::PageTable> takePageTable(sim::Engine& eng) {
+    if (spare_pt_) return std::move(spare_pt_);
+    return std::make_unique<vm::PageTable>(eng, 0);
+  }
+
+  /// Accepts a drained page table back into the pool. Call only after the
+  /// owning engine is destroyed (no live coroutine references entries).
+  void returnPageTable(std::unique_ptr<vm::PageTable> pt) {
+    pt->recycle();
+    spare_pt_ = std::move(pt);
+  }
+
+  /// Heap bytes currently parked in the pool (heartbeat reporting).
+  std::uint64_t pooledBytes() const {
+    return spare_pt_ ? spare_pt_->capacityBytes() : 0;
+  }
+
+ private:
+  std::unique_ptr<vm::PageTable> spare_pt_;
+};
+
 class Machine {
  public:
-  explicit Machine(const MachineConfig& cfg);
+  explicit Machine(const MachineConfig& cfg, MachineArena* arena = nullptr);
   ~Machine();
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -113,6 +143,7 @@ class Machine {
 
   AccessAwaiter access(int cpu, std::uint64_t vaddr, bool write) {
     ++metrics_.cpu(cpu).accesses;
+    if (ref_recorder_) ref_recorder_->onAccess(cpu, vaddr, write);
     return AccessAwaiter{*this, cpu, vaddr, write};
   }
 
@@ -122,6 +153,11 @@ class Machine {
   /// Attaches a page-event trace sink (optional; may be null to detach).
   void attachTrace(TraceBuffer* sink) { trace_ = sink; }
   TraceBuffer* trace() const { return trace_; }
+
+  /// Attaches a kernel reference-stream recorder (optional; null to
+  /// detach). Must be attached before `allocRegion` to see every region.
+  void attachRefRecorder(RefRecorder* rec) { ref_recorder_ = rec; }
+  RefRecorder* refRecorder() const { return ref_recorder_; }
 
   /// Attaches a cross-layer event timeline (optional; null to detach).
   /// Each hot-path hook costs one pointer check while detached.
@@ -279,6 +315,7 @@ class Machine {
   std::vector<std::unique_ptr<NodeCtx>> nodes_;
   std::unique_ptr<net::MeshNetwork> mesh_;
   std::unique_ptr<mem::Directory> dir_;
+  MachineArena* arena_ = nullptr;
   std::unique_ptr<vm::PageTable> pt_;
   std::unique_ptr<io::ParallelFileSystem> pfs_;
   std::vector<std::unique_ptr<DiskCtx>> disks_;
@@ -287,6 +324,7 @@ class Machine {
   std::vector<std::unique_ptr<sim::Signal>> ring_room_;  // per channel
   Metrics metrics_;
   TraceBuffer* trace_ = nullptr;
+  RefRecorder* ref_recorder_ = nullptr;
   obs::EventTimeline* etl_ = nullptr;
   std::vector<obs::AttrRecord>* attr_records_ = nullptr;
   std::unique_ptr<Timeline> timeline_;
@@ -299,6 +337,19 @@ class Machine {
   sim::Tick page_ser_membus_ = 0;
   sim::Tick page_ser_iobus_ = 0;
   sim::Tick line_ser_membus_ = 0;
+
+  // Power-of-two page/line geometry takes the shift path (hardware divides
+  // are measurable on the access fast path); -1 falls back to division.
+  int page_shift_ = -1;
+  int line_shift_ = -1;
+
+  sim::PageId pageOf(std::uint64_t vaddr) const {
+    return static_cast<sim::PageId>(page_shift_ >= 0 ? vaddr >> page_shift_
+                                                     : vaddr / cfg_.page_bytes);
+  }
+  std::uint64_t lineNumOf(std::uint64_t vaddr) const {
+    return line_shift_ >= 0 ? vaddr >> line_shift_ : vaddr / cfg_.l2.line_bytes;
+  }
 };
 
 }  // namespace nwc::machine

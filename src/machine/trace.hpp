@@ -71,4 +71,27 @@ class TraceBuffer {
   std::uint64_t dropped_ = 0;
 };
 
+/// Kernel reference-stream capture hook (trace-driven replay).
+///
+/// Attach one to a Machine before `start()` and every kernel-visible
+/// operation is reported: region allocations, memory accesses (full
+/// virtual address, so cache/TLB behavior can be reproduced exactly),
+/// raw compute charges and barriers. The machine reports accesses and
+/// regions itself; AppContext routes compute/barrier through the same
+/// pointer. Detached cost is one pointer check per operation.
+class RefRecorder {
+ public:
+  virtual ~RefRecorder() = default;
+
+  /// A region was reserved at `base` (`bytes` is the requested, pre-
+  /// page-rounding size — traces stay valid across page_bytes sweeps).
+  virtual void onRegion(std::uint64_t base, std::uint64_t bytes,
+                        const std::string& name) = 0;
+  virtual void onAccess(int cpu, std::uint64_t vaddr, bool write) = 0;
+  /// Raw cycles as passed to AppContext::compute, before
+  /// compute_cycle_scale is applied.
+  virtual void onCompute(int cpu, std::uint64_t raw_cycles) = 0;
+  virtual void onBarrier(int cpu) = 0;
+};
+
 }  // namespace nwc::machine

@@ -1,5 +1,6 @@
 #include "mem/cache.hpp"
 
+#include <bit>
 #include <cassert>
 
 namespace nwc::mem {
@@ -10,6 +11,13 @@ SetAssocCache::SetAssocCache(const CacheParams& p) : params_(p) {
   num_sets_ = lines / p.assoc;
   if (num_sets_ == 0) num_sets_ = 1;
   ways_.resize(num_sets_ * p.assoc);
+  if (std::has_single_bit(static_cast<std::uint64_t>(p.line_bytes))) {
+    line_shift_ = std::countr_zero(static_cast<std::uint64_t>(p.line_bytes));
+  }
+  if (std::has_single_bit(num_sets_)) {
+    set_shift_ = std::countr_zero(num_sets_);
+    set_mask_ = num_sets_ - 1;
+  }
 }
 
 CacheOutcome SetAssocCache::access(std::uint64_t addr, bool write) {
@@ -47,6 +55,23 @@ CacheOutcome SetAssocCache::access(std::uint64_t addr, bool write) {
   victim->tag = tag;
   victim->lru = ++tick_;
   return out;
+}
+
+bool SetAssocCache::accessIfHit(std::uint64_t addr, bool write) {
+  const std::uint64_t line = lineOf(addr);
+  const std::uint64_t set = setOf(line);
+  const std::uint64_t tag = tagOf(line);
+  Way* base = &ways_[set * params_.assoc];
+  for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++tick_;
+      way.dirty = way.dirty || write;
+      hits_.hit();
+      return true;
+    }
+  }
+  return false;
 }
 
 bool SetAssocCache::contains(std::uint64_t addr) const {

@@ -37,6 +37,12 @@ class SetAssocCache {
   /// Probe without side effects.
   bool contains(std::uint64_t addr) const;
 
+  /// `access()` restricted to the hit case: on hit, identical side effects
+  /// (LRU update, dirty bit, hit counter) and returns true; on miss leaves
+  /// all state and counters untouched. Lets the access fast path fuse its
+  /// containment gate with the actual access (one set probe, not two).
+  bool accessIfHit(std::uint64_t addr, bool write);
+
   /// Invalidates one line; returns true if the line was present and dirty.
   bool invalidateLine(std::uint64_t line_addr);
 
@@ -47,7 +53,9 @@ class SetAssocCache {
   void flushAll();
 
   std::uint64_t lineBytes() const { return params_.line_bytes; }
-  std::uint64_t lineOf(std::uint64_t addr) const { return addr / params_.line_bytes; }
+  std::uint64_t lineOf(std::uint64_t addr) const {
+    return line_shift_ >= 0 ? addr >> line_shift_ : addr / params_.line_bytes;
+  }
 
   const sim::RatioCounter& hitStats() const { return hits_; }
   sim::RatioCounter& hitStats() { return hits_; }
@@ -60,11 +68,20 @@ class SetAssocCache {
     bool dirty = false;
   };
 
-  std::uint64_t setOf(std::uint64_t line) const { return line % num_sets_; }
-  std::uint64_t tagOf(std::uint64_t line) const { return line / num_sets_; }
+  // Power-of-two geometries (every standard config) take the shift/mask
+  // path; hardware divides showed up in access-path profiles.
+  std::uint64_t setOf(std::uint64_t line) const {
+    return set_shift_ >= 0 ? line & set_mask_ : line % num_sets_;
+  }
+  std::uint64_t tagOf(std::uint64_t line) const {
+    return set_shift_ >= 0 ? line >> set_shift_ : line / num_sets_;
+  }
 
   CacheParams params_;
   std::uint64_t num_sets_;
+  int line_shift_ = -1;  // log2(line_bytes), or -1 if not a power of two
+  int set_shift_ = -1;   // log2(num_sets_), or -1 if not a power of two
+  std::uint64_t set_mask_ = 0;
   std::vector<Way> ways_;  // num_sets_ * assoc, row-major by set
   std::uint64_t tick_ = 0;
   sim::RatioCounter hits_;

@@ -8,7 +8,7 @@ Directory::Directory(int num_nodes) : num_nodes_(num_nodes) { (void)num_nodes_; 
 
 CoherenceActions Directory::onRead(sim::NodeId n, std::uint64_t line) {
   CoherenceActions a;
-  Entry& e = map_[line];
+  Entry& e = map_.getOrInsert(line);
   if (e.owner != sim::kNoNode && e.owner != n) {
     a.owner_flush = true;
     a.owner = e.owner;
@@ -23,7 +23,7 @@ CoherenceActions Directory::onRead(sim::NodeId n, std::uint64_t line) {
 
 CoherenceActions Directory::onWrite(sim::NodeId n, std::uint64_t line) {
   CoherenceActions a;
-  Entry& e = map_[line];
+  Entry& e = map_.getOrInsert(line);
   if (e.owner != sim::kNoNode && e.owner != n) {
     a.owner_flush = true;
     a.owner = e.owner;
@@ -37,21 +37,20 @@ CoherenceActions Directory::onWrite(sim::NodeId n, std::uint64_t line) {
 }
 
 void Directory::onWriteback(sim::NodeId n, std::uint64_t line) {
-  auto it = map_.find(line);
-  if (it == map_.end()) return;
-  if (it->second.owner == n) it->second.owner = sim::kNoNode;
-  it->second.sharers &= ~(1u << n);
-  if (it->second.sharers == 0) map_.erase(it);
+  Entry* e = map_.find(line);
+  if (!e) return;
+  if (e->owner == n) e->owner = sim::kNoNode;
+  e->sharers &= ~(1u << n);
+  if (e->sharers == 0) map_.erase(line);
 }
 
 std::uint32_t Directory::dropPage(std::uint64_t first_line, std::uint64_t lines) {
   std::uint32_t mask = 0;
   for (std::uint64_t l = first_line; l < first_line + lines; ++l) {
-    auto it = map_.find(l);
-    if (it != map_.end()) {
-      mask |= it->second.sharers;
-      if (it->second.owner != sim::kNoNode) mask |= 1u << it->second.owner;
-      map_.erase(it);
+    if (Entry* e = map_.find(l)) {
+      mask |= e->sharers;
+      if (e->owner != sim::kNoNode) mask |= 1u << e->owner;
+      map_.erase(l);
     }
   }
   return mask;

@@ -7,9 +7,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/flat_hash.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -52,7 +52,7 @@ class Directory {
   };
 
   int num_nodes_;
-  std::unordered_map<std::uint64_t, Entry> map_;
+  sim::FlatHashU64<Entry> map_;
   sim::RatioCounter remote_dirty_;  // hit = read found remote-dirty line
 };
 

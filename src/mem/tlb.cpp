@@ -1,41 +1,8 @@
 #include "mem/tlb.hpp"
 
-#include <algorithm>
-
 #include "obs/registry.hpp"
 
 namespace nwc::mem {
-
-Tlb::Tlb(int entries) : entries_(entries) { map_.reserve(static_cast<std::size_t>(entries) * 2); }
-
-bool Tlb::lookup(sim::PageId page) {
-  auto it = map_.find(page);
-  if (it == map_.end()) {
-    hits_.miss();
-    return false;
-  }
-  it->second = ++tick_;
-  hits_.hit();
-  return true;
-}
-
-void Tlb::insert(sim::PageId page) {
-  auto it = map_.find(page);
-  if (it != map_.end()) {
-    it->second = ++tick_;
-    return;
-  }
-  if (static_cast<int>(map_.size()) >= entries_) {
-    auto lru = std::min_element(map_.begin(), map_.end(),
-                                [](const auto& a, const auto& b) { return a.second < b.second; });
-    map_.erase(lru);
-  }
-  map_.emplace(page, ++tick_);
-}
-
-bool Tlb::invalidate(sim::PageId page) { return map_.erase(page) > 0; }
-
-void Tlb::flush() { map_.clear(); }
 
 void Tlb::publishMetrics(obs::MetricsRegistry& reg, const std::string& prefix) const {
   obs::publish(reg, prefix + "lookup", hits_);

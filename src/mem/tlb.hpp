@@ -3,8 +3,8 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 
+#include "sim/page_lru.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -16,22 +16,33 @@ namespace nwc::mem {
 
 class Tlb {
  public:
-  explicit Tlb(int entries = 64);
+  explicit Tlb(int entries = 64) : entries_(entries), lru_(entries) {}
 
   /// True if `page` has a cached translation (counts toward hit stats and
   /// refreshes LRU).
-  bool lookup(sim::PageId page);
+  bool lookup(sim::PageId page) {
+    if (lru_.touch(page)) {
+      hits_.hit();
+      return true;
+    }
+    hits_.miss();
+    return false;
+  }
 
   /// Installs a translation, evicting the LRU entry if full.
-  void insert(sim::PageId page);
+  void insert(sim::PageId page) {
+    if (lru_.touch(page)) return;
+    if (lru_.size() >= entries_) lru_.erase(lru_.lru());
+    lru_.pushMru(page);
+  }
 
   /// Drops a translation (TLB-shootdown on rights downgrade).
   /// Returns true if the entry was present.
-  bool invalidate(sim::PageId page);
+  bool invalidate(sim::PageId page) { return lru_.erase(page); }
 
-  void flush();
+  void flush() { lru_.clear(); }
 
-  int size() const { return static_cast<int>(map_.size()); }
+  int size() const { return lru_.size(); }
   int capacity() const { return entries_; }
   const sim::RatioCounter& hitStats() const { return hits_; }
 
@@ -40,8 +51,7 @@ class Tlb {
 
  private:
   int entries_;
-  std::uint64_t tick_ = 0;
-  std::unordered_map<sim::PageId, std::uint64_t> map_;  // page -> last use
+  sim::PageLruList lru_;
   sim::RatioCounter hits_;
 };
 

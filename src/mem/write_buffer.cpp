@@ -2,38 +2,41 @@
 
 namespace nwc::mem {
 
-WriteBuffer::WriteBuffer(int entries) : entries_(entries) {}
+namespace {
 
-void WriteBuffer::prune(sim::Tick now) {
-  while (!fifo_.empty() && fifo_.front().completes <= now) {
-    lines_.erase(fifo_.front().line);
-    fifo_.pop_front();
-  }
+std::uint32_t ringSize(int entries) {
+  // One slot of slack: callers may insert into a nominally full buffer
+  // while the stall they charged for drains.
+  std::uint32_t cap = 4;
+  while (cap < static_cast<std::uint32_t>(entries) + 1) cap <<= 1;
+  return cap;
 }
 
-bool WriteBuffer::full(sim::Tick now) {
-  prune(now);
-  return static_cast<int>(fifo_.size()) >= entries_;
-}
+}  // namespace
 
-bool WriteBuffer::coalesces(sim::Tick now, std::uint64_t line) {
-  prune(now);
-  return lines_.contains(line);
-}
+WriteBuffer::WriteBuffer(int entries)
+    : entries_(entries), ring_(ringSize(entries)), mask_(ringSize(entries) - 1) {}
 
 void WriteBuffer::insert(sim::Tick now, std::uint64_t line, sim::Tick completes) {
   prune(now);
   ++total_;
-  if (lines_.contains(line)) {
+  if (findLive(line)) {
     ++coalesced_;
     return;  // merged into the pending entry
   }
-  fifo_.push_back(Entry{line, completes});
-  lines_.insert(line);
-}
-
-sim::Tick WriteBuffer::earliestCompletion() const {
-  return fifo_.empty() ? sim::kTickMax : fifo_.front().completes;
+  if (occupancy() == static_cast<int>(ring_.size())) {
+    // Degenerate configuration (insert while over nominal capacity); grow.
+    std::vector<Entry> bigger((ring_.size()) * 2);
+    const std::uint32_t n = tail_ - head_;
+    for (std::uint32_t i = 0; i < n; ++i)
+      bigger[i] = ring_[(head_ + i) & mask_];
+    ring_ = std::move(bigger);
+    mask_ = static_cast<std::uint32_t>(ring_.size()) - 1;
+    head_ = 0;
+    tail_ = n;
+  }
+  ring_[tail_ & mask_] = Entry{line, completes};
+  ++tail_;
 }
 
 }  // namespace nwc::mem

@@ -5,11 +5,15 @@
 // buffer is full. Occupancy is tracked analytically: each entry records the
 // tick at which its drain (scheduled on the memory-bus FIFO server by the
 // caller) completes.
+//
+// The buffer holds at most a handful of lines (8 by default), so entries
+// live in a small power-of-two ring and line matching is a linear scan —
+// cheaper than any hash structure at this size, and this sits on the
+// per-access fast path.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <unordered_set>
+#include <vector>
 
 #include "sim/types.hpp"
 
@@ -20,21 +24,31 @@ class WriteBuffer {
   explicit WriteBuffer(int entries = 8);
 
   /// Drops entries whose drain completed by `now`.
-  void prune(sim::Tick now);
+  void prune(sim::Tick now) {
+    while (head_ != tail_ && ring_[head_ & mask_].completes <= now) ++head_;
+  }
 
   /// True if a new non-coalescing write would stall the processor.
-  bool full(sim::Tick now);
+  bool full(sim::Tick now) {
+    prune(now);
+    return occupancy() >= entries_;
+  }
 
   /// True if `line` is already buffered (the write coalesces for free).
-  bool coalesces(sim::Tick now, std::uint64_t line);
+  bool coalesces(sim::Tick now, std::uint64_t line) {
+    prune(now);
+    return findLive(line);
+  }
 
   /// Records a write to `line` whose drain completes at `completes`.
   void insert(sim::Tick now, std::uint64_t line, sim::Tick completes);
 
   /// Tick at which the oldest entry drains (kTickMax when empty).
-  sim::Tick earliestCompletion() const;
+  sim::Tick earliestCompletion() const {
+    return head_ == tail_ ? sim::kTickMax : ring_[head_ & mask_].completes;
+  }
 
-  int occupancy() const { return static_cast<int>(fifo_.size()); }
+  int occupancy() const { return static_cast<int>(tail_ - head_); }
   int capacity() const { return entries_; }
   std::uint64_t coalescedWrites() const { return coalesced_; }
   std::uint64_t totalWrites() const { return total_; }
@@ -42,12 +56,20 @@ class WriteBuffer {
  private:
   struct Entry {
     std::uint64_t line;
-    sim::Tick completes;
+    sim::Tick completes;  // nondecreasing front-to-back (FIFO bus)
   };
 
+  bool findLive(std::uint64_t line) const {
+    for (std::uint32_t i = head_; i != tail_; ++i)
+      if (ring_[i & mask_].line == line) return true;
+    return false;
+  }
+
   int entries_;
-  std::deque<Entry> fifo_;  // completion times are nondecreasing (FIFO bus)
-  std::unordered_set<std::uint64_t> lines_;
+  std::vector<Entry> ring_;
+  std::uint32_t mask_;
+  std::uint32_t head_ = 0;  // ring_[head_ & mask_] is the oldest entry
+  std::uint32_t tail_ = 0;  // one past the newest
   std::uint64_t coalesced_ = 0;
   std::uint64_t total_ = 0;
 };

@@ -24,19 +24,29 @@ MeshNetwork::MeshNetwork(const MeshParams& p) : params_(p) {
   while (p.num_nodes % width_ != 0) ++width_;
   height_ = p.num_nodes / width_;
   assert(width_ * height_ == p.num_nodes);
-}
-
-std::uint64_t MeshNetwork::linkKey(int fx, int fy, int tx, int ty) {
-  return (static_cast<std::uint64_t>(fx) << 48) | (static_cast<std::uint64_t>(fy) << 32) |
-         (static_cast<std::uint64_t>(tx) << 16) | static_cast<std::uint64_t>(ty);
+  links_.resize(static_cast<std::size_t>(p.num_nodes) * 4);
 }
 
 sim::FifoServer& MeshNetwork::link(int fx, int fy, int tx, int ty) {
-  return links_[linkKey(fx, fy, tx, ty)];
+  // Direction of the single-hop move (fx,fy) -> (tx,ty).
+  const int dir = tx > fx ? 0 : tx < fx ? 1 : ty > fy ? 2 : 3;
+  return links_[static_cast<std::size_t>(fy * width_ + fx) * 4 +
+                static_cast<std::size_t>(dir)];
 }
 
 sim::Tick MeshNetwork::serializationTicks(std::uint64_t bytes) const {
-  return sim::transferTicks(bytes, params_.link_bytes_per_sec, params_.pcycle_ns);
+  // Transfers use a handful of fixed sizes (cache line, page); memoize the
+  // last two so the hot path skips the floating-point conversion. Misses
+  // recompute with the same function, so results are bit-identical.
+  if (bytes == memo_bytes_[0]) return memo_ticks_[0];
+  if (bytes == memo_bytes_[1]) return memo_ticks_[1];
+  const sim::Tick t =
+      sim::transferTicks(bytes, params_.link_bytes_per_sec, params_.pcycle_ns);
+  memo_bytes_[1] = memo_bytes_[0];
+  memo_ticks_[1] = memo_ticks_[0];
+  memo_bytes_[0] = bytes;
+  memo_ticks_[0] = t;
+  return t;
 }
 
 int MeshNetwork::hops(sim::NodeId src, sim::NodeId dst) const {
@@ -95,14 +105,22 @@ std::uint64_t MeshNetwork::totalBytes() const {
 
 sim::Tick MeshNetwork::totalLinkBusyTicks() const {
   sim::Tick t = 0;
-  for (const auto& [k, s] : links_) t += s.busyTicks();
+  for (const auto& s : links_) t += s.busyTicks();
   return t;
 }
 
 sim::Tick MeshNetwork::totalLinkQueuedTicks() const {
   sim::Tick t = 0;
-  for (const auto& [k, s] : links_) t += s.queuedTicks();
+  for (const auto& s : links_) t += s.queuedTicks();
   return t;
+}
+
+std::size_t MeshNetwork::linkCount() const {
+  // Matches the lazily-filled map this replaced: only links that carried
+  // traffic count.
+  std::size_t n = 0;
+  for (const auto& s : links_) n += s.jobs() > 0 ? 1 : 0;
+  return n;
 }
 
 void MeshNetwork::publishMetrics(obs::MetricsRegistry& reg,

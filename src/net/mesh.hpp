@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/fifo_server.hpp"
@@ -71,7 +70,8 @@ class MeshNetwork {
   /// Aggregate queueing delay across all links.
   sim::Tick totalLinkQueuedTicks() const;
 
-  std::size_t linkCount() const { return links_.size(); }
+  /// Number of directed links that have carried at least one message.
+  std::size_t linkCount() const;
 
   /// Registers mesh statistics under `prefix` (e.g. "mesh.").
   void publishMetrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
@@ -86,15 +86,20 @@ class MeshNetwork {
     std::uint64_t bytes = 0;
   };
 
+  // Directed links between grid-adjacent routers, stored densely: four
+  // outgoing slots per node (E, W, S, N), indexed in O(1) on the transfer
+  // path (the lazily-filled hash map this replaced was a per-hop hotspot).
   sim::FifoServer& link(int fx, int fy, int tx, int ty);
-  static std::uint64_t linkKey(int fx, int fy, int tx, int ty);
 
   MeshParams params_;
   int width_;
   int height_;
-  std::unordered_map<std::uint64_t, sim::FifoServer> links_;
+  std::vector<sim::FifoServer> links_;  // (fy*width+fx)*4 + direction
   ClassStats stats_[static_cast<int>(TrafficClass::kNumClasses)];
   obs::EventTimeline* timeline_ = nullptr;
+  // serializationTicks memo (see mesh.cpp); ~0 = empty slot.
+  mutable std::uint64_t memo_bytes_[2] = {~0ull, ~0ull};
+  mutable sim::Tick memo_ticks_[2] = {0, 0};
 };
 
 }  // namespace nwc::net

@@ -1,0 +1,143 @@
+#include "sim/refstream.hpp"
+
+#include <stdexcept>
+
+namespace nwc::sim {
+namespace {
+
+// Opcode layout. Same-region forms omit the region varint; the common case
+// (striding through one MappedFile) is one opcode byte + a small svarint.
+enum Op : std::uint8_t {
+  kEnd = 0,
+  kReadNew = 1,    // varint region, svarint offset delta
+  kWriteNew = 2,   // varint region, svarint offset delta
+  kReadSame = 3,   // svarint offset delta
+  kWriteSame = 4,  // svarint offset delta
+  kCompute = 5,    // varint cycles
+  kBarrier = 6,
+};
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace
+
+void RefStreamWriter::putVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<char>(v));
+}
+
+void RefStreamWriter::putSvarint(std::int64_t v) { putVarint(zigzag(v)); }
+
+void RefStreamWriter::access(std::uint32_t region, std::uint64_t offset,
+                             bool write) {
+  if (region >= last_offset_.size()) last_offset_.resize(region + 1, 0);
+  const std::int64_t delta = static_cast<std::int64_t>(offset) -
+                             static_cast<std::int64_t>(last_offset_[region]);
+  if (region == last_region_) {
+    bytes_.push_back(static_cast<char>(write ? kWriteSame : kReadSame));
+  } else {
+    bytes_.push_back(static_cast<char>(write ? kWriteNew : kReadNew));
+    putVarint(region);
+    last_region_ = region;
+  }
+  putSvarint(delta);
+  last_offset_[region] = offset;
+  if (write) {
+    ++writes_;
+  } else {
+    ++reads_;
+  }
+}
+
+void RefStreamWriter::compute(std::uint64_t cycles) {
+  bytes_.push_back(static_cast<char>(kCompute));
+  putVarint(cycles);
+  ++computes_;
+}
+
+void RefStreamWriter::barrier() {
+  bytes_.push_back(static_cast<char>(kBarrier));
+  ++barriers_;
+}
+
+void RefStreamWriter::finish() {
+  if (finished_) throw std::logic_error("RefStreamWriter::finish called twice");
+  bytes_.push_back(static_cast<char>(kEnd));
+  finished_ = true;
+}
+
+void RefStreamReader::malformed(const char* what) const {
+  throw std::runtime_error(std::string("refstream: malformed stream: ") + what);
+}
+
+std::uint64_t RefStreamReader::getVarint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos_ >= bytes_.size()) malformed("truncated varint");
+    const auto b = static_cast<std::uint8_t>(bytes_[pos_++]);
+    if (shift >= 64 || (shift == 63 && (b & 0x7e) != 0))
+      malformed("varint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::int64_t RefStreamReader::getSvarint() { return unzigzag(getVarint()); }
+
+bool RefStreamReader::next(RefEvent& e) {
+  if (done_) return false;
+  if (pos_ >= bytes_.size()) malformed("stream ended without end marker");
+  const auto op = static_cast<std::uint8_t>(bytes_[pos_++]);
+  switch (op) {
+    case kEnd:
+      done_ = true;
+      if (pos_ != bytes_.size()) malformed("trailing bytes after end marker");
+      return false;
+    case kReadNew:
+    case kWriteNew: {
+      const std::uint64_t region = getVarint();
+      if (region > 0xffffffffu) malformed("region index overflow");
+      last_region_ = static_cast<std::uint32_t>(region);
+      [[fallthrough]];
+    }
+    case kReadSame:
+    case kWriteSame: {
+      if (last_region_ == 0xffffffffu) malformed("same-region op before any region");
+      if (last_region_ >= last_offset_.size())
+        last_offset_.resize(last_region_ + 1, 0);
+      const std::int64_t delta = getSvarint();
+      const std::int64_t off =
+          static_cast<std::int64_t>(last_offset_[last_region_]) + delta;
+      if (off < 0) malformed("negative offset");
+      last_offset_[last_region_] = static_cast<std::uint64_t>(off);
+      e.op = RefOp::kAccess;
+      e.write = (op == kWriteNew || op == kWriteSame);
+      e.region = last_region_;
+      e.offset = static_cast<std::uint64_t>(off);
+      return true;
+    }
+    case kCompute:
+      e.op = RefOp::kCompute;
+      e.cycles = getVarint();
+      return true;
+    case kBarrier:
+      e.op = RefOp::kBarrier;
+      return true;
+    default:
+      malformed("unknown opcode");
+  }
+}
+
+}  // namespace nwc::sim

@@ -1,0 +1,83 @@
+// Compact per-thread reference-stream encoding (trace-driven replay).
+//
+// A RefStream is the ordered sequence of kernel-visible operations one
+// simulated cpu performs: memory accesses (region + byte offset + r/w),
+// local compute charges (raw, pre-scaling cycles) and global barriers.
+// Offsets are delta-encoded per region and everything is LEB128 varints,
+// so typical kernels cost ~2-3 bytes per access. The codec knows nothing
+// about applications or machines; apps/kernel_trace.hpp layers the file
+// format and provenance on top.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nwc::sim {
+
+enum class RefOp : std::uint8_t {
+  kAccess,   // one memory reference (region, offset, read/write)
+  kCompute,  // ctx.compute(cycles) — raw cycles, before compute_cycle_scale
+  kBarrier,  // global barrier (fence + arrive-and-wait)
+};
+
+struct RefEvent {
+  RefOp op = RefOp::kAccess;
+  bool write = false;          // kAccess only
+  std::uint32_t region = 0;    // kAccess only
+  std::uint64_t offset = 0;    // kAccess only: byte offset within the region
+  std::uint64_t cycles = 0;    // kCompute only
+};
+
+/// Appends operations to an in-memory byte stream. Call `finish()` exactly
+/// once when the stream is complete; it seals the stream with an explicit
+/// end marker so truncated files are detectable.
+class RefStreamWriter {
+ public:
+  void access(std::uint32_t region, std::uint64_t offset, bool write);
+  void compute(std::uint64_t cycles);
+  void barrier();
+  void finish();
+
+  bool finished() const { return finished_; }
+  const std::string& bytes() const { return bytes_; }
+  std::string takeBytes() { return std::move(bytes_); }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t computes() const { return computes_; }
+  std::uint64_t barriers() const { return barriers_; }
+
+ private:
+  void putVarint(std::uint64_t v);
+  void putSvarint(std::int64_t v);
+
+  std::string bytes_;
+  std::vector<std::uint64_t> last_offset_;  // per region
+  std::uint32_t last_region_ = 0xffffffffu;
+  std::uint64_t reads_ = 0, writes_ = 0, computes_ = 0, barriers_ = 0;
+  bool finished_ = false;
+};
+
+/// Decodes a stream produced by RefStreamWriter. `next()` returns false at
+/// the end marker; malformed or truncated input throws std::runtime_error.
+class RefStreamReader {
+ public:
+  explicit RefStreamReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool next(RefEvent& e);
+
+ private:
+  std::uint64_t getVarint();
+  std::int64_t getSvarint();
+  [[noreturn]] void malformed(const char* what) const;
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  std::vector<std::uint64_t> last_offset_;
+  std::uint32_t last_region_ = 0xffffffffu;
+  bool done_ = false;
+};
+
+}  // namespace nwc::sim

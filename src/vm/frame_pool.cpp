@@ -5,7 +5,8 @@
 namespace nwc::vm {
 
 FramePool::FramePool(int total_frames, int min_free)
-    : total_(total_frames), min_free_(min_free), free_(total_frames) {
+    : total_(total_frames), min_free_(min_free), free_(total_frames),
+      lru_(total_frames) {
   assert(min_free_ >= 0 && min_free_ <= total_);
 }
 
@@ -21,23 +22,12 @@ void FramePool::consumeFrame() {
 }
 
 void FramePool::addResident(sim::PageId page) {
-  assert(!index_.contains(page));
-  lru_.push_back(page);
-  index_[page] = std::prev(lru_.end());
-}
-
-void FramePool::touch(sim::PageId page) {
-  auto it = index_.find(page);
-  if (it == index_.end()) return;
-  lru_.splice(lru_.end(), lru_, it->second);
-  it->second = std::prev(lru_.end());
+  assert(!lru_.contains(page));
+  lru_.pushMru(page);
 }
 
 bool FramePool::retire(sim::PageId page) {
-  auto it = index_.find(page);
-  if (it == index_.end()) return false;
-  lru_.erase(it->second);
-  index_.erase(it);
+  if (!lru_.erase(page)) return false;
   ++evictions_;
   return true;
 }
@@ -55,7 +45,7 @@ bool FramePool::evictNow(sim::PageId page) {
 
 std::optional<sim::PageId> FramePool::lruVictim() const {
   if (lru_.empty()) return std::nullopt;
-  return lru_.front();
+  return lru_.lru();
 }
 
 }  // namespace nwc::vm

@@ -5,10 +5,9 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
-#include <unordered_map>
 
+#include "sim/page_lru.hpp"
 #include "sim/types.hpp"
 
 namespace nwc::vm {
@@ -20,7 +19,7 @@ class FramePool {
   int totalFrames() const { return total_; }
   int freeFrames() const { return free_; }
   int minFree() const { return min_free_; }
-  int residentCount() const { return static_cast<int>(index_.size()); }
+  int residentCount() const { return lru_.size(); }
 
   /// True if the replacement daemon should be swapping pages out.
   bool belowReserve() const { return free_ < min_free_; }
@@ -38,7 +37,7 @@ class FramePool {
   void addResident(sim::PageId page);
 
   /// Refreshes `page` to MRU position. No-op if not resident here.
-  void touch(sim::PageId page);
+  void touch(sim::PageId page) { lru_.touch(page); }
 
   /// Removes `page` from the resident set WITHOUT freeing its frame (the
   /// frame is reclaimed later, when the swap-out completes).
@@ -55,7 +54,7 @@ class FramePool {
   /// LRU resident page, if any.
   std::optional<sim::PageId> lruVictim() const;
 
-  bool isResident(sim::PageId page) const { return index_.contains(page); }
+  bool isResident(sim::PageId page) const { return lru_.contains(page); }
 
   // --- statistics -----------------------------------------------------
   std::uint64_t allocations() const { return allocations_; }
@@ -65,8 +64,7 @@ class FramePool {
   int total_;
   int min_free_;
   int free_;
-  std::list<sim::PageId> lru_;  // front = LRU, back = MRU
-  std::unordered_map<sim::PageId, std::list<sim::PageId>::iterator> index_;
+  sim::PageLruList lru_;  // lru() = eviction victim, insertions at MRU
   std::uint64_t allocations_ = 0;
   std::uint64_t evictions_ = 0;
 };

@@ -19,11 +19,18 @@ PageTable::PageTable(sim::Engine& eng, std::int64_t num_pages) {
 }
 
 void PageTable::addPages(sim::Engine& eng, std::int64_t count) {
-  entries_.reserve(entries_.size() + static_cast<std::size_t>(count));
+  entries_.reserve(live_ + static_cast<std::size_t>(count));
   for (std::int64_t i = 0; i < count; ++i) {
-    entries_.push_back(std::make_unique<PageEntry>(eng));
+    if (live_ < entries_.size()) {
+      entries_[live_].reset(eng);  // recycled slot from a previous run
+    } else {
+      entries_.emplace_back(eng);
+    }
+    ++live_;
   }
 }
+
+void PageTable::recycle() { live_ = 0; }
 
 void PageTable::setState(sim::PageId p, PageState s) {
   PageEntry& e = entry(p);
@@ -33,7 +40,7 @@ void PageTable::setState(sim::PageId p, PageState s) {
 
 std::int64_t PageTable::countInState(PageState s) const {
   std::int64_t n = 0;
-  for (const auto& e : entries_) n += e->state == s ? 1 : 0;
+  for (std::size_t i = 0; i < live_; ++i) n += entries_[i].state == s ? 1 : 0;
   return n;
 }
 

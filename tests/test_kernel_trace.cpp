@@ -1,0 +1,220 @@
+// Kernel trace engine: replay-vs-execute identity, on-disk round-trips,
+// corruption rejection and trace-cache mode behavior.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/batch.hpp"
+#include "apps/kernel_trace.hpp"
+#include "apps/replay.hpp"
+#include "apps/runner.hpp"
+#include "apps/trace_cache.hpp"
+
+namespace nwc::apps {
+namespace {
+
+constexpr double kScale = 0.05;
+
+machine::MachineConfig smallConfig(machine::SystemKind sys,
+                                   machine::Prefetch pf) {
+  machine::MachineConfig cfg;
+  cfg.withSystem(sys, pf);
+  cfg.memory_per_node = 32768;
+  return cfg;
+}
+
+// Executes `app` once while recording, returning (summary, trace).
+std::pair<RunSummary, KernelTrace> recordRun(const machine::MachineConfig& cfg,
+                                             const std::string& app) {
+  KernelTraceRecorder rec(app, kScale, cfg.num_nodes);
+  ObsSinks sinks;
+  sinks.ref_recorder = &rec;
+  RunSummary s = runApp(cfg, app, kScale, sinks);
+  KernelTrace t = rec.finish(s.verified, s.data_bytes);
+  return {std::move(s), std::move(t)};
+}
+
+// The tentpole correctness bar: a replayed run must be byte-identical to
+// the execution-driven run for every stream-invariant config axis. Two
+// apps x two configs, compared through the full JSON summary rendering.
+TEST(KernelTraceReplay, MatchesExecutionAcrossAppsAndConfigs) {
+  const std::vector<machine::MachineConfig> configs = {
+      smallConfig(machine::SystemKind::kNWCache, machine::Prefetch::kOptimal),
+      smallConfig(machine::SystemKind::kStandard, machine::Prefetch::kNaive),
+  };
+  for (const std::string app : {"radix", "fft"}) {
+    // Record under the first config; replay must match execution under
+    // both (the stream does not depend on system/prefetch).
+    const auto [exec0, trace] = recordRun(configs[0], app);
+    for (const auto& cfg : configs) {
+      const RunSummary executed = runApp(cfg, app, kScale);
+      const RunSummary replayed = replayKernelTrace(cfg, trace);
+      EXPECT_EQ(summaryJson(replayed, kScale), summaryJson(executed, kScale))
+          << app << " on " << cfg.describe();
+    }
+    // Recording itself must not perturb the run.
+    EXPECT_EQ(summaryJson(exec0, kScale),
+              summaryJson(runApp(configs[0], app, kScale), kScale));
+  }
+}
+
+TEST(KernelTraceReplay, RejectsNodeCountMismatch) {
+  auto cfg = smallConfig(machine::SystemKind::kStandard,
+                         machine::Prefetch::kOptimal);
+  const auto [s, trace] = recordRun(cfg, "radix");
+  cfg.num_nodes = cfg.num_nodes * 2;
+  EXPECT_THROW((void)replayKernelTrace(cfg, trace), std::invalid_argument);
+}
+
+TEST(KernelTraceFormat, RoundTripsAndReRecordsStably) {
+  const auto cfg = smallConfig(machine::SystemKind::kNWCache,
+                               machine::Prefetch::kOptimal);
+  const auto [s1, t1] = recordRun(cfg, "radix");
+  const std::string path = "/tmp/nwc_trace_roundtrip.nwct";
+  writeKernelTrace(t1, path);
+  const KernelTrace rt = readKernelTrace(path);
+
+  EXPECT_EQ(rt.app, t1.app);
+  EXPECT_EQ(rt.scale, t1.scale);
+  EXPECT_EQ(rt.num_nodes, t1.num_nodes);
+  EXPECT_EQ(rt.kernel_hash, t1.kernel_hash);
+  EXPECT_EQ(rt.verified, t1.verified);
+  EXPECT_EQ(rt.data_bytes, t1.data_bytes);
+  ASSERT_EQ(rt.regions.size(), t1.regions.size());
+  for (std::size_t i = 0; i < rt.regions.size(); ++i) {
+    EXPECT_EQ(rt.regions[i].bytes, t1.regions[i].bytes);
+    EXPECT_EQ(rt.regions[i].name, t1.regions[i].name);
+  }
+  ASSERT_EQ(rt.streams.size(), t1.streams.size());
+  for (std::size_t i = 0; i < rt.streams.size(); ++i) {
+    EXPECT_EQ(rt.streams[i], t1.streams[i]) << "stream " << i;
+  }
+
+  // Re-recording the same kernel (even under another machine config)
+  // reproduces the encoded streams byte for byte.
+  const auto [s2, t2] = recordRun(
+      smallConfig(machine::SystemKind::kStandard, machine::Prefetch::kNaive),
+      "radix");
+  ASSERT_EQ(t2.streams.size(), t1.streams.size());
+  for (std::size_t i = 0; i < t2.streams.size(); ++i) {
+    EXPECT_EQ(t2.streams[i], t1.streams[i]) << "stream " << i;
+  }
+  std::filesystem::remove(path);
+}
+
+// Overwrites `offset` in the round-trip file with `byte` and expects
+// readKernelTrace to fail with a message containing `what`.
+void expectCorruptionRejected(const KernelTrace& t, std::size_t offset,
+                              char byte, const std::string& what) {
+  const std::string path = "/tmp/nwc_trace_corrupt.nwct";
+  writeKernelTrace(t, path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+  }
+  try {
+    (void)readKernelTrace(path);
+    FAIL() << "corrupt trace accepted (offset " << offset << ")";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_NE(std::string(ex.what()).find(what), std::string::npos)
+        << "actual message: " << ex.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(KernelTraceFormat, RejectsBadMagicVersionAndHash) {
+  const auto cfg = smallConfig(machine::SystemKind::kStandard,
+                               machine::Prefetch::kOptimal);
+  const auto [s, t] = recordRun(cfg, "lu");
+  // Layout: magic[8] | version u32 | app len u32 ...
+  expectCorruptionRejected(t, 0, 'X', "bad magic");
+  expectCorruptionRejected(t, 8, '\x7f', "unsupported format version");
+  // Flipping a byte of the stored scale makes the header hash stale.
+  expectCorruptionRejected(t, 8 + 4 + 4 + 2, '\x55', "does not match");
+
+  EXPECT_THROW((void)readKernelTrace("/tmp/nwc_trace_missing.nwct"),
+               std::runtime_error);
+}
+
+TEST(TraceCache, AutoRecordsThenReplays) {
+  const std::string dir = "/tmp/nwc_trace_cache_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const TraceCacheConfig tc{dir, TraceMode::kAuto};
+
+  const auto cfg = smallConfig(machine::SystemKind::kNWCache,
+                               machine::Prefetch::kOptimal);
+  TraceCacheResult r1, r2, r3;
+  const RunSummary s1 = runAppCached(cfg, "radix", kScale, tc, {}, &r1);
+  EXPECT_EQ(r1.outcome, TraceOutcome::kRecorded);
+  EXPECT_TRUE(std::filesystem::exists(r1.trace_path));
+  EXPECT_GT(r1.trace_bytes, 0u);
+
+  const RunSummary s2 = runAppCached(cfg, "radix", kScale, tc, {}, &r2);
+  EXPECT_EQ(r2.outcome, TraceOutcome::kReplayed);
+  EXPECT_EQ(summaryJson(s2, kScale), summaryJson(s1, kScale));
+
+  // A stream-invariant axis change still replays and still matches its
+  // own execution-driven run.
+  auto cfg2 = cfg;
+  cfg2.memory_per_node = 65536;
+  const RunSummary s3 = runAppCached(cfg2, "radix", kScale, tc, {}, &r3);
+  EXPECT_EQ(r3.outcome, TraceOutcome::kReplayed);
+  EXPECT_EQ(summaryJson(s3, kScale),
+            summaryJson(runApp(cfg2, "radix", kScale), kScale));
+
+  // kRecord always re-executes and rewrites.
+  TraceCacheResult r4;
+  (void)runAppCached(cfg, "radix", kScale,
+                     TraceCacheConfig{dir, TraceMode::kRecord}, {}, &r4);
+  EXPECT_EQ(r4.outcome, TraceOutcome::kRecorded);
+
+  // An empty dir or kOff bypasses the cache entirely.
+  TraceCacheResult r5;
+  (void)runAppCached(cfg, "radix", kScale, TraceCacheConfig{}, {}, &r5);
+  EXPECT_EQ(r5.outcome, TraceOutcome::kExecuted);
+  EXPECT_TRUE(r5.trace_path.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, StrictReplayNeverFallsBack) {
+  const std::string dir = "/tmp/nwc_trace_cache_strict";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto cfg = smallConfig(machine::SystemKind::kStandard,
+                               machine::Prefetch::kOptimal);
+  const TraceCacheConfig strict{dir, TraceMode::kReplay};
+  // Missing trace: strict mode must throw, not silently execute.
+  EXPECT_THROW((void)runAppCached(cfg, "radix", kScale, strict),
+               std::runtime_error);
+  // After recording, strict replay serves the same summary.
+  TraceCacheResult rec, rep;
+  const RunSummary s1 = runAppCached(
+      cfg, "radix", kScale, TraceCacheConfig{dir, TraceMode::kRecord}, {}, &rec);
+  const RunSummary s2 = runAppCached(cfg, "radix", kScale, strict, {}, &rep);
+  EXPECT_EQ(rep.outcome, TraceOutcome::kReplayed);
+  EXPECT_EQ(summaryJson(s2, kScale), summaryJson(s1, kScale));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, ParsesModes) {
+  TraceMode m = TraceMode::kOff;
+  EXPECT_TRUE(parseTraceMode("auto", m));
+  EXPECT_EQ(m, TraceMode::kAuto);
+  EXPECT_TRUE(parseTraceMode("record", m));
+  EXPECT_EQ(m, TraceMode::kRecord);
+  EXPECT_TRUE(parseTraceMode("replay", m));
+  EXPECT_EQ(m, TraceMode::kReplay);
+  EXPECT_TRUE(parseTraceMode("off", m));
+  EXPECT_EQ(m, TraceMode::kOff);
+  EXPECT_FALSE(parseTraceMode("sometimes", m));
+}
+
+}  // namespace
+}  // namespace nwc::apps

@@ -1,6 +1,7 @@
 // nwcbatch: run an experiment grid described by an INI file.
 //
 //   nwcbatch [--jobs=N] [--meta-dir=DIR] [--heartbeat=SECS] [--resume]
+//            [--trace-dir=DIR] [--trace-mode=off|auto|record|replay]
 //            experiments.ini
 //
 //   # experiments.ini
@@ -28,6 +29,8 @@
 #include <string>
 
 #include "apps/batch.hpp"
+#include "apps/trace_cache.hpp"
+#include "obs/run_meta.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
@@ -38,9 +41,11 @@ int main(int argc, char** argv) {
   long jobs = -1;       // -1 = use the INI's jobs key (default auto)
   long heartbeat = -1;  // -1 = use the INI's heartbeat_secs key
   bool resume = false;
+  std::string trace_dir;
+  std::string trace_mode;
   const char* usage =
       "usage: nwcbatch [--jobs=N] [--meta-dir=DIR] [--heartbeat=SECS] "
-      "[--resume] <experiments.ini>\n";
+      "[--resume] [--trace-dir=DIR] [--trace-mode=MODE] <experiments.ini>\n";
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--jobs=", 0) == 0) {
@@ -59,6 +64,10 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--resume") {
       resume = true;
+    } else if (a.rfind("--trace-dir=", 0) == 0) {
+      trace_dir = a.substr(std::strlen("--trace-dir="));
+    } else if (a.rfind("--trace-mode=", 0) == 0) {
+      trace_mode = a.substr(std::strlen("--trace-mode="));
     } else if (a == "--help" || a == "-h") {
       std::printf("%s"
                   "  --jobs=N          worker threads (0 = all cores, 1 = serial;\n"
@@ -66,7 +75,10 @@ int main(int argc, char** argv) {
                   "  --meta-dir=DIR    write one run_meta.json per grid cell\n"
                   "  --heartbeat=SECS  parallel status cadence on stderr (0 = off)\n"
                   "  --resume          skip grid cells already checkpointed in the\n"
-                  "                    batch.jsonl file; rerun only the rest\n",
+                  "                    batch.jsonl file; rerun only the rest\n"
+                  "  --trace-dir=DIR   kernel trace cache: replay hits, record misses\n"
+                  "                    (overrides the INI's batch.trace_dir key)\n"
+                  "  --trace-mode=M    off, auto (default), record, or replay\n",
                   usage);
       return 0;
     } else if (ini_path.empty()) {
@@ -86,6 +98,20 @@ int main(int argc, char** argv) {
     if (!meta_dir.empty()) spec.meta_dir = meta_dir;
     if (heartbeat >= 0) spec.heartbeat_secs = static_cast<unsigned>(heartbeat);
     if (resume) spec.resume = true;
+    if (!trace_dir.empty()) spec.trace_dir = trace_dir;
+    if (!trace_mode.empty() && !apps::parseTraceMode(trace_mode, spec.trace_mode)) {
+      std::fprintf(stderr,
+                   "nwcbatch: --trace-mode must be off/auto/record/replay, got %s\n",
+                   trace_mode.c_str());
+      return 2;
+    }
+    if (spec.trace_dir.empty() && (spec.trace_mode == apps::TraceMode::kRecord ||
+                                   spec.trace_mode == apps::TraceMode::kReplay)) {
+      std::fprintf(stderr, "nwcbatch: trace mode '%s' requires a trace dir "
+                           "(--trace-dir=DIR or batch.trace_dir)\n",
+                   apps::toString(spec.trace_mode));
+      return 2;
+    }
     std::printf("running %zu configurations at scale %.2f on %u threads\n",
                 spec.runCount(), spec.scale, util::resolveJobs(spec.jobs));
     const apps::BatchResult res = apps::runBatch(spec, &std::cerr);
@@ -103,6 +129,17 @@ int main(int argc, char** argv) {
     if (!spec.csv_path.empty()) std::printf("csv: %s\n", spec.csv_path.c_str());
     if (!spec.jsonl_path.empty()) std::printf("jsonl: %s\n", spec.jsonl_path.c_str());
     if (!spec.meta_dir.empty()) std::printf("meta: %s\n", spec.meta_dir.c_str());
+    if (!spec.trace_dir.empty() && spec.trace_mode != apps::TraceMode::kOff) {
+      const auto& st = apps::traceCacheStats();
+      std::printf("trace cache: %llu replayed, %llu recorded, %llu executed, "
+                  "%llu fallbacks (%s written, %s read)\n",
+                  static_cast<unsigned long long>(st.replays.load()),
+                  static_cast<unsigned long long>(st.records.load()),
+                  static_cast<unsigned long long>(st.executes.load()),
+                  static_cast<unsigned long long>(st.fallbacks.load()),
+                  obs::formatBytes(st.bytes_written.load()).c_str(),
+                  obs::formatBytes(st.bytes_read.load()).c_str());
+    }
     return res.all_ok ? 0 : 1;
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "nwcbatch: %s\n", ex.what());
