@@ -10,6 +10,8 @@
 #include "apps/app_context.hpp"
 #include "apps/registry.hpp"
 #include "machine/machine.hpp"
+#include "nwcache/interface.hpp"
+#include "nwcache/optical_ring.hpp"
 
 namespace {
 

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "apps/registry.hpp"
+#include "machine/arena.hpp"
 #include "machine/config_io.hpp"
 #include "obs/run_meta.hpp"
 #include "util/csv.hpp"
@@ -394,7 +395,10 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
                           " peak=" + obs::formatBytes(obs::peakRssBytes()) +
                           " cell_peak=" +
                           obs::formatBytes(
-                              cell_rss_peak.load(std::memory_order_relaxed)));
+                              cell_rss_peak.load(std::memory_order_relaxed)) +
+                          " pooled=" +
+                          obs::formatBytes(
+                              machine::MachineArena::totalPooledBytes()));
         }
       });
     }

@@ -106,7 +106,7 @@ sim::Task<> Machine::slowAccess(int cpu, std::uint64_t vaddr, bool write) {
     }
 
     if (!nc.tlb.lookup(page)) {
-      metrics_.cpu(cpu).tlb += cfg_.tlb_miss_latency;
+      metrics_->cpu(cpu).tlb += cfg_.tlb_miss_latency;
       co_await eng_->delay(cfg_.tlb_miss_latency);
       if (pt_->entry(page).state != vm::PageState::kResident) continue;
       nc.tlb.insert(page);

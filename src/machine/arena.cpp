@@ -1,0 +1,95 @@
+#include "machine/arena.hpp"
+
+#include <mutex>
+
+#include "sim/engine.hpp"
+
+namespace nwc::machine {
+
+namespace {
+
+// Registry of live arenas for totalPooledBytes(). The mutex orders arena
+// construction/destruction against heartbeat sums; the per-arena counters
+// themselves are atomics, so take/return never contend with the reader.
+std::mutex& registryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<const MachineArena*>& registry() {
+  static std::vector<const MachineArena*> arenas;
+  return arenas;
+}
+
+}  // namespace
+
+MachineArena::MachineArena() {
+  std::lock_guard<std::mutex> lock(registryMutex());
+  registry().push_back(this);
+}
+
+MachineArena::~MachineArena() {
+  std::lock_guard<std::mutex> lock(registryMutex());
+  auto& arenas = registry();
+  for (auto it = arenas.begin(); it != arenas.end(); ++it) {
+    if (*it == this) {
+      arenas.erase(it);
+      break;
+    }
+  }
+}
+
+std::uint64_t MachineArena::totalPooledBytes() {
+  std::lock_guard<std::mutex> lock(registryMutex());
+  std::uint64_t total = 0;
+  for (const MachineArena* a : registry()) total += a->pooledBytes();
+  return total;
+}
+
+std::unique_ptr<vm::PageTable> MachineArena::takePageTable(sim::Engine& eng) {
+  if (spare_pt_) {
+    subBytes(spare_pt_->capacityBytes());
+    return std::move(spare_pt_);
+  }
+  return std::make_unique<vm::PageTable>(eng, 0);
+}
+
+void MachineArena::returnPageTable(std::unique_ptr<vm::PageTable> pt) {
+  pt->recycle();
+  addBytes(pt->capacityBytes());
+  spare_pt_ = std::move(pt);
+}
+
+vm::FramePool MachineArena::takeFramePool(int total_frames, int min_free) {
+  if (!spare_frame_pools_.empty()) {
+    vm::FramePool fp = std::move(spare_frame_pools_.back());
+    spare_frame_pools_.pop_back();
+    subBytes(fp.capacityBytes());
+    fp.reset(total_frames, min_free);
+    return fp;
+  }
+  return vm::FramePool(total_frames, min_free);
+}
+
+void MachineArena::returnFramePool(vm::FramePool&& fp) {
+  addBytes(fp.capacityBytes());
+  spare_frame_pools_.push_back(std::move(fp));
+}
+
+std::unique_ptr<Metrics> MachineArena::takeMetrics(int num_cpus) {
+  if (!spare_metrics_.empty()) {
+    std::unique_ptr<Metrics> m = std::move(spare_metrics_.back());
+    spare_metrics_.pop_back();
+    subBytes(m->capacityBytes());
+    m->reset(num_cpus);
+    return m;
+  }
+  return std::make_unique<Metrics>(num_cpus);
+}
+
+void MachineArena::returnMetrics(std::unique_ptr<Metrics> m) {
+  addBytes(m->capacityBytes());
+  spare_metrics_.push_back(std::move(m));
+}
+
+}  // namespace nwc::machine

@@ -1,0 +1,81 @@
+// Pool of the big per-Machine allocations, reused across grid cells run
+// sequentially by one worker thread.
+//
+// The dominant allocation by far is the page table — one entry per simulated
+// page, tens of MB at paper scales — followed by the per-node frame-pool LRU
+// backing stores and the Metrics block (per-cpu breakdowns plus the fixed
+// histogram arrays). All three are recycled here.
+//
+// Threading: an arena itself is single-threaded (one per worker thread), but
+// the pooled-bytes accounting is shared with the batch heartbeat thread:
+// per-arena byte counters are atomics and the registry of live arenas behind
+// `totalPooledBytes()` is mutex-protected.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "machine/metrics.hpp"
+#include "vm/frame_pool.hpp"
+#include "vm/page_table.hpp"
+
+namespace nwc::sim {
+class Engine;
+}
+
+namespace nwc::machine {
+
+class MachineArena {
+ public:
+  MachineArena();
+  ~MachineArena();
+  MachineArena(const MachineArena&) = delete;
+  MachineArena& operator=(const MachineArena&) = delete;
+
+  /// A recycled page table if one is pooled, else a fresh empty one.
+  std::unique_ptr<vm::PageTable> takePageTable(sim::Engine& eng);
+
+  /// Accepts a drained page table back into the pool. Call only after the
+  /// owning engine is destroyed (no live coroutine references entries).
+  void returnPageTable(std::unique_ptr<vm::PageTable> pt);
+
+  /// A frame pool for the requested geometry, reusing a pooled one's LRU
+  /// backing stores when available.
+  vm::FramePool takeFramePool(int total_frames, int min_free);
+
+  /// Accepts a node's frame pool back. Call only after the owning engine is
+  /// destroyed (no live coroutine references the pool).
+  void returnFramePool(vm::FramePool&& fp);
+
+  /// A Metrics block reset for `num_cpus`, recycled when available.
+  std::unique_ptr<Metrics> takeMetrics(int num_cpus);
+
+  /// Accepts a Machine's metrics block back into the pool.
+  void returnMetrics(std::unique_ptr<Metrics> m);
+
+  /// Heap bytes currently parked in this pool (heartbeat reporting).
+  std::uint64_t pooledBytes() const {
+    return pooled_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Sum of pooledBytes() over every live arena, callable from any thread
+  /// (the batch heartbeat reports it alongside RSS).
+  static std::uint64_t totalPooledBytes();
+
+ private:
+  void addBytes(std::uint64_t b) {
+    pooled_bytes_.fetch_add(b, std::memory_order_relaxed);
+  }
+  void subBytes(std::uint64_t b) {
+    pooled_bytes_.fetch_sub(b, std::memory_order_relaxed);
+  }
+
+  std::unique_ptr<vm::PageTable> spare_pt_;
+  std::vector<vm::FramePool> spare_frame_pools_;
+  std::vector<std::unique_ptr<Metrics>> spare_metrics_;
+  std::atomic<std::uint64_t> pooled_bytes_{0};
+};
+
+}  // namespace nwc::machine

@@ -5,22 +5,17 @@
 namespace nwc::machine {
 
 const char* toString(Prefetch p) {
-  switch (p) {
-    case Prefetch::kOptimal: return "optimal";
-    case Prefetch::kNaive: return "naive";
-    case Prefetch::kHinted: return "hinted";
-    default: return "?";
+  for (const auto& [value, name] : kPrefetchNames) {
+    if (value == p) return name;
   }
+  return "?";
 }
 
 const char* toString(SystemKind s) {
-  switch (s) {
-    case SystemKind::kStandard: return "standard";
-    case SystemKind::kNWCache: return "nwcache";
-    case SystemKind::kDCD: return "dcd";
-    case SystemKind::kRemoteMemory: return "remote";
-    default: return "?";
+  for (const auto& [value, name] : kSystemKindNames) {
+    if (value == s) return name;
   }
+  return "?";
 }
 
 std::vector<sim::NodeId> MachineConfig::ioNodes() const {

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mem/cache.hpp"
@@ -35,6 +36,20 @@ enum class SystemKind {
                   // multiprocessor workloads
 };
 
+// Canonical value<->name tables, the single source of truth shared by
+// toString (config.cpp) and the *FromString parsers (config_io.cpp).
+inline constexpr std::pair<SystemKind, const char*> kSystemKindNames[] = {
+    {SystemKind::kStandard, "standard"},
+    {SystemKind::kNWCache, "nwcache"},
+    {SystemKind::kDCD, "dcd"},
+    {SystemKind::kRemoteMemory, "remote"},
+};
+inline constexpr std::pair<Prefetch, const char*> kPrefetchNames[] = {
+    {Prefetch::kOptimal, "optimal"},
+    {Prefetch::kNaive, "naive"},
+    {Prefetch::kHinted, "hinted"},
+};
+
 const char* toString(Prefetch p);
 const char* toString(SystemKind s);
 
@@ -54,6 +69,13 @@ struct MachineConfig {
   double ring_round_trip_us = 52.0;
   double ring_bps = 1.25e9;  // 1.25 GBytes/sec
   std::uint64_t ring_channel_bytes = 64 * 1024;  // 512 KB total / 8 channels
+  // Tunable-receiver bank per node (paper 3.2: two receivers, one draining
+  // and one serving victim reads). The OTDM channel-scaling study varies
+  // these: pooled receivers with a nonzero retune latency become the
+  // bottleneck once ring_channels far exceeds the node count.
+  int ring_receivers = 2;
+  double ring_retune_us = 0.0;        // wavelength retune latency
+  bool ring_shared_receivers = false; // pool the bank instead of dedicating
   std::uint64_t disk_cache_bytes = 16 * 1024;
   double min_seek_ms = 2.0;
   double max_seek_ms = 22.0;

@@ -7,17 +7,16 @@
 namespace nwc::machine {
 
 SystemKind systemKindFromString(const std::string& s) {
-  if (s == "standard") return SystemKind::kStandard;
-  if (s == "nwcache") return SystemKind::kNWCache;
-  if (s == "dcd") return SystemKind::kDCD;
-  if (s == "remote") return SystemKind::kRemoteMemory;
+  for (const auto& [value, name] : kSystemKindNames) {
+    if (s == name) return value;
+  }
   throw std::runtime_error("unknown system kind: " + s);
 }
 
 Prefetch prefetchFromString(const std::string& s) {
-  if (s == "optimal") return Prefetch::kOptimal;
-  if (s == "naive") return Prefetch::kNaive;
-  if (s == "hinted") return Prefetch::kHinted;
+  for (const auto& [value, name] : kPrefetchNames) {
+    if (s == name) return value;
+  }
   throw std::runtime_error("unknown prefetch policy: " + s);
 }
 
@@ -78,6 +77,9 @@ const std::map<std::string, Field>& fieldTable() {
     add_double("ring_round_trip_us", &MachineConfig::ring_round_trip_us);
     add_double("ring_bps", &MachineConfig::ring_bps);
     add_int("ring_channel_bytes", &MachineConfig::ring_channel_bytes);
+    add_int("ring_receivers", &MachineConfig::ring_receivers);
+    add_double("ring_retune_us", &MachineConfig::ring_retune_us);
+    add_bool("ring_shared_receivers", &MachineConfig::ring_shared_receivers);
     add_int("disk_cache_bytes", &MachineConfig::disk_cache_bytes);
     add_double("min_seek_ms", &MachineConfig::min_seek_ms);
     add_double("max_seek_ms", &MachineConfig::max_seek_ms);

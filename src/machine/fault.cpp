@@ -1,5 +1,7 @@
-// Page-fault service: transit waits, frame allocation (NoFree stalls),
-// disk-controller reads, and NWCache victim reads off the optical ring.
+// Page-fault service: transit waits, frame allocation (NoFree stalls), and
+// the fetch itself, routed through the configured I/O backend (demand disk
+// reads, NWCache victim reads off the optical ring, remote-memory pulls).
+#include "machine/backends/io_backend.hpp"
 #include "machine/machine.hpp"
 #include "obs/timeline.hpp"
 
@@ -15,7 +17,7 @@ sim::Task<> Machine::pageFault(int cpu, sim::PageId page, bool write) {
   for (;;) {
     if (e.state == PageState::kResident) {
       // Another node brought it in while we waited.
-      if (waited_transit) ++metrics_.transit_waits;
+      if (waited_transit) ++metrics_->transit_waits;
       co_return;
     }
     if (e.state == PageState::kTransit) {
@@ -23,68 +25,51 @@ sim::Task<> Machine::pageFault(int cpu, sim::PageId page, bool write) {
       const sim::Tick w0 = eng_->now();
       waited_transit = true;
       co_await e.changed.wait();
-      metrics_.cpu(cpu).transit += eng_->now() - w0;
+      metrics_->cpu(cpu).transit += eng_->now() - w0;
       continue;
     }
-    if (e.state == PageState::kSwapping ||
-        (e.state == PageState::kRing && !(cfg_.hasRing() && cfg_.ring_victim_reads))) {
+    if (backend_->faultMustWait(e.state)) {
       // Stalled behind an incomplete swap-out (or, in the victim-read
       // ablation, behind the ring drain). The paper attributes processor
       // stalls caused by swap-outs that cannot keep up to NoFree.
       const sim::Tick w0 = eng_->now();
       co_await e.changed.wait();
-      metrics_.cpu(cpu).nofree += eng_->now() - w0;
+      metrics_->cpu(cpu).nofree += eng_->now() - w0;
       continue;
     }
-    // kDisk, kRing or kRemote: compete to become the fetcher. Time queued
-    // on the entry mutex is time another processor spends fetching: Transit.
+    // kDisk (or backend-fetchable staging: kRing, kRemote): compete to
+    // become the fetcher. Time queued on the entry mutex is time another
+    // processor spends fetching: Transit.
     const sim::Tick m0 = eng_->now();
     auto guard = co_await e.mutex.scoped();
     if (const sim::Tick mw = eng_->now() - m0; mw > 0) {
-      metrics_.cpu(cpu).transit += mw;
+      metrics_->cpu(cpu).transit += mw;
       waited_transit = true;
     }
-    if (e.state != PageState::kDisk && e.state != PageState::kRing &&
-        e.state != PageState::kRemote) {
+    if (!backend_->fetchableState(e.state)) {
       guard.release();
       continue;  // state moved while we queued on the mutex; re-evaluate
     }
 
     // We are the fetcher, holding the entry mutex.
-    if (waited_transit) ++metrics_.transit_waits;
+    if (waited_transit) ++metrics_->transit_waits;
     const sim::Tick f0 = eng_->now();
-    ++metrics_.faults;
+    ++metrics_->faults;
 
-    const bool from_ring =
-        e.state == PageState::kRing && cfg_.hasRing() && cfg_.ring_victim_reads;
-    const bool from_remote = e.state == PageState::kRemote;
-    const sim::NodeId remote_holder = from_remote ? e.home : sim::kNoNode;
-    if (from_ring) {
-      // Claim the page from the NWCache interface right away so its drain
-      // loop skips the record; the control message we send from
-      // fetchFromRing only carries the ACK timing.
-      nwc_fifos_[static_cast<std::size_t>(diskIndexOf(page))].removePage(page);
-    }
+    const FetchPlan plan = backend_->planFetch(page, e);
+    const bool from_ring = plan.route == FetchPlan::Route::kRing;
+    const bool from_remote = plan.route == FetchPlan::Route::kRemote;
     pt_->setState(page, PageState::kTransit);
 
-    const sim::Tick nofree_before = metrics_.cpu(cpu).nofree;
+    const sim::Tick nofree_before = metrics_->cpu(cpu).nofree;
     co_await ensureFreeFrame(cpu, cpu);
-    const sim::Tick nofree_wait = metrics_.cpu(cpu).nofree - nofree_before;
+    const sim::Tick nofree_wait = metrics_->cpu(cpu).nofree - nofree_before;
     nc.frames.consumeFrame();     // residency registered once the data lands
     nc.replace_kick.notifyAll();  // allocation may have dipped below reserve
 
     const sim::Tick fetch0 = eng_->now();
     obs::AttrCtx actx;
-    bool controller_hit = false;
-    if (from_ring) {
-      metrics_.ring_read_hits.hit();
-      co_await fetchFromRing(cpu, page, actx);
-    } else if (from_remote) {
-      co_await fetchFromRemote(cpu, page, remote_holder, actx);
-    } else {
-      if (cfg_.hasRing()) metrics_.ring_read_hits.miss();
-      controller_hit = co_await fetchFromDisk(cpu, page, actx);
-    }
+    const bool controller_hit = co_await backend_->fetch(cpu, page, plan, actx);
 
     nc.frames.addResident(page);
     e.home = cpu;
@@ -97,11 +82,11 @@ sim::Task<> Machine::pageFault(int cpu, sim::PageId page, bool write) {
     // Frame-reclaim stalls are reported as NoFree, not Fault.
     const sim::Tick f_end = eng_->now();
     const sim::Tick fault_ticks = (f_end - f0) - nofree_wait;
-    metrics_.cpu(cpu).fault += fault_ticks;
-    metrics_.fault_ticks.add(static_cast<double>(fault_ticks));
-    metrics_.fault_hist.add(fault_ticks);
+    metrics_->cpu(cpu).fault += fault_ticks;
+    metrics_->fault_ticks.add(static_cast<double>(fault_ticks));
+    metrics_->fault_hist.add(fault_ticks);
     if (controller_hit) {
-      metrics_.disk_cache_hit_fault_ticks.add(static_cast<double>(f_end - fetch0));
+      metrics_->disk_cache_hit_fault_ticks.add(static_cast<double>(f_end - fetch0));
     }
     // The fault stalled the cpu for exactly [fetch0, f_end] beyond its
     // NoFree share; the stage ticks in `actx` must tile that interval.
@@ -150,169 +135,7 @@ sim::Task<> Machine::ensureFreeFrame(int cpu, sim::NodeId n) {
   while (nc.frames.freeFrames() == 0) {
     co_await nc.frame_freed.wait();
   }
-  metrics_.cpu(cpu).nofree += eng_->now() - t0;
-}
-
-sim::Tick Machine::controllerReadService(DiskCtx& d, sim::PageId page, bool* cache_hit,
-                                         obs::AttrCtx& actx) {
-  sim::Tick t = eng_->now() + cfg_.controller_overhead;
-  actx.add(obs::AttrStage::kDiskCtrl, 0, cfg_.controller_overhead);
-
-  if (cfg_.prefetch == Prefetch::kOptimal ||
-      (cfg_.prefetch == Prefetch::kHinted && rng_.chance(cfg_.hint_accuracy))) {
-    // Idealized prefetching: the read is satisfied from the controller
-    // cache; the platter read happened in the background. Under kHinted
-    // only a `hint_accuracy` fraction of hints arrive in time.
-    *cache_hit = true;
-    ++metrics_.disk_cache_hits;
-    return t;
-  }
-
-  if (d.cache.lookup(page)) {
-    *cache_hit = true;
-    ++metrics_.disk_cache_hits;
-    return t;
-  }
-
-  *cache_hit = false;
-  ++metrics_.disk_cache_misses;
-
-  if (d.log != nullptr && d.log->contains(page)) {
-    // DCD: the current version lives in the log; read it from the log
-    // spindle (random access: seek + rotation). No sequential prefetch —
-    // log neighbours are unrelated pages.
-    const sim::Tick svc = d.log->readTime(page);
-    const sim::Tick done = d.log->arm().request(t, svc);
-    actx.add(obs::AttrStage::kDiskQueue, done - svc - t, 0);
-    const sim::Tick xfer = d.log->pageTransferTicks();
-    actx.add(obs::AttrStage::kDiskSeek, 0, svc - xfer);
-    actx.add(obs::AttrStage::kDiskTransfer, 0, xfer);
-    t = done;
-    d.cache.insertClean(page);
-    return t;
-  }
-
-  // Demand read from the platters, serialized on the arm.
-  const sim::Tick svc = d.disk.readTime(pfs_->blockOf(page), 1);
-  {
-    const sim::Tick done = d.disk.arm().request(t, svc);
-    actx.add(obs::AttrStage::kDiskQueue, done - svc - t, 0);
-    const sim::Tick xfer = d.disk.pageTransferTicks();
-    actx.add(obs::AttrStage::kDiskSeek, 0, svc - xfer);
-    actx.add(obs::AttrStage::kDiskTransfer, 0, xfer);
-    t = done;
-  }
-  if (etl_ != nullptr && etl_->enabled(obs::Layer::kDisk)) {
-    etl_->span(obs::Layer::kDisk, "disk.read", t - svc, svc, d.node, page);
-  }
-  d.cache.insertClean(page);
-
-  // Naive sequential prefetch: fill the remaining free slots with the pages
-  // that follow on this disk (writes keep priority; only Free slots fill).
-  int free_slots = d.cache.cleanableSlots();
-  sim::PageId p = page;
-  sim::Tick bg = t;
-  while (free_slots-- > 0) {
-    p = pfs_->nextOnSameDisk(p);
-    if (p >= pt_->numPages()) break;
-    if (pt_->entry(p).state != PageState::kDisk) continue;  // no disk copy is current
-    bg = d.disk.arm().request(bg, d.disk.pageTransferTicks());
-    d.cache.insertClean(p);
-  }
-  return t;
-}
-
-sim::Task<bool> Machine::fetchFromDisk(int cpu, sim::PageId page, obs::AttrCtx& actx) {
-  const int di = diskIndexOf(page);
-  DiskCtx& dc = *disks_[static_cast<std::size_t>(di)];
-  const sim::NodeId io = dc.node;
-
-  // Request message to the I/O node.
-  co_await eng_->waitUntil(ctrlTransfer(eng_->now(), cpu, io, &actx));
-
-  bool hit = false;
-  co_await eng_->waitUntil(controllerReadService(dc, page, &hit, actx));
-
-  // Page data: I/O bus at the I/O node -> mesh -> memory bus at the reader.
-  sim::Tick t = attrRequest(actx, obs::AttrStage::kIoBus,
-                            nodes_[static_cast<std::size_t>(io)]->io_bus,
-                            eng_->now(), page_ser_iobus_);
-  t = attrMeshTransfer(actx, t, io, cpu, cfg_.page_bytes,
-                       net::TrafficClass::kPageRead);
-  t = attrRequest(actx, obs::AttrStage::kMemBus,
-                  nodes_[static_cast<std::size_t>(cpu)]->mem_bus, t,
-                  page_ser_membus_);
-  co_await eng_->waitUntil(t);
-  co_return hit;
-}
-
-sim::Task<> Machine::fetchFromRing(int cpu, sim::PageId page, obs::AttrCtx& actx) {
-  vm::PageEntry& e = pt_->entry(page);
-  const int ch = e.ring_channel;
-
-  // Snoop the page off the swapper's cache channel: wait for it to
-  // circulate past this node, pull it through the tunable receiver, then
-  // cross the local I/O and memory buses. Circulation + receiver transfer
-  // is ring service; contention for the node's tunable receiver is queue.
-  const sim::Tick circulate = rng_.below(ring_->roundTripTicks());
-  sim::Tick t = attrRequest(actx, obs::AttrStage::kRing, ring_->faultRx(cpu),
-                            eng_->now(), circulate + ring_->pageTransferTicks());
-  t = attrRequest(actx, obs::AttrStage::kIoBus,
-                  nodes_[static_cast<std::size_t>(cpu)]->io_bus, t, page_ser_iobus_);
-  t = attrRequest(actx, obs::AttrStage::kMemBus,
-                  nodes_[static_cast<std::size_t>(cpu)]->mem_bus, t, page_ser_membus_);
-
-  // Tell the responsible I/O node the page went back to memory (off the
-  // critical path).
-  eng_->spawn(notifyRingVictimRead(cpu, page, ch));
-
-  // Under optimal prefetching the machinery has usually already launched
-  // the disk request; it cannot be aborted in time, so the network and the
-  // I/O node still carry the (discarded) transfer.
-  if (cfg_.prefetch == Prefetch::kOptimal) {
-    ++metrics_.ring_aborted_requests;
-    eng_->spawn(ringBackgroundRequest(cpu, page));
-  }
-
-  co_await eng_->waitUntil(t);
-}
-
-sim::Task<> Machine::ringBackgroundRequest(int cpu, sim::PageId page) {
-  const int di = diskIndexOf(page);
-  DiskCtx& dc = *disks_[static_cast<std::size_t>(di)];
-  const sim::NodeId io = dc.node;
-  sim::Tick t = ctrlTransfer(eng_->now(), cpu, io);
-  co_await eng_->waitUntil(t + cfg_.controller_overhead);
-  t = nodes_[static_cast<std::size_t>(io)]->io_bus.request(eng_->now(), page_ser_iobus_);
-  t = mesh_->transfer(t, io, cpu, cfg_.page_bytes, net::TrafficClass::kPageRead);
-  co_await eng_->waitUntil(t);
-  // Data discarded on arrival: the ring already delivered the page.
-}
-
-sim::Task<> Machine::fetchFromRemote(int cpu, sim::PageId page, sim::NodeId holder,
-                                     obs::AttrCtx& actx) {
-  // Remote-memory baseline: pull the page straight out of the donor's
-  // memory — request message, donor memory bus, page over the mesh, local
-  // memory bus. The donor's frame frees on departure.
-  NodeCtx& dn = *nodes_[static_cast<std::size_t>(holder)];
-  for (auto it = dn.remote_stored.begin(); it != dn.remote_stored.end(); ++it) {
-    if (*it == page) {
-      dn.remote_stored.erase(it);
-      break;
-    }
-  }
-
-  sim::Tick t = ctrlTransfer(eng_->now(), cpu, holder, &actx);
-  t = attrRequest(actx, obs::AttrStage::kMemBus, dn.mem_bus, t, page_ser_membus_);
-  t = attrMeshTransfer(actx, t, holder, cpu, cfg_.page_bytes,
-                       net::TrafficClass::kPageRead);
-  t = attrRequest(actx, obs::AttrStage::kMemBus,
-                  nodes_[static_cast<std::size_t>(cpu)]->mem_bus, t, page_ser_membus_);
-  co_await eng_->waitUntil(t);
-
-  dn.frames.releaseFrame();
-  dn.frame_freed.notifyAll();
-  ++metrics_.remote_fetches;
+  metrics_->cpu(cpu).nofree += eng_->now() - t0;
 }
 
 }  // namespace nwc::machine

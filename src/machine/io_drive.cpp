@@ -1,12 +1,13 @@
-// I/O node daemons: the disk controller's write-behind drain (with write
-// combining), the NACK/OK protocol, and the NWCache interface drain loop
-// that copies swapped-out pages from the optical ring into the disk cache.
+// I/O node daemons shared by every system variant: the disk controller's
+// write-behind drain (with write combining) and the NACK/OK protocol. The
+// physical write of a combined batch is delegated to the I/O backend (plain
+// platter write, or the DCD's log append); variant-specific daemons (the
+// NWCache interface drain, the DCD destage) live in machine/backends/.
+#include "machine/backends/io_backend.hpp"
 #include "machine/machine.hpp"
 #include "obs/timeline.hpp"
 
 namespace nwc::machine {
-
-using vm::PageState;
 
 sim::Task<> Machine::diskDrainLoop(int disk_idx) {
   DiskCtx& dc = *disks_[static_cast<std::size_t>(disk_idx)];
@@ -16,34 +17,12 @@ sim::Task<> Machine::diskDrainLoop(int disk_idx) {
       co_await dc.work.wait();
       continue;
     }
-    if (dc.log != nullptr) {
-      // DCD: dirty slots append to the log disk sequentially (no seek);
-      // the destage daemon copies them to the data disk later.
-      const sim::Tick svc = dc.log->appendTime(static_cast<int>(batch.size()));
-      const sim::Tick t = dc.log->arm().request(eng_->now(), svc);
-      co_await eng_->waitUntil(t);
-      dc.log->recordAppend(batch);
-      if (etl_ != nullptr && etl_->enabled(obs::Layer::kDisk)) {
-        etl_->span(obs::Layer::kDisk, "disk.log_append", t - svc, svc, dc.node,
-                   batch.front());
-      }
-    } else {
-      // One physical write for the whole run of consecutive pages.
-      const sim::Tick svc = dc.disk.writeTime(pfs_->blockOf(batch.front()),
-                                              static_cast<int>(batch.size()));
-      const sim::Tick t = dc.disk.arm().request(eng_->now(), svc);
-      co_await eng_->waitUntil(t);
-      if (etl_ != nullptr && etl_->enabled(obs::Layer::kDisk)) {
-        // The span covers the arm's service period, not our queueing wait.
-        etl_->span(obs::Layer::kDisk, "disk.write", t - svc, svc, dc.node,
-                   batch.front());
-      }
-    }
+    co_await backend_->writeBatch(disk_idx, batch);
 
     dc.cache.completeWrite(batch);
-    metrics_.write_combining.add(static_cast<double>(batch.size()));
+    metrics_->write_combining.add(static_cast<double>(batch.size()));
     sendPendingOks(disk_idx);
-    dc.work.notifyAll();  // room appeared: wake the NWCache drain
+    dc.work.notifyAll();  // room appeared: wake the backend's drain daemons
     sampleTimeline();
   }
 }
@@ -62,154 +41,6 @@ sim::Task<> Machine::deliverOk(int disk_idx, NackWaiter w) {
   DiskCtx& dc = *disks_[static_cast<std::size_t>(disk_idx)];
   co_await eng_->waitUntil(ctrlTransfer(eng_->now(), dc.node, w.node));
   w.ok->fire();
-}
-
-sim::Task<> Machine::nwcDrainLoop(int disk_idx) {
-  DiskCtx& dc = *disks_[static_cast<std::size_t>(disk_idx)];
-  ring::NwcFifos& fifos = nwc_fifos_[static_cast<std::size_t>(disk_idx)];
-
-  for (;;) {
-    // Pick the most heavily loaded channel (paper 3.2) and drain a burst
-    // from it in swap order. The controller's write-behind is only told
-    // about the staged pages once the burst ends, so consecutive pages of
-    // one node combine into a single physical write.
-    const int ch = fifos.heaviestChannel();
-    if (ch < 0) {
-      co_await dc.work.wait();
-      continue;
-    }
-
-    // Write-behind pacing: only start pulling pages off the ring when the
-    // disk can absorb them promptly. While the arm is saturated with demand
-    // reads the swap-outs stay parked on the ring (where victim reads can
-    // still rescue them); this is the ring's staging role.
-    if (dc.disk.arm().wouldQueue(eng_->now())) {
-      co_await eng_->waitUntil(dc.disk.arm().busyUntil());
-      continue;
-    }
-
-    bool must_circulate = true;  // first page of a burst waits to pass by
-    bool copied_any = false;
-    sim::Signal* block_on = nullptr;  // non-null: who to wait for when stuck
-
-    while (true) {
-      const auto rec = fifos.front(ch);
-      if (!rec.has_value()) break;  // channel exhausted
-      if (!dc.cache.hasRoomForWrite(rec->page)) {
-        if (!copied_any) block_on = &dc.work;
-        break;  // burst over: the controller must make room first
-      }
-
-      vm::PageEntry& e = pt_->entry(rec->page);
-      // Never block on the entry mutex: the holder may be a fault that is
-      // itself waiting for frames whose swap-outs need our ACKs. A locking
-      // fault removes its record synchronously, so on a failed try-lock the
-      // front record has normally already changed; the signal fallback
-      // guards against same-record spins.
-      if (!e.mutex.tryLock()) {
-        const auto now_front = fifos.front(ch);
-        if (now_front.has_value() && now_front->page == rec->page) {
-          if (!copied_any) block_on = &e.changed;
-          break;
-        }
-        must_circulate = true;
-        continue;  // front changed: retry with the new head record
-      }
-      sim::CoMutex::Guard guard(&e.mutex);
-
-      // Re-validate under the mutex: a victim read may have removed the
-      // record, or the page may have been re-mapped to memory.
-      const auto cur = fifos.front(ch);
-      if (!cur.has_value() || cur->page != rec->page) {
-        guard.release();
-        must_circulate = true;
-        continue;
-      }
-      if (e.state != PageState::kRing || e.ring_channel != ch) {
-        fifos.popFront(ch);  // stale: the victim-read path owns the ACK
-        guard.release();
-        must_circulate = true;
-        continue;
-      }
-
-      // Copy the page off the ring into the disk cache. Consecutive pages
-      // of one channel stream past back-to-back; only the first needs a
-      // circulation wait.
-      const sim::Tick circulate =
-          must_circulate ? rng_.below(ring_->roundTripTicks()) : 0;
-      must_circulate = false;
-      const sim::Tick r0 = eng_->now();
-      const sim::Tick t = ring_->drainRx(dc.node).request(
-          r0, circulate + ring_->pageTransferTicks());
-      co_await eng_->waitUntil(t);
-      if (etl_ != nullptr && etl_->enabled(obs::Layer::kRing)) {
-        etl_->span(obs::Layer::kRing, "ring.drain", r0, t - r0, dc.node, rec->page);
-      }
-
-      fifos.popFront(ch);
-      const bool staged = dc.cache.insertDirty(rec->page);
-      (void)staged;  // room was checked above and only this loop stages here
-      pt_->setState(rec->page, PageState::kDisk);
-      pt_->entry(rec->page).dirty = false;
-      copied_any = true;
-
-      // ACK travels back to the swapper; the ring slot frees on receipt.
-      eng_->spawn(deliverRingAck(ch, rec->page, dc.node, rec->swapper));
-    }
-
-    if (copied_any) {
-      dc.work.notifyAll();  // hand the whole staged burst to the write-behind
-    } else if (block_on != nullptr) {
-      co_await block_on->wait();
-    }
-  }
-}
-
-sim::Task<> Machine::deliverRingAck(int channel, sim::PageId page, sim::NodeId io_node,
-                                    sim::NodeId swapper) {
-  co_await eng_->waitUntil(ctrlTransfer(eng_->now(), io_node, swapper));
-  releaseRingSlot(channel, page);
-}
-
-sim::Task<> Machine::notifyRingVictimRead(sim::NodeId reader, sim::PageId page, int channel) {
-  const int di = diskIndexOf(page);
-  DiskCtx& dc = *disks_[static_cast<std::size_t>(di)];
-  co_await eng_->waitUntil(ctrlTransfer(eng_->now(), reader, dc.node));
-  // Drop the pending write record, if it is still queued; either way the
-  // swapper (the channel's owner node) must learn its slot is reusable.
-  nwc_fifos_[static_cast<std::size_t>(di)].removePage(page);
-  co_await deliverRingAck(channel, page, dc.node, static_cast<sim::NodeId>(channel));
-}
-
-sim::Task<> Machine::dcdDestageLoop(int disk_idx) {
-  DiskCtx& dc = *disks_[static_cast<std::size_t>(disk_idx)];
-  for (;;) {
-    const auto page = dc.log->oldestLive();
-    if (!page.has_value()) {
-      co_await dc.work.wait();
-      continue;
-    }
-    // Copy log -> data disk only while the data disk is idle (the DCD's
-    // defining behaviour); demand reads always come first.
-    if (dc.disk.arm().wouldQueue(eng_->now())) {
-      co_await eng_->waitUntil(dc.disk.arm().busyUntil());
-      continue;
-    }
-    const sim::Tick read_done =
-        dc.log->arm().request(eng_->now(), dc.log->readTime(*page));
-    co_await eng_->waitUntil(read_done);
-    const sim::Tick write_done =
-        dc.disk.arm().request(eng_->now(), dc.disk.writeTime(pfs_->blockOf(*page), 1));
-    co_await eng_->waitUntil(write_done);
-    dc.log->remove(*page);
-  }
-}
-
-void Machine::releaseRingSlot(int channel, sim::PageId page) {
-  if (ring_->remove(channel, page)) {
-    ring_room_[static_cast<std::size_t>(channel)]->notifyAll();
-    sampleTimeline();
-  }
 }
 
 }  // namespace nwc::machine

@@ -4,19 +4,21 @@
 #include <cassert>
 #include <sstream>
 
+#include "machine/backends/io_backend.hpp"
 #include "obs/timeline.hpp"
 #include "util/units.hpp"
 
 namespace nwc::machine {
 
-Machine::NodeCtx::NodeCtx(sim::Engine& eng, const MachineConfig& cfg)
+Machine::NodeCtx::NodeCtx(sim::Engine& eng, const MachineConfig& cfg,
+                          vm::FramePool&& fp)
     : tlb(cfg.tlb_entries),
       l1(cfg.l1),
       l2(cfg.l2),
       wb(cfg.write_buffer_entries),
       mem_bus("mem_bus"),
       io_bus("io_bus"),
-      frames(cfg.framesPerNode(), cfg.min_free_frames),
+      frames(std::move(fp)),
       frame_freed(eng),
       replace_kick(eng) {}
 
@@ -43,11 +45,15 @@ Machine::DiskCtx::DiskCtx(sim::Engine& eng, const MachineConfig& cfg, sim::NodeI
 Machine::Machine(const MachineConfig& cfg, MachineArena* arena)
     : cfg_(cfg),
       eng_(std::make_unique<sim::Engine>()),
-      metrics_(cfg.num_nodes),
       arena_(arena),
+      metrics_(arena ? arena->takeMetrics(cfg.num_nodes)
+                     : std::make_unique<Metrics>(cfg.num_nodes)),
       rng_(cfg.seed) {
   for (int n = 0; n < cfg_.num_nodes; ++n) {
-    nodes_.push_back(std::make_unique<NodeCtx>(*eng_, cfg_));
+    nodes_.push_back(std::make_unique<NodeCtx>(
+        *eng_, cfg_,
+        arena_ ? arena_->takeFramePool(cfg_.framesPerNode(), cfg_.min_free_frames)
+               : vm::FramePool(cfg_.framesPerNode(), cfg_.min_free_frames)));
   }
 
   net::MeshParams mp;
@@ -65,37 +71,7 @@ Machine::Machine(const MachineConfig& cfg, MachineArena* arena)
   for (sim::NodeId io_node : cfg_.ioNodes()) {
     disks_.push_back(
         std::make_unique<DiskCtx>(*eng_, cfg_, io_node, rng_.fork(0x10 + static_cast<std::uint64_t>(d))));
-    if (cfg_.system == SystemKind::kDCD) {
-      io::DiskParams lp;
-      lp.min_seek_ms = cfg_.min_seek_ms;
-      lp.max_seek_ms = cfg_.max_seek_ms;
-      lp.rot_ms = cfg_.rot_ms;
-      lp.bytes_per_sec = cfg_.log_disk_bps;
-      lp.pcycle_ns = cfg_.pcycle_ns;
-      lp.page_bytes = cfg_.page_bytes;
-      lp.pages_per_cylinder = cfg_.pages_per_cylinder;
-      lp.cylinders = cfg_.disk_cylinders;
-      disks_.back()->log = std::make_unique<io::LogDisk>(
-          lp, rng_.fork(0x40 + static_cast<std::uint64_t>(d)));
-    }
     ++d;
-  }
-
-  if (cfg_.hasRing()) {
-    ring::RingParams rp;
-    rp.channels = cfg_.ring_channels;
-    rp.channel_capacity_bytes = cfg_.ring_channel_bytes;
-    rp.round_trip_us = cfg_.ring_round_trip_us;
-    rp.bytes_per_sec = cfg_.ring_bps;
-    rp.pcycle_ns = cfg_.pcycle_ns;
-    rp.page_bytes = cfg_.page_bytes;
-    ring_ = std::make_unique<ring::OpticalRing>(rp);
-    for (int i = 0; i < cfg_.num_io_nodes; ++i) {
-      nwc_fifos_.emplace_back(cfg_.ring_channels);
-    }
-    for (int c = 0; c < cfg_.ring_channels; ++c) {
-      ring_room_.push_back(std::make_unique<sim::Signal>(*eng_));
-    }
   }
 
   if (std::has_single_bit(cfg_.page_bytes)) {
@@ -109,15 +85,23 @@ Machine::Machine(const MachineConfig& cfg, MachineArena* arena)
   page_ser_iobus_ = sim::transferTicks(cfg_.page_bytes, cfg_.io_bus_bps, cfg_.pcycle_ns);
   line_ser_membus_ =
       sim::transferTicks(cfg_.l2.line_bytes, cfg_.memory_bus_bps, cfg_.pcycle_ns);
+
+  // Everything the system variant varies lives behind this one seam.
+  backend_ = makeIoBackend(*this);
 }
 
 Machine::~Machine() {
   // Destroy the engine (and every coroutine frame it owns) while the
-  // machine's signals/mutexes those frames reference are still alive.
+  // machine's signals/mutexes those frames reference — and the backend the
+  // frames run in — are still alive.
   eng_.reset();
-  // Only now is it safe to park the page table: frame destruction above may
-  // have released Guard objects pointing into its entries.
-  if (arena_ && pt_) arena_->returnPageTable(std::move(pt_));
+  // Only now is it safe to park the big allocations: frame destruction
+  // above may have released Guard objects pointing into the page table.
+  if (arena_) {
+    if (pt_) arena_->returnPageTable(std::move(pt_));
+    for (auto& node : nodes_) arena_->returnFramePool(std::move(node->frames));
+    if (metrics_) arena_->returnMetrics(std::move(metrics_));
+  }
 }
 
 std::uint64_t Machine::allocRegion(std::uint64_t bytes, std::string name) {
@@ -138,15 +122,20 @@ void Machine::start() {
   }
   for (int d = 0; d < static_cast<int>(disks_.size()); ++d) {
     eng_->spawn(diskDrainLoop(d));
-    if (cfg_.hasRing()) eng_->spawn(nwcDrainLoop(d));
-    if (cfg_.system == SystemKind::kDCD) eng_->spawn(dcdDestageLoop(d));
+    backend_->startDiskDaemons(d);
   }
 }
+
+ring::OpticalRing* Machine::ring() { return backend_->ring(); }
+
+ring::NwcFifos& Machine::nwcFifos(int d) { return *backend_->fifos(d); }
+
+io::LogDisk* Machine::logDisk(int d) { return backend_->logDisk(d); }
 
 sim::Engine::DelayAwaiter Machine::fence(int cpu) {
   NodeCtx& nc = *nodes_[static_cast<std::size_t>(cpu)];
   const sim::Tick amount = nc.pending + nc.tlb_penalty;
-  metrics_.cpu(cpu).tlb += nc.tlb_penalty;
+  metrics_->cpu(cpu).tlb += nc.tlb_penalty;
   nc.pending = 0;
   nc.tlb_penalty = 0;
   return eng_->delay(amount);
@@ -154,8 +143,8 @@ sim::Engine::DelayAwaiter Machine::fence(int cpu) {
 
 void Machine::cpuDone(int cpu) {
   NodeCtx& nc = *nodes_[static_cast<std::size_t>(cpu)];
-  metrics_.cpu(cpu).finish = eng_->now() + nc.pending + nc.tlb_penalty;
-  metrics_.cpu(cpu).tlb += nc.tlb_penalty;
+  metrics_->cpu(cpu).finish = eng_->now() + nc.pending + nc.tlb_penalty;
+  metrics_->cpu(cpu).tlb += nc.tlb_penalty;
   nc.pending = 0;
   nc.tlb_penalty = 0;
 }
@@ -177,7 +166,7 @@ sim::Tick Machine::ctrlTransfer(sim::Tick now, sim::NodeId src, sim::NodeId dst,
 void Machine::recordAttr(obs::AttrOp op, obs::AttrOutcome outcome,
                          sim::Tick end_to_end, const obs::AttrCtx& actx,
                          sim::PageId page, sim::NodeId node) {
-  metrics_.attr.record(op, outcome, end_to_end, actx);
+  metrics_->attr.record(op, outcome, end_to_end, actx);
   if (attr_records_ != nullptr) {
     attr_records_->push_back(obs::AttrRecord{op, outcome, end_to_end, eng_->now(),
                                              page, node, actx.stages()});
@@ -197,12 +186,12 @@ void Machine::sampleTimeline() {
   }
   double dirty = 0;
   for (const auto& d : disks_) dirty += d->cache.dirtyCount();
-  const double on_ring = ring_ ? ring_->totalOccupancy() : 0;
+  const double staged = backend_->stagedPages();
   if (timeline_) {
     timeline_->free_frames.sample(now, free);
     timeline_->swaps_in_flight.sample(now, in_flight);
     timeline_->dirty_slots.sample(now, dirty);
-    timeline_->ring_occupancy.sample(now, on_ring);
+    timeline_->ring_occupancy.sample(now, staged);
   }
   if (want_vm) {
     etl_->counterSample(obs::Layer::kVm, "vm.free_frames", now, free);
@@ -211,8 +200,8 @@ void Machine::sampleTimeline() {
   if (want_disk) {
     etl_->counterSample(obs::Layer::kDisk, "disk.dirty_slots", now, dirty);
   }
-  if (want_ring && ring_) {
-    etl_->counterSample(obs::Layer::kRing, "ring.occupancy", now, on_ring);
+  if (want_ring && backend_->ring() != nullptr) {
+    etl_->counterSample(obs::Layer::kRing, "ring.occupancy", now, staged);
   }
 }
 
@@ -228,26 +217,9 @@ std::string Machine::checkInvariants() const {
     }
   }
 
-  // Single-copy invariant: a page is resident at exactly one place, or on
-  // exactly one ring channel, never both.
   for (std::int64_t p = 0; p < pt_->numPages(); ++p) {
     const vm::PageEntry& e = pt_->entry(p);
     const bool resident = e.state == vm::PageState::kResident;
-    int ring_copies = 0;
-    if (ring_) {
-      for (int c = 0; c < ring_->channels(); ++c) {
-        if (ring_->contains(c, p)) ++ring_copies;
-      }
-    }
-    if (resident && ring_copies > 0) {
-      bad << "page " << p << ": resident AND on ring\n";
-    }
-    if (ring_copies > 1) {
-      bad << "page " << p << ": on " << ring_copies << " ring channels\n";
-    }
-    if (e.state == vm::PageState::kRing && ring_copies == 0) {
-      bad << "page " << p << ": Ring bit set but not stored on any channel\n";
-    }
     if (resident && e.home == sim::kNoNode) {
       bad << "page " << p << ": resident without a home node\n";
     }
@@ -256,21 +228,11 @@ std::string Machine::checkInvariants() const {
       bad << "page " << p << ": entry says node " << e.home
           << " but the frame pool disagrees\n";
     }
-    if (e.state == vm::PageState::kRemote) {
-      if (e.home == sim::kNoNode) {
-        bad << "page " << p << ": remote without a holder\n";
-      } else {
-        const auto& stored = nodes_[static_cast<std::size_t>(e.home)]->remote_stored;
-        bool found = false;
-        for (sim::PageId q : stored) found = found || q == p;
-        if (!found) {
-          bad << "page " << p << ": remote but absent from node " << e.home
-              << "'s guest list\n";
-        }
-      }
-      if (ring_copies > 0) bad << "page " << p << ": remote AND on ring\n";
-    }
   }
+
+  // Backend staging invariants (single-copy on the ring, remote guest
+  // lists, ...).
+  backend_->checkInvariants(bad);
   return bad.str();
 }
 

@@ -1,6 +1,8 @@
 // The simulated multiprocessor: nodes (TLB, caches, write buffer, local
 // memory), wormhole mesh, disks with controller caches, the machine-wide
-// virtual memory system, and (optionally) the NWCache optical ring.
+// virtual memory system, and a pluggable I/O backend implementing the
+// system variant under test (plain disk, NWCache ring, DCD log disk,
+// remote-memory paging — see machine/backends/).
 //
 // Applications drive it through `access()` (one awaitable per memory
 // reference — resident cache hits are a synchronous fast path), `compute()`
@@ -18,8 +20,8 @@
 
 #include "io/disk.hpp"
 #include "io/disk_cache.hpp"
-#include "io/log_disk.hpp"
 #include "io/pfs.hpp"
+#include "machine/arena.hpp"
 #include "machine/config.hpp"
 #include "machine/metrics.hpp"
 #include "machine/trace.hpp"
@@ -28,8 +30,6 @@
 #include "mem/tlb.hpp"
 #include "mem/write_buffer.hpp"
 #include "net/mesh.hpp"
-#include "nwcache/interface.hpp"
-#include "nwcache/optical_ring.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/timeseries.hpp"
@@ -42,37 +42,18 @@ class EventTimeline;
 class MetricsRegistry;
 }
 
+namespace nwc::io {
+class LogDisk;
+}
+
+namespace nwc::ring {
+class NwcFifos;
+class OpticalRing;
+}
+
 namespace nwc::machine {
 
-/// Pool of the big per-Machine allocations, reused across grid cells run
-/// sequentially by one worker thread (not thread-safe). Today the dominant
-/// allocation by far is the page table — one entry per simulated page, tens
-/// of MB at paper scales — so that is what the arena keeps; the remaining
-/// per-Machine state (frame-pool LRU vectors, fixed histogram arrays) is
-/// O(config), not O(data size).
-class MachineArena {
- public:
-  /// A recycled page table if one is pooled, else a fresh empty one.
-  std::unique_ptr<vm::PageTable> takePageTable(sim::Engine& eng) {
-    if (spare_pt_) return std::move(spare_pt_);
-    return std::make_unique<vm::PageTable>(eng, 0);
-  }
-
-  /// Accepts a drained page table back into the pool. Call only after the
-  /// owning engine is destroyed (no live coroutine references entries).
-  void returnPageTable(std::unique_ptr<vm::PageTable> pt) {
-    pt->recycle();
-    spare_pt_ = std::move(pt);
-  }
-
-  /// Heap bytes currently parked in the pool (heartbeat reporting).
-  std::uint64_t pooledBytes() const {
-    return spare_pt_ ? spare_pt_->capacityBytes() : 0;
-  }
-
- private:
-  std::unique_ptr<vm::PageTable> spare_pt_;
-};
+class IoBackend;
 
 class Machine {
  public:
@@ -83,8 +64,8 @@ class Machine {
 
   sim::Engine& engine() { return *eng_; }
   const MachineConfig& config() const { return cfg_; }
-  Metrics& metrics() { return metrics_; }
-  const Metrics& metrics() const { return metrics_; }
+  Metrics& metrics() { return *metrics_; }
+  const Metrics& metrics() const { return *metrics_; }
 
   // --- address space ------------------------------------------------------
   /// Reserves a page-aligned region of `bytes` in the simulated virtual
@@ -92,7 +73,7 @@ class Machine {
   /// disk. Must be called before `start()`.
   std::uint64_t allocRegion(std::uint64_t bytes, std::string name = {});
 
-  /// Spawns the OS daemons (replacement, disk drains, NWCache interfaces).
+  /// Spawns the OS daemons (replacement, disk drains, backend daemons).
   /// Idempotent; called automatically by the app runner.
   void start();
 
@@ -100,16 +81,19 @@ class Machine {
   vm::PageTable& pageTable() { return *pt_; }
   io::ParallelFileSystem& pfs() { return *pfs_; }
   net::MeshNetwork& mesh() { return *mesh_; }
-  ring::OpticalRing* ring() { return ring_.get(); }
   mem::Directory& directory() { return *dir_; }
   vm::FramePool& framePool(sim::NodeId n) { return nodes_[static_cast<std::size_t>(n)]->frames; }
   mem::Tlb& tlb(sim::NodeId n) { return nodes_[static_cast<std::size_t>(n)]->tlb; }
   io::DiskCache& diskCache(int disk) { return disks_[static_cast<std::size_t>(disk)]->cache; }
   io::DiskModel& disk(int d) { return disks_[static_cast<std::size_t>(d)]->disk; }
+  /// The I/O backend implementing the configured system variant.
+  IoBackend& backend() { return *backend_; }
+  /// The optical ring (NWCache backend only; nullptr otherwise).
+  ring::OpticalRing* ring();
   /// NWCache interface FIFOs of disk `d` (white-box tests; ring mode only).
-  ring::NwcFifos& nwcFifos(int d) { return nwc_fifos_[static_cast<std::size_t>(d)]; }
+  ring::NwcFifos& nwcFifos(int d);
   /// Log disk of disk `d` (DCD baseline only; nullptr otherwise).
-  io::LogDisk* logDisk(int d) { return disks_[static_cast<std::size_t>(d)]->log.get(); }
+  io::LogDisk* logDisk(int d);
   /// Wakes the I/O daemons of disk `d` (after external state injection).
   void kickDisk(int d) { disks_[static_cast<std::size_t>(d)]->work.notifyAll(); }
 
@@ -142,7 +126,7 @@ class Machine {
   };
 
   AccessAwaiter access(int cpu, std::uint64_t vaddr, bool write) {
-    ++metrics_.cpu(cpu).accesses;
+    ++metrics_->cpu(cpu).accesses;
     if (ref_recorder_) ref_recorder_->onAccess(cpu, vaddr, write);
     return AccessAwaiter{*this, cpu, vaddr, write};
   }
@@ -172,13 +156,14 @@ class Machine {
   }
 
   /// Publishes every component's end-of-run statistics into `reg`
-  /// (observe.cpp has the full instrument catalog).
+  /// (observe.cpp has the shared-fabric catalog; the backend appends its
+  /// own instruments).
   void publishMetrics(obs::MetricsRegistry& reg) const;
 
   /// Machine-state time series, sampled at every page-grain event.
   struct Timeline {
     sim::TimeSeries free_frames;      // sum of free frames over all nodes
-    sim::TimeSeries ring_occupancy;   // pages stored on the optical ring
+    sim::TimeSeries ring_occupancy;   // pages staged by the backend
     sim::TimeSeries dirty_slots;      // staged pages in the controller caches
     sim::TimeSeries swaps_in_flight;  // write-outs whose frame is still held
   };
@@ -194,11 +179,9 @@ class Machine {
   /// human-readable violation description, empty when consistent.
   std::string checkInvariants() const;
 
- private:
-  friend struct AccessAwaiter;
-
+  // --- shared fabric contexts (used by the I/O backends) ---------------------
   struct NodeCtx {
-    NodeCtx(sim::Engine& eng, const MachineConfig& cfg);
+    NodeCtx(sim::Engine& eng, const MachineConfig& cfg, vm::FramePool&& fp);
 
     mem::Tlb tlb;
     mem::SetAssocCache l1;
@@ -212,8 +195,6 @@ class Machine {
     sim::Tick pending = 0;     // local cycles not yet on the global clock
     sim::Tick tlb_penalty = 0; // shootdown/interrupt cycles to charge
     int swaps_in_flight = 0;   // dirty write-outs whose frame is not yet free
-    std::deque<sim::PageId> remote_stored;  // guest pages (remote-memory
-                                            // baseline), oldest first
   };
 
   struct NackWaiter {
@@ -229,8 +210,11 @@ class Machine {
     io::DiskCache cache;
     std::deque<NackWaiter> nack_fifo;
     sim::Signal work;  // dirty slots / records to process
-    std::unique_ptr<io::LogDisk> log;  // DCD baseline only
   };
+
+ private:
+  friend struct AccessAwaiter;
+  friend class IoBackend;
 
   // -- fast path helpers ----------------------------------------------------
   bool tryFastAccess(int cpu, std::uint64_t vaddr, bool write);
@@ -239,40 +223,18 @@ class Machine {
 
   // -- fault path (fault.cpp) -------------------------------------------------
   sim::Task<> pageFault(int cpu, sim::PageId page, bool write);
-  sim::Task<bool> fetchFromDisk(int cpu, sim::PageId page,
-                                obs::AttrCtx& actx);  // returns ctrl-cache hit
-  sim::Task<> fetchFromRing(int cpu, sim::PageId page, obs::AttrCtx& actx);
-  sim::Task<> ringBackgroundRequest(int cpu, sim::PageId page);
   sim::Task<> ensureFreeFrame(int cpu, sim::NodeId n);
-  sim::Tick controllerReadService(DiskCtx& d, sim::PageId page, bool* cache_hit,
-                                  obs::AttrCtx& actx);
 
   // -- replacement & swap-out (swap.cpp) --------------------------------------
   sim::Task<> replacementDaemon(sim::NodeId n);
   sim::Task<> swapOutPage(sim::NodeId n, sim::PageId page, bool force_disk = false);
-  sim::Task<> swapOutStandard(sim::NodeId n, sim::PageId page, obs::AttrCtx& actx);
-  sim::Task<> swapOutRing(sim::NodeId n, sim::PageId page, obs::AttrCtx& actx);
-  sim::Task<> swapOutRemoteOrDisk(sim::NodeId n, sim::PageId page, obs::AttrCtx& actx);
-  sim::Task<> fetchFromRemote(int cpu, sim::PageId page, sim::NodeId holder,
-                              obs::AttrCtx& actx);
-  /// Node with spare frames beyond its reserve (excluding `self`); kNoNode
-  /// when every node is fully committed — the paper's expected situation.
-  sim::NodeId findSpareDonor(sim::NodeId self) const;
-  sim::Task<> deliverSwapRecord(int disk_idx, int channel, sim::PageId page,
-                                sim::NodeId swapper, std::uint64_t seq);
   void shootdown(sim::PageId page, sim::NodeId initiator);
   void dropPageFromCachesAndDirectory(sim::PageId page);
 
   // -- I/O node daemons (io_drive.cpp) ----------------------------------------
   sim::Task<> diskDrainLoop(int disk_idx);
-  sim::Task<> nwcDrainLoop(int disk_idx);
-  sim::Task<> dcdDestageLoop(int disk_idx);
   void sendPendingOks(int disk_idx);
   sim::Task<> deliverOk(int disk_idx, NackWaiter w);
-  sim::Task<> deliverRingAck(int channel, sim::PageId page, sim::NodeId io_node,
-                             sim::NodeId swapper);
-  sim::Task<> notifyRingVictimRead(sim::NodeId reader, sim::PageId page, int channel);
-  void releaseRingSlot(int channel, sim::PageId page);
 
   int diskIndexOf(sim::PageId page) const { return pfs_->diskOf(page); }
 
@@ -312,17 +274,15 @@ class Machine {
 
   MachineConfig cfg_;
   std::unique_ptr<sim::Engine> eng_;
+  MachineArena* arena_ = nullptr;
+  std::unique_ptr<Metrics> metrics_;
   std::vector<std::unique_ptr<NodeCtx>> nodes_;
   std::unique_ptr<net::MeshNetwork> mesh_;
   std::unique_ptr<mem::Directory> dir_;
-  MachineArena* arena_ = nullptr;
   std::unique_ptr<vm::PageTable> pt_;
   std::unique_ptr<io::ParallelFileSystem> pfs_;
   std::vector<std::unique_ptr<DiskCtx>> disks_;
-  std::unique_ptr<ring::OpticalRing> ring_;
-  std::vector<ring::NwcFifos> nwc_fifos_;            // one per disk/I/O node
-  std::vector<std::unique_ptr<sim::Signal>> ring_room_;  // per channel
-  Metrics metrics_;
+  std::unique_ptr<IoBackend> backend_;
   TraceBuffer* trace_ = nullptr;
   RefRecorder* ref_recorder_ = nullptr;
   obs::EventTimeline* etl_ = nullptr;
@@ -330,7 +290,6 @@ class Machine {
   std::unique_ptr<Timeline> timeline_;
   sim::Rng rng_;
   std::uint64_t next_vaddr_ = 0;
-  std::uint64_t swap_seq_ = 0;
   bool started_ = false;
 
   // Pre-computed serialization times.

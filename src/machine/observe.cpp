@@ -3,6 +3,7 @@
 // core does not depend on the obs layer's headers.
 #include <string>
 
+#include "machine/backends/io_backend.hpp"
 #include "machine/machine.hpp"
 #include "obs/registry.hpp"
 #include "obs/timeline.hpp"
@@ -16,39 +17,39 @@ void Machine::attachEventTimeline(obs::EventTimeline* tl) {
 
 void Machine::publishMetrics(obs::MetricsRegistry& reg) const {
   // --- cpu / run aggregates ------------------------------------------------
-  reg.counter("cpu.exec_pcycles", static_cast<std::uint64_t>(metrics_.executionTime()));
-  reg.counter("cpu.accesses", metrics_.totalAccesses());
-  reg.counter("cpu.stall.nofree_ticks", static_cast<std::uint64_t>(metrics_.totalNoFree()));
-  reg.counter("cpu.stall.transit_ticks", static_cast<std::uint64_t>(metrics_.totalTransit()));
-  reg.counter("cpu.stall.fault_ticks", static_cast<std::uint64_t>(metrics_.totalFault()));
-  reg.counter("cpu.stall.tlb_ticks", static_cast<std::uint64_t>(metrics_.totalTlb()));
-  reg.counter("cpu.stall.other_ticks", static_cast<std::uint64_t>(metrics_.totalOther()));
+  reg.counter("cpu.exec_pcycles", static_cast<std::uint64_t>(metrics_->executionTime()));
+  reg.counter("cpu.accesses", metrics_->totalAccesses());
+  reg.counter("cpu.stall.nofree_ticks", static_cast<std::uint64_t>(metrics_->totalNoFree()));
+  reg.counter("cpu.stall.transit_ticks", static_cast<std::uint64_t>(metrics_->totalTransit()));
+  reg.counter("cpu.stall.fault_ticks", static_cast<std::uint64_t>(metrics_->totalFault()));
+  reg.counter("cpu.stall.tlb_ticks", static_cast<std::uint64_t>(metrics_->totalTlb()));
+  reg.counter("cpu.stall.other_ticks", static_cast<std::uint64_t>(metrics_->totalOther()));
 
   // --- critical-path attribution (see obs/attribution.hpp) -----------------
-  metrics_.attr.publish(reg);
+  metrics_->attr.publish(reg);
 
   // --- fault path ----------------------------------------------------------
-  reg.counter("fault.count", metrics_.faults);
-  reg.counter("fault.transit_waits", metrics_.transit_waits);
-  reg.histogram("fault.latency_pcycles", metrics_.fault_hist);
-  obs::publish(reg, "fault.ticks", metrics_.fault_ticks);
-  obs::publish(reg, "fault.ctrl_cache_hit_ticks", metrics_.disk_cache_hit_fault_ticks);
-  obs::publish(reg, "fault.ring_read", metrics_.ring_read_hits);
-  reg.counter("fault.ctrl_cache_hits", metrics_.disk_cache_hits);
-  reg.counter("fault.ctrl_cache_misses", metrics_.disk_cache_misses);
-  reg.counter("fault.ring_aborted_requests", metrics_.ring_aborted_requests);
+  reg.counter("fault.count", metrics_->faults);
+  reg.counter("fault.transit_waits", metrics_->transit_waits);
+  reg.histogram("fault.latency_pcycles", metrics_->fault_hist);
+  obs::publish(reg, "fault.ticks", metrics_->fault_ticks);
+  obs::publish(reg, "fault.ctrl_cache_hit_ticks", metrics_->disk_cache_hit_fault_ticks);
+  obs::publish(reg, "fault.ring_read", metrics_->ring_read_hits);
+  reg.counter("fault.ctrl_cache_hits", metrics_->disk_cache_hits);
+  reg.counter("fault.ctrl_cache_misses", metrics_->disk_cache_misses);
+  reg.counter("fault.ring_aborted_requests", metrics_->ring_aborted_requests);
 
   // --- swap path -----------------------------------------------------------
-  reg.counter("swap.outs", metrics_.swap_outs);
-  reg.counter("swap.clean_evictions", metrics_.clean_evictions);
-  reg.counter("swap.nacks", metrics_.nacks);
-  reg.histogram("swap.latency_pcycles", metrics_.swap_out_hist);
-  obs::publish(reg, "swap.ticks", metrics_.swap_out_ticks);
-  obs::publish(reg, "swap.write_combining", metrics_.write_combining);
-  reg.counter("swap.remote_stores", metrics_.remote_stores);
-  reg.counter("swap.remote_fetches", metrics_.remote_fetches);
-  reg.counter("swap.remote_evictions", metrics_.remote_evictions);
-  reg.counter("swap.remote_fallbacks", metrics_.remote_fallbacks);
+  reg.counter("swap.outs", metrics_->swap_outs);
+  reg.counter("swap.clean_evictions", metrics_->clean_evictions);
+  reg.counter("swap.nacks", metrics_->nacks);
+  reg.histogram("swap.latency_pcycles", metrics_->swap_out_hist);
+  obs::publish(reg, "swap.ticks", metrics_->swap_out_ticks);
+  obs::publish(reg, "swap.write_combining", metrics_->write_combining);
+  reg.counter("swap.remote_stores", metrics_->remote_stores);
+  reg.counter("swap.remote_fetches", metrics_->remote_fetches);
+  reg.counter("swap.remote_evictions", metrics_->remote_evictions);
+  reg.counter("swap.remote_fallbacks", metrics_->remote_fallbacks);
 
   // --- per-node structures, aggregated machine-wide ------------------------
   std::uint64_t tlb_hits = 0, tlb_misses = 0;
@@ -74,7 +75,7 @@ void Machine::publishMetrics(obs::MetricsRegistry& reg) const {
                             ? static_cast<double>(tlb_hits) /
                                   static_cast<double>(tlb_hits + tlb_misses)
                             : 0.0);
-  reg.counter("tlb.shootdowns", metrics_.shootdowns);
+  reg.counter("tlb.shootdowns", metrics_->shootdowns);
   reg.counter("bus.mem.jobs", membus_jobs);
   reg.counter("bus.mem.busy_ticks", static_cast<std::uint64_t>(membus_busy));
   reg.counter("bus.mem.queued_ticks", static_cast<std::uint64_t>(membus_queued));
@@ -102,16 +103,8 @@ void Machine::publishMetrics(obs::MetricsRegistry& reg) const {
   reg.counter("disk.writes", disk_writes);
   reg.counter("disk.pages_transferred", disk_pages);
 
-  // --- optical ring + NWCache interfaces (ring system only) ----------------
-  if (ring_) {
-    ring_->publishMetrics(reg, "ring.");
-    std::uint64_t pushes = 0;
-    for (std::size_t d = 0; d < nwc_fifos_.size(); ++d) {
-      nwc_fifos_[d].publishMetrics(reg, "iface" + std::to_string(d) + ".");
-      pushes += nwc_fifos_[d].pushes();
-    }
-    reg.counter("iface.pushes", pushes);
-  }
+  // --- backend instruments (ring + interfaces + receivers, log disk, ...) --
+  backend_->publishMetrics(reg);
 }
 
 }  // namespace nwc::machine

@@ -1,13 +1,13 @@
-// Page replacement and swap-out.
+// Page replacement and swap-out bookkeeping.
 //
 // Each node runs a replacement daemon that keeps `min_free_frames` frames
-// free. Clean victims are freed instantly. Dirty victims are swapped out:
-//  - standard machine: page data crosses the mesh to the disk controller
-//    cache; NACK/OK resend protocol when the cache is full of swap-outs;
-//    the frame is reusable only at the ACK (paper 3.1).
-//  - NWCache machine: page data goes onto the node's own cache channel
-//    through the local I/O bus; the frame is reusable as soon as the page
-//    is on the ring (paper 3.2).
+// free. Clean victims are freed instantly. Dirty victims are swapped out
+// through the configured I/O backend (machine/backends/): the standard
+// machine's NACK/OK protocol to the controller cache, the NWCache's ring
+// staging, the DCD's log disk, or remote-memory paging. This file owns only
+// the variant-independent parts: victim selection, shootdowns, and the
+// metrics/trace wrapper around the backend's write-out.
+#include "machine/backends/io_backend.hpp"
 #include "machine/machine.hpp"
 #include "obs/timeline.hpp"
 
@@ -16,7 +16,7 @@ namespace nwc::machine {
 using vm::PageState;
 
 void Machine::shootdown(sim::PageId page, sim::NodeId initiator) {
-  ++metrics_.shootdowns;
+  ++metrics_->shootdowns;
   if (etl_ != nullptr && etl_->enabled(obs::Layer::kTlb)) {
     etl_->instant(obs::Layer::kTlb, "tlb.shootdown", eng_->now(), initiator, page);
   }
@@ -56,21 +56,10 @@ sim::Task<> Machine::replacementDaemon(sim::NodeId n) {
     // Frames already being written out will free on their own; only start
     // enough additional swap-outs to restore the reserve.
     while (nc.frames.freeFrames() + nc.swaps_in_flight < nc.frames.minFree()) {
-      // Remote-memory baseline: guest pages parked here by other nodes are
-      // evicted (to disk) before any of this node's own working set.
-      if (!nc.remote_stored.empty()) {
-        const sim::PageId guest = nc.remote_stored.front();
-        nc.remote_stored.pop_front();
-        vm::PageEntry& ge = pt_->entry(guest);
-        if (ge.state != PageState::kRemote || ge.home != n) continue;  // stale
-        ge.home = sim::kNoNode;
-        pt_->setState(guest, PageState::kSwapping);
-        ++metrics_.remote_evictions;
-        ++nc.swaps_in_flight;
-        eng_->spawn(swapOutPage(n, guest, /*force_disk=*/true));
-        sampleTimeline();
-        continue;
-      }
+      // The backend may hold reclaimable staged state of its own (the
+      // remote-memory baseline evicts guest pages parked here by other
+      // nodes before any of this node's own working set).
+      if (backend_->takeGuestVictim(n)) continue;
       auto victim = nc.frames.lruVictim();
       if (!victim.has_value()) break;  // nothing resident left to evict
       const sim::PageId page = *victim;
@@ -88,7 +77,7 @@ sim::Task<> Machine::replacementDaemon(sim::NodeId n) {
         pt_->setState(page, PageState::kDisk);
         nc.frames.releaseFrame();
         nc.frame_freed.notifyAll();
-        ++metrics_.clean_evictions;
+        ++metrics_->clean_evictions;
         if (trace_ != nullptr) {
           trace_->record(
               TraceEvent{eng_->now(), 0, page, n, TraceKind::kCleanEviction});
@@ -101,7 +90,7 @@ sim::Task<> Machine::replacementDaemon(sim::NodeId n) {
         continue;
       }
 
-      ++metrics_.swap_outs;
+      ++metrics_->swap_outs;
       ++nc.swaps_in_flight;
       pt_->setState(page, PageState::kSwapping);
       eng_->spawn(swapOutPage(n, page));  // swap-outs overlap (bursty)
@@ -114,189 +103,25 @@ sim::Task<> Machine::replacementDaemon(sim::NodeId n) {
 sim::Task<> Machine::swapOutPage(sim::NodeId n, sim::PageId page, bool force_disk) {
   const sim::Tick t0 = eng_->now();
   obs::AttrCtx actx;
-  if (cfg_.hasRing()) {
-    co_await swapOutRing(n, page, actx);
-  } else if (cfg_.system == SystemKind::kRemoteMemory && !force_disk) {
-    co_await swapOutRemoteOrDisk(n, page, actx);
-  } else {
-    co_await swapOutStandard(n, page, actx);
-  }
+  co_await backend_->swapOut(n, page, force_disk, actx);
   NodeCtx& nc = *nodes_[static_cast<std::size_t>(n)];
   --nc.swaps_in_flight;
   nc.frames.releaseFrame();
   nc.frame_freed.notifyAll();
   nc.replace_kick.notifyAll();
   const sim::Tick dt = eng_->now() - t0;
-  metrics_.swap_out_ticks.add(static_cast<double>(dt));
-  metrics_.swap_out_hist.add(dt);
+  metrics_->swap_out_ticks.add(static_cast<double>(dt));
+  metrics_->swap_out_hist.add(dt);
   recordAttr(obs::AttrOp::kSwap, actx.outcome(), dt, actx, page, n);
   if (trace_ != nullptr) {
-    trace_->record(TraceEvent{eng_->now(), dt, page, n,
-                              cfg_.hasRing() ? TraceKind::kSwapOutRing
-                                             : TraceKind::kSwapOutDisk});
+    trace_->record(TraceEvent{eng_->now(), dt, page, n, backend_->swapTraceKind()});
   }
   if (etl_ != nullptr && etl_->enabled(obs::Layer::kSwap)) {
     // Async: a node's swap-outs overlap (the replacement daemon spawns them
     // in bursts), so complete "X" slices would render as overlaps.
-    etl_->asyncSpan(obs::Layer::kSwap,
-                    cfg_.hasRing() ? "swap.ring" : "swap.disk", t0, dt, n, page);
+    etl_->asyncSpan(obs::Layer::kSwap, backend_->swapSpanName(), t0, dt, n, page);
   }
   sampleTimeline();
-}
-
-sim::Task<> Machine::swapOutStandard(sim::NodeId n, sim::PageId page,
-                                     obs::AttrCtx& actx) {
-  const int di = diskIndexOf(page);
-  DiskCtx& dc = *disks_[static_cast<std::size_t>(di)];
-  const sim::NodeId io = dc.node;
-  vm::PageEntry& e = pt_->entry(page);
-  actx.setOutcome(obs::AttrOutcome::kCtrlCache);
-
-  for (;;) {
-    // Page data: local memory bus -> mesh -> I/O bus at the I/O node.
-    sim::Tick t = attrRequest(actx, obs::AttrStage::kMemBus,
-                              nodes_[static_cast<std::size_t>(n)]->mem_bus,
-                              eng_->now(), page_ser_membus_);
-    t = attrMeshTransfer(actx, t, n, io, cfg_.page_bytes,
-                         net::TrafficClass::kSwapOut);
-    t = attrRequest(actx, obs::AttrStage::kIoBus,
-                    nodes_[static_cast<std::size_t>(io)]->io_bus, t,
-                    page_ser_iobus_);
-    actx.add(obs::AttrStage::kDiskCtrl, 0, cfg_.controller_overhead);
-    co_await eng_->waitUntil(t + cfg_.controller_overhead);
-
-    if (dc.cache.insertDirty(page)) {
-      dc.work.notifyAll();  // a Dirty slot for the write-behind drain
-      co_await eng_->waitUntil(ctrlTransfer(eng_->now(), io, n, &actx));  // ACK
-      break;
-    }
-
-    // NACK: the controller cache is full of swap-outs. The controller
-    // records us in its FIFO and sends OK when room appears (paper 3.1).
-    ++metrics_.nacks;
-    if (trace_ != nullptr) {
-      trace_->record(TraceEvent{eng_->now(), 0, page, n, TraceKind::kNack});
-    }
-    if (etl_ != nullptr && etl_->enabled(obs::Layer::kSwap)) {
-      etl_->instant(obs::Layer::kSwap, "swap.nack", eng_->now(), n, page);
-    }
-    co_await eng_->waitUntil(ctrlTransfer(eng_->now(), io, n, &actx));  // NACK delivery
-    sim::Trigger ok(*eng_);
-    dc.nack_fifo.push_back(NackWaiter{n, &ok});
-    const sim::Tick ok_wait0 = eng_->now();
-    co_await ok.wait();
-    // Waiting for the controller's OK is time spent queued on it.
-    actx.add(obs::AttrStage::kDiskCtrl, eng_->now() - ok_wait0, 0);
-    // OK received: loop re-sends the page.
-  }
-
-  e.dirty = false;
-  pt_->setState(page, PageState::kDisk);
-}
-
-sim::Task<> Machine::swapOutRing(sim::NodeId n, sim::PageId page,
-                                 obs::AttrCtx& actx) {
-  const int ch = static_cast<int>(n) % cfg_.ring_channels;
-  vm::PageEntry& e = pt_->entry(page);
-  actx.setOutcome(obs::AttrOutcome::kRing);
-
-  // A swap-out to the NWCache needs room on the node's own cache channel;
-  // time spent waiting for a slot is queueing on the ring.
-  const sim::Tick room0 = eng_->now();
-  while (!ring_->hasRoom(ch)) {
-    co_await ring_room_[static_cast<std::size_t>(ch)]->wait();
-  }
-  actx.add(obs::AttrStage::kRing, eng_->now() - room0, 0);
-  ring_->reserve(ch);  // claim the slot before the (timed) transmit
-
-  // Page data: local memory bus -> local I/O bus -> fixed transmitter.
-  // No mesh crossing: this is the contention benefit.
-  sim::Tick t = attrRequest(actx, obs::AttrStage::kMemBus,
-                            nodes_[static_cast<std::size_t>(n)]->mem_bus,
-                            eng_->now(), page_ser_membus_);
-  t = attrRequest(actx, obs::AttrStage::kIoBus,
-                  nodes_[static_cast<std::size_t>(n)]->io_bus, t, page_ser_iobus_);
-  t = attrRequest(actx, obs::AttrStage::kRing, ring_->channelTx(ch), t,
-                  ring_->pageTransferTicks());
-  co_await eng_->waitUntil(t);
-
-  ring_->insert(ch, page);
-  e.ring_channel = ch;
-  pt_->setState(page, PageState::kRing);  // Ring bit set; frame reusable now
-
-  // Metadata message to the NWCache interface of the responsible I/O node.
-  const int di = diskIndexOf(page);
-  const std::uint64_t seq = ++swap_seq_;
-  eng_->spawn(deliverSwapRecord(di, ch, page, n, seq));
-}
-
-sim::Task<> Machine::deliverSwapRecord(int disk_idx, int channel, sim::PageId page,
-                                       sim::NodeId swapper, std::uint64_t seq) {
-  DiskCtx& dc = *disks_[static_cast<std::size_t>(disk_idx)];
-  if (!cfg_.ring_bypass_network) {
-    // Ablation: route even the metadata as if swap-outs crossed the mesh.
-    co_await eng_->waitUntil(mesh_->transfer(eng_->now(), swapper, dc.node,
-                                             cfg_.page_bytes,
-                                             net::TrafficClass::kSwapOut));
-  } else {
-    co_await eng_->waitUntil(ctrlTransfer(eng_->now(), swapper, dc.node));
-  }
-  // Only queue the record if the page is still on the ring (it may already
-  // have been re-mapped by a victim read).
-  if (pt_->entry(page).state == PageState::kRing) {
-    nwc_fifos_[static_cast<std::size_t>(disk_idx)].push(channel,
-                                                        ring::SwapRecord{page, swapper, seq});
-    dc.work.notifyAll();
-  }
-}
-
-sim::NodeId Machine::findSpareDonor(sim::NodeId self) const {
-  sim::NodeId best = sim::kNoNode;
-  int best_spare = 0;
-  for (int n = 0; n < cfg_.num_nodes; ++n) {
-    if (n == self) continue;
-    const auto& fp = nodes_[static_cast<std::size_t>(n)]->frames;
-    const int spare = fp.freeFrames() - fp.minFree();
-    if (spare > best_spare) {
-      best_spare = spare;
-      best = n;
-    }
-  }
-  return best;
-}
-
-sim::Task<> Machine::swapOutRemoteOrDisk(sim::NodeId n, sim::PageId page,
-                                         obs::AttrCtx& actx) {
-  const sim::NodeId donor = findSpareDonor(n);
-  if (donor == sim::kNoNode) {
-    // The paper's expected case on an out-of-core multiprocessor: every
-    // node is part of the computation, nobody has spare memory.
-    ++metrics_.remote_fallbacks;
-    co_await swapOutStandard(n, page, actx);
-    co_return;
-  }
-  actx.setOutcome(obs::AttrOutcome::kRemote);
-
-  // Claim the donor frame synchronously, then ship the page across the
-  // mesh: source memory bus -> mesh -> donor memory bus.
-  NodeCtx& dn = *nodes_[static_cast<std::size_t>(donor)];
-  dn.frames.consumeFrame();
-  dn.remote_stored.push_back(page);
-
-  sim::Tick t = attrRequest(actx, obs::AttrStage::kMemBus,
-                            nodes_[static_cast<std::size_t>(n)]->mem_bus,
-                            eng_->now(), page_ser_membus_);
-  t = attrMeshTransfer(actx, t, n, donor, cfg_.page_bytes,
-                       net::TrafficClass::kSwapOut);
-  t = attrRequest(actx, obs::AttrStage::kMemBus, dn.mem_bus, t, page_ser_membus_);
-  co_await eng_->waitUntil(t);
-
-  vm::PageEntry& e = pt_->entry(page);
-  e.home = donor;  // the holder of the only copy
-  pt_->setState(page, PageState::kRemote);
-  ++metrics_.remote_stores;
-  // e.dirty stays true: the modifications never reached the disk.
-  dn.replace_kick.notifyAll();  // the donor may now be below its reserve
 }
 
 }  // namespace nwc::machine

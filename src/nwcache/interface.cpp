@@ -1,8 +1,59 @@
 #include "nwcache/interface.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 #include "obs/registry.hpp"
 
 namespace nwc::ring {
+
+TunableReceiverBank::TunableReceiverBank(const ReceiverParams& p,
+                                         const std::string& name)
+    : params_(p), tuned_(static_cast<std::size_t>(std::max(1, p.receivers)), -1) {
+  assert(p.receivers >= 1);
+  for (int i = 0; i < std::max(1, p.receivers); ++i) {
+    rx_.emplace_back(name + "_rx" + std::to_string(i));
+  }
+}
+
+TunableReceiverBank::Grant TunableReceiverBank::request(sim::Tick now, Use use,
+                                                        int channel,
+                                                        sim::Tick service) {
+  int idx;
+  if (params_.dedicated) {
+    // Receiver 0 drains; the highest other receiver serves victim reads.
+    // With one receiver both roles contend for it — the saturation case the
+    // white-box tests pin down: requests queue, they are never dropped.
+    idx = use == Use::kDrain ? 0 : std::min(1, receivers() - 1);
+  } else {
+    // Pooled: earliest-available receiver; among ties prefer one already
+    // tuned to `channel` (skips the retune), then the lowest index.
+    idx = 0;
+    sim::Tick best = std::max(now, rx_[0].busyUntil());
+    bool best_tuned = tuned_[0] == channel;
+    for (int i = 1; i < receivers(); ++i) {
+      const sim::Tick avail =
+          std::max(now, rx_[static_cast<std::size_t>(i)].busyUntil());
+      const bool is_tuned = tuned_[static_cast<std::size_t>(i)] == channel;
+      if (avail < best || (avail == best && is_tuned && !best_tuned)) {
+        idx = i;
+        best = avail;
+        best_tuned = is_tuned;
+      }
+    }
+  }
+
+  Grant g;
+  g.receiver = idx;
+  if (tuned_[static_cast<std::size_t>(idx)] != channel) {
+    g.retune = params_.retune_ticks;
+    if (g.retune > 0) ++retunes_;
+    tuned_[static_cast<std::size_t>(idx)] = channel;
+  }
+  g.done = rx_[static_cast<std::size_t>(idx)].request(now, g.retune + service);
+  g.queued = g.done - g.retune - service - now;
+  return g;
+}
 
 NwcFifos::NwcFifos(int channels) : fifos_(static_cast<std::size_t>(channels)) {}
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fifo_server.hpp"
 #include "sim/types.hpp"
 
 namespace nwc::obs {
@@ -22,6 +23,67 @@ class MetricsRegistry;
 }
 
 namespace nwc::ring {
+
+/// Geometry of one node's bank of tunable receivers.
+struct ReceiverParams {
+  int receivers = 2;           // optical receivers per node
+  sim::Tick retune_ticks = 0;  // wavelength retune latency (shared mode)
+  /// Dedicated mode (the paper's hardware): receiver 0 only drains, the
+  /// other only serves victim reads. Shared mode pools the bank: any
+  /// receiver serves any use. Either way a receiver pays `retune_ticks`
+  /// whenever it must switch to a channel it is not tuned to (0 by default,
+  /// matching the paper's assumption of free retuning).
+  bool dedicated = true;
+};
+
+/// One node's tunable optical receivers, modelled as contended FIFO
+/// resources. The NWCache needs exactly two receiver roles per node — the
+/// write-behind drain and the victim read (paper 3.2) — and with the default
+/// dedicated two-receiver bank this reproduces that hardware. Scaling the
+/// channel count past the node count (OTDM) makes the receivers the shared
+/// bottleneck, which is what the channel-scaling study measures.
+class TunableReceiverBank {
+ public:
+  enum class Use {
+    kDrain,  // write-behind copy of a staged page toward the disk cache
+    kFault,  // victim read snooping a faulted page off the ring
+  };
+
+  /// Outcome of one receiver reservation.
+  struct Grant {
+    sim::Tick done = 0;    // completion time of the transfer
+    sim::Tick queued = 0;  // waited for the receiver (contention)
+    sim::Tick retune = 0;  // retune latency charged before the transfer
+    int receiver = 0;      // which receiver served the request
+  };
+
+  TunableReceiverBank(const ReceiverParams& p, const std::string& name);
+
+  /// Reserves a receiver at `now` for a transfer of `service` ticks from
+  /// `channel`. Dedicated mode routes by use; shared mode picks the
+  /// earliest-available receiver (ties prefer one already tuned to
+  /// `channel`, then the lowest index) and charges a retune when it was
+  /// tuned elsewhere.
+  Grant request(sim::Tick now, Use use, int channel, sim::Tick service);
+
+  int receivers() const { return static_cast<int>(rx_.size()); }
+  const sim::FifoServer& receiver(int i) const {
+    return rx_[static_cast<std::size_t>(i)];
+  }
+  std::uint64_t retunes() const { return retunes_; }
+
+  /// Heap bytes held by the bank (arena pool accounting).
+  std::size_t capacityBytes() const {
+    return rx_.capacity() * sizeof(sim::FifoServer) +
+           tuned_.capacity() * sizeof(int);
+  }
+
+ private:
+  ReceiverParams params_;
+  std::vector<sim::FifoServer> rx_;
+  std::vector<int> tuned_;  // channel each receiver is tuned to; -1 = none
+  std::uint64_t retunes_ = 0;
+};
 
 struct SwapRecord {
   sim::PageId page = sim::kNoPage;

@@ -30,8 +30,6 @@ OpticalRing::OpticalRing(const RingParams& p)
   page_xfer_ticks_ = sim::transferTicks(p.page_bytes, p.bytes_per_sec, p.pcycle_ns);
   for (int c = 0; c < p.channels; ++c) {
     tx_.emplace_back("ring_tx_" + std::to_string(c));
-    drain_rx_.emplace_back("ring_drain_rx_" + std::to_string(c));
-    fault_rx_.emplace_back("ring_fault_rx_" + std::to_string(c));
   }
 }
 
@@ -93,35 +91,17 @@ void OpticalRing::publishMetrics(obs::MetricsRegistry& reg,
   reg.gauge(prefix + "capacity_pages", capacity_pages_);
   reg.gauge(prefix + "occupancy", totalOccupancy());
   reg.gauge(prefix + "peak_occupancy", peak_total_);
-  std::uint64_t tx_jobs = 0, drain_jobs = 0, fault_jobs = 0;
-  sim::Tick tx_busy = 0, drain_busy = 0, fault_busy = 0;
-  sim::Tick tx_queued = 0, drain_queued = 0, fault_queued = 0;
+  std::uint64_t tx_jobs = 0;
+  sim::Tick tx_busy = 0;
+  sim::Tick tx_queued = 0;
   for (const auto& s : tx_) {
     tx_jobs += s.jobs();
     tx_busy += s.busyTicks();
     tx_queued += s.queuedTicks();
   }
-  for (const auto& s : drain_rx_) {
-    drain_jobs += s.jobs();
-    drain_busy += s.busyTicks();
-    drain_queued += s.queuedTicks();
-  }
-  for (const auto& s : fault_rx_) {
-    fault_jobs += s.jobs();
-    fault_busy += s.busyTicks();
-    fault_queued += s.queuedTicks();
-  }
   reg.counter(prefix + "tx.jobs", tx_jobs);
   reg.counter(prefix + "tx.busy_ticks", static_cast<std::uint64_t>(tx_busy));
   reg.counter(prefix + "tx.queued_ticks", static_cast<std::uint64_t>(tx_queued));
-  reg.counter(prefix + "drain_rx.jobs", drain_jobs);
-  reg.counter(prefix + "drain_rx.busy_ticks", static_cast<std::uint64_t>(drain_busy));
-  reg.counter(prefix + "drain_rx.queued_ticks",
-              static_cast<std::uint64_t>(drain_queued));
-  reg.counter(prefix + "fault_rx.jobs", fault_jobs);
-  reg.counter(prefix + "fault_rx.busy_ticks", static_cast<std::uint64_t>(fault_busy));
-  reg.counter(prefix + "fault_rx.queued_ticks",
-              static_cast<std::uint64_t>(fault_queued));
 }
 
 }  // namespace nwc::ring

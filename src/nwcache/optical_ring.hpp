@@ -78,14 +78,10 @@ class OpticalRing {
   /// Serialization of one page at the channel rate.
   sim::Tick pageTransferTicks() const { return page_xfer_ticks_; }
 
-  /// Fixed transmitter of channel `ch` (owned by node `ch`).
+  /// Fixed transmitter of channel `ch`. Tunable receivers are per node, not
+  /// per channel, and live in the machine layer's receiver banks (see
+  /// ring::TunableReceiverBank) — the ring itself only owns the channels.
   sim::FifoServer& channelTx(int ch) { return tx_[static_cast<std::size_t>(ch)]; }
-
-  /// Tunable receiver used by node `n` to drain pages to its disk cache.
-  sim::FifoServer& drainRx(sim::NodeId n) { return drain_rx_[static_cast<std::size_t>(n)]; }
-
-  /// Tunable receiver used by node `n` to snoop a faulted page.
-  sim::FifoServer& faultRx(sim::NodeId n) { return fault_rx_[static_cast<std::size_t>(n)]; }
 
   // --- statistics -------------------------------------------------------
   std::uint64_t inserts() const { return inserts_; }
@@ -106,8 +102,6 @@ class OpticalRing {
   std::vector<std::deque<sim::PageId>> stored_;  // per channel, swap order
   std::vector<int> reserved_;                    // slots claimed, not yet filled
   std::vector<sim::FifoServer> tx_;
-  std::vector<sim::FifoServer> drain_rx_;
-  std::vector<sim::FifoServer> fault_rx_;
   std::vector<int> peak_;
   int peak_total_ = 0;
   std::uint64_t inserts_ = 0;

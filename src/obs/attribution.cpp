@@ -17,6 +17,7 @@ const char* toString(AttrStage s) {
     case AttrStage::kDiskTransfer: return "disk_transfer";
     case AttrStage::kDiskCtrl: return "disk_ctrl";
     case AttrStage::kTlbShootdown: return "tlb_shootdown";
+    case AttrStage::kRingRetune: return "ring_retune";
     case AttrStage::kNumStages: break;
   }
   return "?";

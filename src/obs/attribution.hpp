@@ -45,6 +45,7 @@ enum class AttrStage : std::uint8_t {
   kDiskTransfer,  // platter / log data transfer
   kDiskCtrl,      // disk controller: fixed overhead + NACK retry waits
   kTlbShootdown,  // TLB shootdown penalty (its own op, see AttrOp)
+  kRingRetune,    // tunable-receiver retune latency (shared-receiver mode)
   kNumStages,
 };
 
@@ -160,6 +161,14 @@ class AttrAccountant {
   /// latency_pcycles}` plus, per stage that charged any ticks,
   /// `...<stage>.{queue_ticks,service_ticks,ticks_pcycles}`.
   void publish(MetricsRegistry& reg, const std::string& prefix = "attr.") const;
+
+  /// Restores the freshly-constructed state (arena reuse across runs).
+  void reset() {
+    for (auto& g : groups_) g = AttrGroup{};
+    records_ = 0;
+    violations_ = 0;
+    first_violation_.clear();
+  }
 
  private:
   static std::size_t index(AttrOp op, AttrOutcome outcome) {

@@ -61,7 +61,7 @@ class Channel {
   SendAwaiter send(T v) { return SendAwaiter{*this, std::move(v)}; }
 
   /// `T v = co_await ch.recv();`
-  RecvAwaiter recv() { return RecvAwaiter{*this}; }
+  RecvAwaiter recv() { return RecvAwaiter{*this, {}}; }
 
   bool empty() const { return items_.empty(); }
   std::size_t size() const { return items_.size(); }

@@ -37,6 +37,9 @@ class FlatPageMap {
   std::size_t size() const { return size_; }
   bool contains(PageId key) const { return findSlot(key) != kNotFound; }
 
+  /// Heap bytes held by the slot array (arena pool accounting).
+  std::size_t capacityBytes() const { return slots_.capacity() * sizeof(Slot); }
+
   /// Pointer to the mapped value, or nullptr when absent. Valid until the
   /// next insert/erase.
   int* find(PageId key) {

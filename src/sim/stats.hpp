@@ -54,6 +54,11 @@ class Log2Histogram {
   std::uint64_t bucket(int i) const { return buckets_[static_cast<std::size_t>(i)]; }
   static constexpr int kBuckets = 64;
 
+  void reset() {
+    buckets_.fill(0);
+    total_ = 0;
+  }
+
   /// Value below which `q` (0..1) of samples fall (bucket upper bound).
   std::uint64_t quantileUpperBound(double q) const;
 

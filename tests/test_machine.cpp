@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "machine/machine.hpp"
+#include "nwcache/interface.hpp"
+#include "nwcache/optical_ring.hpp"
 
 namespace nwc::machine {
 namespace {

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "machine/machine.hpp"
+#include "nwcache/interface.hpp"
+#include "nwcache/optical_ring.hpp"
 
 namespace nwc::machine {
 namespace {

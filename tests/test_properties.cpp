@@ -7,6 +7,8 @@
 
 #include "apps/runner.hpp"
 #include "machine/machine.hpp"
+#include "nwcache/interface.hpp"
+#include "nwcache/optical_ring.hpp"
 
 namespace nwc::machine {
 namespace {
