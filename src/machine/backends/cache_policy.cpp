@@ -1,0 +1,149 @@
+#include "machine/backends/cache_policy.hpp"
+
+#include <unordered_set>
+
+#include "machine/metrics.hpp"
+#include "obs/registry.hpp"
+
+namespace nwc::machine {
+
+sim::PageId PageLru::touch(sim::PageId page) {
+  if (const auto it = index_.find(page); it != index_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return sim::kNoPage;
+  }
+  sim::PageId evicted = sim::kNoPage;
+  if (static_cast<int>(order_.size()) >= capacity_) {
+    evicted = order_.back();
+    index_.erase(evicted);
+    order_.pop_back();
+  }
+  order_.push_front(page);
+  index_[page] = order_.begin();
+  return evicted;
+}
+
+bool PageLru::erase(sim::PageId page) {
+  const auto it = index_.find(page);
+  if (it == index_.end()) return false;
+  order_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+bool CachePolicy::admit(sim::PageId page) {
+  const bool yes = decide(page);
+  ++(yes ? m_.policy_admits : m_.policy_rejects);
+  return yes;
+}
+
+std::uint64_t CachePolicy::admits() const { return m_.policy_admits; }
+std::uint64_t CachePolicy::rejects() const { return m_.policy_rejects; }
+std::uint64_t CachePolicy::ghostHits() const { return m_.policy_ghost_hits; }
+
+void CachePolicy::countGhostHit() { ++m_.policy_ghost_hits; }
+
+void CachePolicy::publishMetrics(obs::MetricsRegistry& reg) const {
+  reg.counter("policy.admit", m_.policy_admits);
+  reg.counter("policy.reject", m_.policy_rejects);
+  reg.counter("policy.ghost_hit", m_.policy_ghost_hits);
+}
+
+namespace {
+
+/// Paper-faithful baseline: every swap-out enters the write cache. Pure
+/// counting — a machine running `always` is byte-identical to one with no
+/// policy seam at all.
+class AlwaysAdmit final : public CachePolicy {
+ public:
+  explicit AlwaysAdmit(Metrics& m) : CachePolicy(AdmissionKind::kAlways, m) {}
+
+ private:
+  bool decide(sim::PageId) override { return true; }
+};
+
+/// Recency-gated admission: admit a swap-out only when the page faulted
+/// recently (it is in the bounded recency list), i.e. the node is actively
+/// cycling it through memory and a victim read / log hit is likely. Cold
+/// pages written out once and never touched again skip the write cache.
+class LruAdmit final : public CachePolicy {
+ public:
+  LruAdmit(const MachineConfig& cfg, Metrics& m)
+      : CachePolicy(AdmissionKind::kLru, m), recent_(cfg.policy_lru_pages) {}
+
+  void noteFault(sim::PageId page, bool staged) override {
+    (void)staged;
+    recent_.touch(page);
+  }
+
+ private:
+  bool decide(sim::PageId page) override { return recent_.contains(page); }
+
+  PageLru recent_;  // pages faulted on recently
+};
+
+/// Bouncer-style sieve: a miss filter plus a ghost cache guide admission.
+/// First-time pages are sieved out — each rejection bumps a bounded
+/// saturating miss counter, and a page is admitted once it has been
+/// rejected `sieve_threshold` times (a repeat offender worth caching).
+/// The ghost cache remembers recently destaged pages; a fault on a ghost
+/// entry proves the cache evicted something still hot, so the next
+/// admission decision for a ghost page succeeds immediately (and counts a
+/// `policy.ghost_hit`). See docs/POLICIES.md for the state machine.
+class SieveAdmit final : public CachePolicy {
+ public:
+  SieveAdmit(const MachineConfig& cfg, Metrics& m)
+      : CachePolicy(AdmissionKind::kSieve, m),
+        threshold_(cfg.sieve_threshold < 1 ? 1 : cfg.sieve_threshold),
+        ghost_(cfg.policy_ghost_pages),
+        filter_(cfg.policy_ghost_pages) {}
+
+  void noteFault(sim::PageId page, bool staged) override {
+    if (staged) return;  // served from the write cache: nothing to learn
+    if (ghost_.contains(page)) {
+      // The write cache destaged a page that was still hot: promote it so
+      // its next swap-out is admitted without sieving.
+      countGhostHit();
+      ghost_.erase(page);
+      promoted_.insert(page);
+    }
+  }
+
+  void noteDestage(sim::PageId page) override {
+    if (promoted_.contains(page)) return;  // promotions are sticky
+    ghost_.touch(page);
+  }
+
+ private:
+  bool decide(sim::PageId page) override {
+    if (promoted_.contains(page)) return true;
+    // Miss filter: saturating per-page counter in a bounded recency table.
+    const sim::PageId evicted = filter_.touch(page);
+    if (evicted != sim::kNoPage) misses_.erase(evicted);
+    const int count = ++misses_[page];
+    if (count < threshold_) return false;
+    misses_[page] = threshold_;  // saturate
+    return true;
+  }
+
+  int threshold_;
+  PageLru ghost_;   // recently destaged pages (admission evidence)
+  PageLru filter_;  // bounds the miss table to recent pages
+  std::unordered_map<sim::PageId, int> misses_;
+  // Pages promoted by a ghost hit: admitted unconditionally from then on.
+  std::unordered_set<sim::PageId> promoted_;
+};
+
+}  // namespace
+
+std::unique_ptr<CachePolicy> makeCachePolicy(const MachineConfig& cfg,
+                                             Metrics& m) {
+  switch (cfg.ring_admission) {
+    case AdmissionKind::kLru: return std::make_unique<LruAdmit>(cfg, m);
+    case AdmissionKind::kSieve: return std::make_unique<SieveAdmit>(cfg, m);
+    case AdmissionKind::kAlways: break;
+  }
+  return std::make_unique<AlwaysAdmit>(m);
+}
+
+}  // namespace nwc::machine

@@ -2,6 +2,7 @@
 // factory — the single place a SystemKind decides anything in the datapath.
 #include "machine/backends/io_backend.hpp"
 
+#include "machine/backends/cache_policy.hpp"
 #include "machine/backends/dcd_backend.hpp"
 #include "machine/backends/disk_backend.hpp"
 #include "machine/backends/remote_backend.hpp"
@@ -155,12 +156,16 @@ sim::Task<bool> IoBackend::fetchFromDisk(int cpu, sim::PageId page,
 }
 
 sim::Task<> IoBackend::writeBatch(int disk_idx,
-                                  const std::vector<sim::PageId>& batch) {
+                                  const std::vector<sim::PageId>& batch,
+                                  obs::AttrCtx& actx) {
   Machine::DiskCtx& dc = diskCtx(disk_idx);
   // One physical write for the whole run of consecutive pages.
+  const sim::Tick now = eng().now();
   const sim::Tick svc = dc.disk.writeTime(pfs().blockOf(batch.front()),
                                           static_cast<int>(batch.size()));
-  const sim::Tick t = dc.disk.arm().request(eng().now(), svc);
+  const sim::Tick t = dc.disk.arm().request(now, svc);
+  actx.add(obs::AttrStage::kDiskQueue, t - svc - now, 0);
+  actx.add(obs::AttrStage::kDestage, 0, svc);
   co_await eng().waitUntil(t);
   if (etl() != nullptr && etl()->enabled(obs::Layer::kDisk)) {
     // The span covers the arm's service period, not our queueing wait.

@@ -4,6 +4,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "machine/backends/cache_policy.hpp"
 #include "obs/registry.hpp"
 #include "obs/timeline.hpp"
 #include "util/units.hpp"
@@ -35,6 +36,7 @@ RingBackend::RingBackend(Machine& m) : IoBackend(m) {
     rx_banks_.emplace_back(rxp, "node" + std::to_string(n));
   }
   cursors_.assign(static_cast<std::size_t>(cfg().num_nodes), 0);
+  policy_ = makeCachePolicy(cfg(), metrics());
 }
 
 int RingBackend::ownershipStride() const {
@@ -70,7 +72,14 @@ int RingBackend::pickChannel(sim::NodeId n) {
 
 sim::Task<> RingBackend::swapOut(sim::NodeId n, sim::PageId page, bool force_disk,
                                  obs::AttrCtx& actx) {
-  (void)force_disk;  // the ring stages everything; there is no disk bypass
+  (void)force_disk;  // the ring has no guest evictions that could force this
+  // Admission gate (docs/POLICIES.md): a rejected swap-out takes the
+  // standard NACK/OK path to the controller cache, exactly as on the
+  // baseline machine. The default `always` policy admits everything.
+  if (!policy_->admit(page)) {
+    co_await swapOutToDisk(n, page, actx);
+    co_return;
+  }
   vm::PageEntry& e = pt().entry(page);
   actx.setOutcome(obs::AttrOutcome::kRing);
 
@@ -140,6 +149,7 @@ FetchPlan RingBackend::planFetch(sim::PageId page, const vm::PageEntry& e) {
 
 sim::Task<bool> RingBackend::fetch(int cpu, sim::PageId page,
                                    const FetchPlan& plan, obs::AttrCtx& actx) {
+  policy_->noteFault(page, plan.route == FetchPlan::Route::kRing);
   if (plan.route == FetchPlan::Route::kRing) {
     metrics().ring_read_hits.hit();
     co_await fetchFromRing(cpu, page, actx);
@@ -291,6 +301,7 @@ sim::Task<> RingBackend::nwcDrainLoop(int disk_idx) {
       pt().setState(rec->page, PageState::kDisk);
       pt().entry(rec->page).dirty = false;
       copied_any = true;
+      policy_->noteDestage(rec->page);  // the page left the ring for disk
 
       // ACK travels back to the swapper; the ring slot frees on receipt.
       eng().spawn(deliverRingAck(ch, rec->page, dc.node, rec->swapper));
@@ -334,6 +345,7 @@ void RingBackend::startDiskDaemons(int disk_idx) {
 }
 
 void RingBackend::publishMetrics(obs::MetricsRegistry& reg) const {
+  policy_->publishMetrics(reg);
   ring_->publishMetrics(reg, "ring.");
   std::uint64_t pushes = 0;
   for (std::size_t d = 0; d < nwc_fifos_.size(); ++d) {

@@ -2,20 +2,20 @@
 
 #include <sstream>
 
+#include "util/enum_names.hpp"
+
 namespace nwc::machine {
 
-const char* toString(Prefetch p) {
-  for (const auto& [value, name] : kPrefetchNames) {
-    if (value == p) return name;
-  }
-  return "?";
+const char* toString(Prefetch p) { return util::enumName(kPrefetchNames, p); }
+
+const char* toString(SystemKind s) { return util::enumName(kSystemKindNames, s); }
+
+const char* toString(AdmissionKind a) {
+  return util::enumName(kAdmissionKindNames, a);
 }
 
-const char* toString(SystemKind s) {
-  for (const auto& [value, name] : kSystemKindNames) {
-    if (value == s) return name;
-  }
-  return "?";
+const char* toString(DestageKind d) {
+  return util::enumName(kDestageKindNames, d);
 }
 
 std::vector<sim::NodeId> MachineConfig::ioNodes() const {
@@ -50,6 +50,13 @@ std::string MachineConfig::describe() const {
      << " minfree=" << min_free_frames << " dcache=" << disk_cache_bytes / 1024 << "K";
   if (hasRing()) {
     os << " ring=" << ring_channels << "x" << ring_channel_bytes / 1024 << "K";
+  }
+  // Policies print only when non-default so baseline output is unchanged.
+  if (ring_admission != AdmissionKind::kAlways) {
+    os << " admit=" << toString(ring_admission);
+  }
+  if (destage_policy != DestageKind::kFifo) {
+    os << " destage=" << toString(destage_policy);
   }
   return os.str();
 }

@@ -4,20 +4,24 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/enum_names.hpp"
+
 namespace nwc::machine {
 
 SystemKind systemKindFromString(const std::string& s) {
-  for (const auto& [value, name] : kSystemKindNames) {
-    if (s == name) return value;
-  }
-  throw std::runtime_error("unknown system kind: " + s);
+  return util::enumFromName(kSystemKindNames, s, "system kind");
 }
 
 Prefetch prefetchFromString(const std::string& s) {
-  for (const auto& [value, name] : kPrefetchNames) {
-    if (s == name) return value;
-  }
-  throw std::runtime_error("unknown prefetch policy: " + s);
+  return util::enumFromName(kPrefetchNames, s, "prefetch policy");
+}
+
+AdmissionKind admissionKindFromString(const std::string& s) {
+  return util::enumFromName(kAdmissionKindNames, s, "admission policy");
+}
+
+DestageKind destageKindFromString(const std::string& s) {
+  return util::enumFromName(kDestageKindNames, s, "destage policy");
 }
 
 namespace {
@@ -103,6 +107,9 @@ const std::map<std::string, Field>& fieldTable() {
     add_bool("ring_bypass_network", &MachineConfig::ring_bypass_network);
     add_double("log_disk_bps", &MachineConfig::log_disk_bps);
     add_double("hint_accuracy", &MachineConfig::hint_accuracy);
+    add_int("sieve_threshold", &MachineConfig::sieve_threshold);
+    add_int("policy_ghost_pages", &MachineConfig::policy_ghost_pages);
+    add_int("policy_lru_pages", &MachineConfig::policy_lru_pages);
 
     f["system"] = Field{
         [](MachineConfig& c, const util::IniFile& ini, const std::string& key) {
@@ -114,6 +121,16 @@ const std::map<std::string, Field>& fieldTable() {
           c.prefetch = prefetchFromString(*ini.get(key));
         },
         [](const MachineConfig& c) { return toString(c.prefetch); }};
+    f["ring_admission"] = Field{
+        [](MachineConfig& c, const util::IniFile& ini, const std::string& key) {
+          c.ring_admission = admissionKindFromString(*ini.get(key));
+        },
+        [](const MachineConfig& c) { return toString(c.ring_admission); }};
+    f["destage_policy"] = Field{
+        [](MachineConfig& c, const util::IniFile& ini, const std::string& key) {
+          c.destage_policy = destageKindFromString(*ini.get(key));
+        },
+        [](const MachineConfig& c) { return toString(c.destage_policy); }};
     f["l1_bytes"] = Field{
         [](MachineConfig& c, const util::IniFile& ini, const std::string& key) {
           c.l1.size_bytes = static_cast<std::uint64_t>(*ini.getInt(key));

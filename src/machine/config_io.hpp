@@ -23,4 +23,10 @@ SystemKind systemKindFromString(const std::string& s);
 /// Parses "optimal" / "naive"; throws on anything else.
 Prefetch prefetchFromString(const std::string& s);
 
+/// Parses "always" / "lru" / "sieve"; throws on anything else.
+AdmissionKind admissionKindFromString(const std::string& s);
+
+/// Parses "fifo" / "write-combine"; throws on anything else.
+DestageKind destageKindFromString(const std::string& s);
+
 }  // namespace nwc::machine

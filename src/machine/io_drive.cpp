@@ -11,13 +11,17 @@ namespace nwc::machine {
 
 sim::Task<> Machine::diskDrainLoop(int disk_idx) {
   DiskCtx& dc = *disks_[static_cast<std::size_t>(disk_idx)];
+  const bool combine = cfg_.destage_policy == DestageKind::kWriteCombine;
   for (;;) {
-    const std::vector<sim::PageId> batch = dc.cache.planWriteBatch();
+    const std::vector<sim::PageId> batch = dc.cache.planWriteBatch(combine);
     if (batch.empty()) {
       co_await dc.work.wait();
       continue;
     }
-    co_await backend_->writeBatch(disk_idx, batch);
+    obs::AttrCtx actx;
+    const sim::Tick t0 = eng_->now();
+    co_await backend_->writeBatch(disk_idx, batch, actx);
+    recordDestage(actx, eng_->now() - t0, batch.size(), batch.front(), dc.node);
 
     dc.cache.completeWrite(batch);
     metrics_->write_combining.add(static_cast<double>(batch.size()));
@@ -25,6 +29,17 @@ sim::Task<> Machine::diskDrainLoop(int disk_idx) {
     dc.work.notifyAll();  // room appeared: wake the backend's drain daemons
     sampleTimeline();
   }
+}
+
+void Machine::recordDestage(const obs::AttrCtx& actx, sim::Tick end_to_end,
+                            std::size_t batch_pages, sim::PageId page,
+                            sim::NodeId node) {
+  ++metrics_->destage_writes;
+  metrics_->destage_pages += batch_pages;
+  metrics_->destage_batch_size.add(static_cast<sim::Tick>(batch_pages));
+  for (const auto& st : actx.stages()) metrics_->destage_stall_ticks += st.queue;
+  recordAttr(obs::AttrOp::kDestage, obs::AttrOutcome::kPlatter, end_to_end, actx,
+             page, node);
 }
 
 void Machine::sendPendingOks(int disk_idx) {

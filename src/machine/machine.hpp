@@ -269,6 +269,12 @@ class Machine {
   void recordAttr(obs::AttrOp op, obs::AttrOutcome outcome, sim::Tick end_to_end,
                   const obs::AttrCtx& actx, sim::PageId page, sim::NodeId node);
 
+  /// Destage bookkeeping (io_drive.cpp): batch-size/stall metrics plus the
+  /// kDestage attribution record. Shared with the backends' own destage
+  /// daemons through an IoBackend forwarder.
+  void recordDestage(const obs::AttrCtx& actx, sim::Tick end_to_end,
+                     std::size_t batch_pages, sim::PageId page, sim::NodeId node);
+
   /// Records one timeline snapshot (no-op when sampling is disabled).
   void sampleTimeline();
 

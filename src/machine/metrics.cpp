@@ -13,6 +13,7 @@ void Metrics::reset(int num_cpus) {
   fault_ticks.reset();
   fault_hist.reset();
   swap_out_hist.reset();
+  destage_batch_size.reset();
   attr.reset();
   faults = 0;
   transit_waits = 0;
@@ -23,6 +24,12 @@ void Metrics::reset(int num_cpus) {
   disk_cache_hits = 0;
   disk_cache_misses = 0;
   ring_aborted_requests = 0;
+  destage_writes = 0;
+  destage_pages = 0;
+  destage_stall_ticks = 0;
+  policy_admits = 0;
+  policy_rejects = 0;
+  policy_ghost_hits = 0;
   remote_stores = 0;
   remote_fetches = 0;
   remote_evictions = 0;

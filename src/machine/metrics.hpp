@@ -59,6 +59,8 @@ class Metrics {
   sim::Accumulator fault_ticks;
   sim::Log2Histogram fault_hist;
   sim::Log2Histogram swap_out_hist;
+  /// Pages per destage operation (write-behind batches + DCD log copies).
+  sim::Log2Histogram destage_batch_size;
 
   /// Per-stage critical-path attribution (queue vs service ticks for every
   /// fault, swap-out and shootdown, keyed by outcome). Always on; adds no
@@ -76,6 +78,13 @@ class Metrics {
   std::uint64_t disk_cache_misses = 0;
   std::uint64_t ring_aborted_requests = 0;  // optimal-mode hits that still
                                             // burned network/disk resources
+  std::uint64_t destage_writes = 0;         // destage operations issued
+  std::uint64_t destage_pages = 0;          // pages those operations moved
+  sim::Tick destage_stall_ticks = 0;        // ticks destage ops queued for arms
+  // Write-cache admission policy decisions (machine/backends/cache_policy).
+  std::uint64_t policy_admits = 0;
+  std::uint64_t policy_rejects = 0;
+  std::uint64_t policy_ghost_hits = 0;  // sieve ghost-cache promotions
   // Remote-memory baseline (Felten & Zahorjan [3]).
   std::uint64_t remote_stores = 0;     // swap-outs parked in a donor's frame
   std::uint64_t remote_fetches = 0;    // faults served from a donor's memory

@@ -51,6 +51,13 @@ void Machine::publishMetrics(obs::MetricsRegistry& reg) const {
   reg.counter("swap.remote_evictions", metrics_->remote_evictions);
   reg.counter("swap.remote_fallbacks", metrics_->remote_fallbacks);
 
+  // --- destage (write-behind batches + DCD log copies) ----------------------
+  reg.counter("destage.writes", metrics_->destage_writes);
+  reg.counter("destage.pages", metrics_->destage_pages);
+  reg.counter("destage.stall_ticks",
+              static_cast<std::uint64_t>(metrics_->destage_stall_ticks));
+  reg.histogram("destage.batch_size", metrics_->destage_batch_size);
+
   // --- per-node structures, aggregated machine-wide ------------------------
   std::uint64_t tlb_hits = 0, tlb_misses = 0;
   std::uint64_t membus_jobs = 0, iobus_jobs = 0;

@@ -18,6 +18,7 @@ const char* toString(AttrStage s) {
     case AttrStage::kDiskCtrl: return "disk_ctrl";
     case AttrStage::kTlbShootdown: return "tlb_shootdown";
     case AttrStage::kRingRetune: return "ring_retune";
+    case AttrStage::kDestage: return "destage";
     case AttrStage::kNumStages: break;
   }
   return "?";
@@ -28,6 +29,7 @@ const char* toString(AttrOp o) {
     case AttrOp::kFault: return "fault";
     case AttrOp::kSwap: return "swap";
     case AttrOp::kShootdown: return "shootdown";
+    case AttrOp::kDestage: return "destage";
     case AttrOp::kNumOps: break;
   }
   return "?";

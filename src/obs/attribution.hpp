@@ -46,13 +46,18 @@ enum class AttrStage : std::uint8_t {
   kDiskCtrl,      // disk controller: fixed overhead + NACK retry waits
   kTlbShootdown,  // TLB shootdown penalty (its own op, see AttrOp)
   kRingRetune,    // tunable-receiver retune latency (shared-receiver mode)
+  kDestage,       // destage service: the physical write (and, for the DCD,
+                  // the log read) moving staged data to stable storage
   kNumStages,
 };
 
 inline constexpr int kNumAttrStages = static_cast<int>(AttrStage::kNumStages);
 
-/// The operation being attributed.
-enum class AttrOp : std::uint8_t { kFault, kSwap, kShootdown, kNumOps };
+/// The operation being attributed. kDestage covers the write-behind's
+/// combined controller-cache batches and the DCD's log-to-data-disk copies
+/// (both off the processors' critical path, but they occupy the arm that
+/// demand reads queue behind).
+enum class AttrOp : std::uint8_t { kFault, kSwap, kShootdown, kDestage, kNumOps };
 
 inline constexpr int kNumAttrOps = static_cast<int>(AttrOp::kNumOps);
 

@@ -11,7 +11,8 @@ fail=0
 
 # 1. Relative markdown links [text](target) in the core docs.
 for doc in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md \
-           docs/ARCHITECTURE.md docs/EXPERIMENTS.md docs/OBSERVABILITY.md; do
+           docs/ARCHITECTURE.md docs/EXPERIMENTS.md docs/OBSERVABILITY.md \
+           docs/POLICIES.md; do
   if [ ! -f "$doc" ]; then
     echo "MISSING DOC: $doc"
     fail=1
@@ -36,7 +37,8 @@ done
 
 # 2. Source/tool paths referenced in backticks by the new docs must exist
 #    (wildcard mentions like `src/util/thread_pool.*` are skipped).
-for doc in docs/ARCHITECTURE.md docs/EXPERIMENTS.md docs/OBSERVABILITY.md; do
+for doc in docs/ARCHITECTURE.md docs/EXPERIMENTS.md docs/OBSERVABILITY.md \
+           docs/POLICIES.md; do
   grep -o '`[A-Za-z0-9_./*-]*`' "$doc" | tr -d '\`' |
     grep -E '^(src|tools|tests|bench|examples|docs)/[A-Za-z0-9_./-]+$' |
     sort -u |
@@ -46,6 +48,45 @@ for doc in docs/ARCHITECTURE.md docs/EXPERIMENTS.md docs/OBSERVABILITY.md; do
         # Accept both source files and built binaries named after one.
         if [ ! -e "$path" ] && [ ! -e "$path.cpp" ] && [ ! -e "$path.sh" ]; then
           echo "BROKEN PATH: $doc mentions $path"
+          bad=1
+        fi
+      done
+      exit "$bad"
+    } || fail=1
+done
+
+# 3. Dotted instrument names in backticks in the metric-heavy docs must
+#    exist in the source catalog, so metric documentation can't silently
+#    rot. Many names are composed at registration time (prefix + suffix),
+#    so a name is accepted when the full string — or, failing that, a
+#    dotted suffix of it, down to the last segment — appears in src/
+#    preceded by a quote or a dot (i.e. inside a registration literal).
+for doc in docs/OBSERVABILITY.md docs/POLICIES.md; do
+  grep -o '`[a-z][a-z0-9_.]*`' "$doc" | tr -d '\`' |
+    grep -E '^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$' | sort -u |
+    {
+      bad=0
+      while IFS= read -r name; do
+        case "$name" in  # file mentions are not metrics
+          *.md|*.cpp|*.hpp|*.sh|*.json|*.csv|*.html|*.ini|*.py) continue ;;
+        esac
+        # Normalize per-instance digits: disk0.cache -> disk.cache.
+        norm=$(printf '%s' "$name" | sed 's/[0-9]*\./\./g; s/[0-9]*$//')
+        found=0
+        probe="$norm"
+        while [ -n "$probe" ]; do
+          esc=$(printf '%s' "$probe" | sed 's/\./\\./g')
+          if grep -rqE "[\".]$esc" src/*/ --include='*.cpp' --include='*.hpp'; then
+            found=1
+            break
+          fi
+          case "$probe" in
+            *.*) probe=${probe#*.} ;;
+            *) break ;;
+          esac
+        done
+        if [ "$found" -eq 0 ]; then
+          echo "UNKNOWN METRIC: $doc mentions $name"
           bad=1
         fi
       done
