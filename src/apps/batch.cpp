@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <stdexcept>
@@ -15,6 +16,7 @@
 #include "machine/arena.hpp"
 #include "machine/config_io.hpp"
 #include "obs/run_meta.hpp"
+#include "obs/sampler.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
@@ -99,6 +101,15 @@ BatchSpec BatchSpec::fromIni(const util::IniFile& ini) {
       throw std::runtime_error("batch: trace_mode must be off/auto/record/replay, got " + *v);
     }
   }
+  if (const auto v = ini.getInt("batch.sample_interval")) {
+    if (*v < 0) throw std::runtime_error("batch: sample_interval must be >= 0");
+    spec.sample_interval = static_cast<sim::Tick>(*v);
+  }
+  if (const auto v = ini.get("batch.sample_dir")) spec.sample_dir = *v;
+  if (const auto v = ini.get("batch.status")) spec.status_path = *v;
+  if (!spec.sample_dir.empty() && spec.sample_interval == 0) {
+    throw std::runtime_error("batch: sample_dir requires sample_interval > 0");
+  }
   return spec;
 }
 
@@ -130,6 +141,11 @@ std::string summaryJson(const RunSummary& s, double scale) {
       .add("other_pcycles", static_cast<std::uint64_t>(m.totalOther()))
       .add("accesses", static_cast<std::uint64_t>(m.totalAccesses()))
       .add("engine_events", static_cast<std::uint64_t>(s.engine_events));
+  // Only sampled runs carry a verdict, so unsampled outputs (and their CI
+  // goldens) keep their exact historical bytes.
+  if (!s.health_verdict.empty()) {
+    o.add("health", s.health_verdict).add("health_trips", s.health_trips);
+  }
   return o.str();
 }
 
@@ -247,6 +263,12 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
             static_cast<std::uint64_t>(v.at("swap_outs").number);
         s.metrics.fault_ticks.add(v.at("fault_mean_pcycles").number);
         s.metrics.swap_out_ticks.add(v.at("swap_out_mean_pcycles").number);
+        if (const util::JsonValue* h = v.find("health")) {
+          s.health_verdict = h->string;
+          if (const util::JsonValue* ht = v.find("health_trips")) {
+            s.health_trips = static_cast<std::uint64_t>(ht->number);
+          }
+        }
         // The CSV row is rebuilt from the checkpoint's own numbers (JSON
         // doubles round-trip exactly through %.17g), not from the partial
         // summary, so resumed and fresh rows are formatted identically.
@@ -307,6 +329,93 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
   if (!spec.meta_dir.empty()) {
     std::filesystem::create_directories(spec.meta_dir);
   }
+  if (!spec.sample_dir.empty()) {
+    std::filesystem::create_directories(spec.sample_dir);
+  }
+
+  // "cell0007_radix_nwcache_optimal_s1" — shared by the run_meta and
+  // time-series file names (and echoed on the status stream).
+  auto cellStem = [&](std::size_t i) {
+    char cell[32];
+    std::snprintf(cell, sizeof(cell), "cell%04zu_", i);
+    return cell + grid[i].app + "_" +
+           std::string(machine::toString(grid[i].cfg.system)) + "_" +
+           machine::toString(grid[i].cfg.prefetch) + "_s" +
+           std::to_string(grid[i].cfg.seed);
+  };
+
+  // Live status stream (tools/nwctop tails it): one JSONL line per batch
+  // event — "start" (the grid), "hb" (heartbeats), "cell" (completions, in
+  // completion order: this is telemetry, not a gated artifact), "end".
+  std::ofstream status;
+  std::mutex status_mutex;
+  const auto batch_t0 = std::chrono::steady_clock::now();
+  if (!spec.status_path.empty()) {
+    status.open(spec.status_path, std::ios::out | std::ios::trunc);
+    if (!status) throw std::runtime_error("batch: cannot open " + spec.status_path);
+  }
+  auto statusMs = [&] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - batch_t0)
+        .count();
+  };
+  auto statusLine = [&](const std::string& json) {
+    if (!status.is_open()) return;
+    std::lock_guard<std::mutex> lk(status_mutex);
+    status << json << "\n";
+    status.flush();
+  };
+  if (status.is_open()) {
+    std::vector<std::string> cells;
+    cells.reserve(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      util::JsonObject c;
+      c.add("cell", static_cast<std::uint64_t>(i))
+          .add("stem", cellStem(i))
+          .add("app", grid[i].app)
+          .add("system", machine::toString(grid[i].cfg.system))
+          .add("prefetch", machine::toString(grid[i].cfg.prefetch))
+          .add("seed", static_cast<std::uint64_t>(grid[i].cfg.seed));
+      cells.push_back(c.str());
+    }
+    util::JsonObject o;
+    o.add("type", "start")
+        .add("ts_ms", statusMs())
+        .add("total", static_cast<std::uint64_t>(grid.size()))
+        .add("sample_dir", spec.sample_dir)
+        .addRaw("cells", util::jsonArray(cells));
+    statusLine(o.str());
+    // Resumed cells are already done; report them up front so a tailing
+    // nwctop counts them without waiting.
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (!resumed[i]) continue;
+      util::JsonObject o2;
+      o2.add("type", "cell")
+          .add("ts_ms", statusMs())
+          .add("cell", static_cast<std::uint64_t>(i))
+          .add("ok", result.runs[i].ok())
+          .add("resumed", true);
+      statusLine(o2.str());
+    }
+  }
+  auto statusCell = [&](std::size_t i, const RunSummary& s, double wall_ms) {
+    if (!status.is_open()) return;
+    util::JsonObject o;
+    o.add("type", "cell")
+        .add("ts_ms", statusMs())
+        .add("cell", static_cast<std::uint64_t>(i))
+        .add("ok", s.ok())
+        .add("wall_ms", wall_ms)
+        .add("exec_pcycles", static_cast<std::uint64_t>(s.exec_time));
+    if (!s.health_verdict.empty()) {
+      o.add("health", s.health_verdict)
+          .add("health_trips", s.health_trips);
+    }
+    if (spec.sample_interval > 0 && !spec.sample_dir.empty()) {
+      o.add("sample", cellStem(i) + ".timeseries.json");
+    }
+    statusLine(o.str());
+  };
 
   // Per-cell provenance: wall time and RSS are intentionally kept out of the
   // summaries (they would break the serial-vs-parallel byte-identity) and
@@ -330,10 +439,9 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
     meta.trace_outcome = toString(tr.outcome);
     meta.kernel_trace_hash = tr.kernel_hash;
     meta.trace_bytes = tr.trace_bytes;
-    char cell[32];
-    std::snprintf(cell, sizeof(cell), "cell%04zu_", i);
-    meta.write(spec.meta_dir + "/" + cell + meta.app + "_" + meta.system + "_" +
-               meta.prefetch + "_s" + std::to_string(meta.seed) + ".json");
+    meta.health_verdict = s.health_verdict;
+    meta.health_trips = s.health_trips;
+    meta.write(spec.meta_dir + "/" + cellStem(i) + ".json");
   };
 
   const TraceCacheConfig tc{spec.trace_dir, spec.trace_mode};
@@ -349,8 +457,22 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
     thread_local machine::MachineArena arena;
     ObsSinks sinks;
     sinks.arena = &arena;
+    // Per-cell telemetry: samples are taken at simulated ticks, so the
+    // exported series are byte-identical at any jobs= setting.
+    std::unique_ptr<obs::Sampler> sampler;
+    if (spec.sample_interval > 0) {
+      obs::SamplerConfig scfg;
+      scfg.interval = spec.sample_interval;
+      sampler = std::make_unique<obs::Sampler>(scfg, healthContextFor(grid[i].cfg));
+      sinks.sampler = sampler.get();
+    }
     TraceCacheResult tr;
     RunSummary s = runAppCached(grid[i].cfg, grid[i].app, spec.scale, tc, sinks, &tr);
+    if (sampler != nullptr && !spec.sample_dir.empty()) {
+      const std::string stem = spec.sample_dir + "/" + cellStem(i);
+      sampler->writeJson(stem + ".timeseries.json");
+      sampler->writeCsv(stem + ".timeseries.csv");
+    }
     const double wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                   w0)
@@ -361,6 +483,7 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
            !cell_rss_peak.compare_exchange_weak(seen, rss, std::memory_order_relaxed)) {
     }
     writeCellMeta(i, s, wall_ms, tr);
+    statusCell(i, s, wall_ms);
     return s;
   };
 
@@ -386,7 +509,8 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
     std::condition_variable hb_cv;
     bool hb_stop = false;
     std::thread hb_thread;
-    if (progress != nullptr && spec.heartbeat_secs > 0) {
+    const std::size_t resumed_count = grid.size() - pending.size();
+    if ((progress != nullptr || status.is_open()) && spec.heartbeat_secs > 0) {
       hb_thread = std::thread([&] {
         std::unique_lock<std::mutex> lk(hb_mutex);
         while (!hb_cv.wait_for(lk, std::chrono::seconds(spec.heartbeat_secs),
@@ -399,6 +523,18 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
                           " pooled=" +
                           obs::formatBytes(
                               machine::MachineArena::totalPooledBytes()));
+          if (status.is_open()) {
+            util::JsonObject o;
+            o.add("type", "hb")
+                .add("ts_ms", statusMs())
+                .add("done",
+                     static_cast<std::uint64_t>(meter.done() + resumed_count))
+                .add("running", static_cast<std::uint64_t>(meter.running()))
+                .add("total", static_cast<std::uint64_t>(grid.size()))
+                .add("eta_s", static_cast<std::int64_t>(meter.etaSeconds()))
+                .add("rss_bytes", obs::currentRssBytes());
+            statusLine(o.str());
+          }
         }
       });
     }
@@ -436,6 +572,12 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
 
   for (const RunSummary& s : result.runs) {
     result.all_ok = result.all_ok && s.ok();
+  }
+
+  if (status.is_open()) {
+    util::JsonObject o;
+    o.add("type", "end").add("ts_ms", statusMs()).add("ok", result.all_ok);
+    statusLine(o.str());
   }
 
   // Outputs are emitted after the grid settles, in grid order, so the files

@@ -32,13 +32,18 @@ struct BatchSpec {
                               // JSONL (crashed grids restart where they died)
   std::string trace_dir;      // non-empty: kernel trace cache directory
   TraceMode trace_mode = TraceMode::kAuto;  // what to do with the cache
+  sim::Tick sample_interval = 0;  // pcycles between telemetry samples; 0 = off
+  std::string sample_dir;     // non-empty (with sample_interval): one
+                              // nwc-timeseries-v1 JSON + CSV per grid cell
+  std::string status_path;    // non-empty: live JSONL status stream
+                              // (start/hb/cell/end lines; tools/nwctop tails it)
 
   /// Parses the [machine] and [batch] sections. [batch] keys:
   ///   apps, systems, prefetch (comma lists), scale, seeds, csv, jsonl,
   ///   meta_dir, best_min_free, jobs, heartbeat_secs, resume, trace_dir,
-  ///   trace_mode (off/auto/record/replay). Missing keys default to the
-  ///   full matrix of the standard+nwcache systems over all seven
-  ///   applications.
+  ///   trace_mode (off/auto/record/replay), sample_interval, sample_dir,
+  ///   status. Missing keys default to the full matrix of the
+  ///   standard+nwcache systems over all seven applications.
   static BatchSpec fromIni(const util::IniFile& ini);
 
   std::size_t runCount() const {

@@ -4,6 +4,7 @@
 
 #include "apps/app_context.hpp"
 #include "obs/registry.hpp"
+#include "obs/sampler.hpp"
 
 namespace nwc::apps {
 
@@ -54,6 +55,10 @@ RunSummary replayKernelTrace(const machine::MachineConfig& cfg,
   if (sinks.attr_records != nullptr) m.attachAttrRecords(sinks.attr_records);
   // Re-recording a replay yields an identical trace (round-trip tests).
   if (sinks.ref_recorder != nullptr) m.attachRefRecorder(sinks.ref_recorder);
+  if (sinks.sampler != nullptr) {
+    sinks.sampler->attachTimeline(sinks.timeline);
+    m.attachSampler(sinks.sampler);
+  }
 
   AppContext ctx(m);
   std::vector<std::uint64_t> bases;
@@ -82,6 +87,11 @@ RunSummary replayKernelTrace(const machine::MachineConfig& cfg,
   s.engine_events = m.engine().eventsProcessed();
   s.data_bytes = trace.data_bytes;
   if (sinks.registry != nullptr) m.publishMetrics(*sinks.registry);
+  if (sinks.sampler != nullptr) {
+    s.health_verdict = sinks.sampler->health().verdict();
+    s.health_trips = sinks.sampler->health().totalTrips();
+    if (sinks.registry != nullptr) sinks.sampler->publishMetrics(*sinks.registry);
+  }
   return s;
 }
 

@@ -4,7 +4,9 @@
 
 #include "apps/app_context.hpp"
 #include "obs/registry.hpp"
+#include "obs/sampler.hpp"
 #include "obs/timeline.hpp"
+#include "util/units.hpp"
 
 namespace nwc::apps {
 
@@ -35,6 +37,10 @@ RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name
   if (sinks.timeline != nullptr) m.attachEventTimeline(sinks.timeline);
   if (sinks.attr_records != nullptr) m.attachAttrRecords(sinks.attr_records);
   if (sinks.ref_recorder != nullptr) m.attachRefRecorder(sinks.ref_recorder);
+  if (sinks.sampler != nullptr) {
+    sinks.sampler->attachTimeline(sinks.timeline);
+    m.attachSampler(sinks.sampler);
+  }
   std::unique_ptr<AppInstance> app = info->make(scale);
   AppContext ctx(m);
   app->setup(ctx);
@@ -55,7 +61,26 @@ RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name
   s.engine_events = m.engine().eventsProcessed();
   s.data_bytes = app->dataBytes();
   if (sinks.registry != nullptr) m.publishMetrics(*sinks.registry);
+  if (sinks.sampler != nullptr) {
+    s.health_verdict = sinks.sampler->health().verdict();
+    s.health_trips = sinks.sampler->health().totalTrips();
+    if (sinks.registry != nullptr) sinks.sampler->publishMetrics(*sinks.registry);
+  }
   return s;
+}
+
+obs::HealthContext healthContextFor(const machine::MachineConfig& cfg) {
+  obs::HealthContext ctx;
+  ctx.reserve_frames =
+      static_cast<double>(cfg.num_nodes) * static_cast<double>(cfg.min_free_frames);
+  if (cfg.hasRing()) {
+    ctx.ring_capacity_pages =
+        static_cast<double>(cfg.ring_channels) *
+        static_cast<double>(cfg.ring_channel_bytes / cfg.page_bytes);
+    ctx.retune_ticks = static_cast<double>(
+        util::usToTicks(cfg.ring_retune_us, cfg.pcycle_ns));
+  }
+  return ctx;
 }
 
 }  // namespace nwc::apps

@@ -13,6 +13,8 @@
 namespace nwc::obs {
 class EventTimeline;
 class MetricsRegistry;
+class Sampler;
+struct HealthContext;
 }
 
 namespace nwc::apps {
@@ -26,6 +28,10 @@ struct RunSummary {
   std::string invariant_violations;  // empty when consistent
   std::uint64_t engine_events = 0;
   std::uint64_t data_bytes = 0;
+  /// Health verdict from the periodic sampler ("healthy"/"degraded"); empty
+  /// when the run was not sampled.
+  std::string health_verdict;
+  std::uint64_t health_trips = 0;
 
   bool ok() const { return verified && invariant_violations.empty(); }
 };
@@ -43,6 +49,9 @@ struct ObsSinks {
   /// Kernel reference-stream capture (trace-driven replay); attached before
   /// setup() so region allocations are seen. See apps/kernel_trace.hpp.
   machine::RefRecorder* ref_recorder = nullptr;
+  /// Periodic in-run sampler (obs/sampler.hpp). When `timeline` is also
+  /// attached, health onsets/clears land there as `health.*` instants.
+  obs::Sampler* sampler = nullptr;
   /// Allocation pool shared by runs on one worker thread (not thread-safe);
   /// the machine draws its page table from here and parks it on teardown.
   machine::MachineArena* arena = nullptr;
@@ -57,5 +66,9 @@ RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name
 /// As above, with the full set of observability sinks.
 RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name,
                   double scale, const ObsSinks& sinks);
+
+/// The health-detector context implied by a machine configuration (reserve
+/// floor, ring capacity, retune cost) — pass to obs::Sampler's constructor.
+obs::HealthContext healthContextFor(const machine::MachineConfig& cfg);
 
 }  // namespace nwc::apps

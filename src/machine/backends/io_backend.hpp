@@ -133,6 +133,10 @@ class IoBackend {
   /// Pages currently staged outside memory and disk (timeline sampling).
   virtual int stagedPages() const { return 0; }
 
+  /// Cumulative receiver retunes across all nodes (periodic sampler's
+  /// `ring.receiver.retunes` track; zero on ring-less systems).
+  virtual std::uint64_t receiverRetunes() const { return 0; }
+
   // --- optional component accessors ----------------------------------------
   virtual ring::OpticalRing* ring() { return nullptr; }
   virtual ring::NwcFifos* fifos(int disk_idx) {

@@ -46,6 +46,11 @@ class RingBackend : public IoBackend {
   void publishMetrics(obs::MetricsRegistry& reg) const override;
   void checkInvariants(std::ostream& bad) const override;
   int stagedPages() const override { return ring_->totalOccupancy(); }
+  std::uint64_t receiverRetunes() const override {
+    std::uint64_t n = 0;
+    for (const auto& bank : rx_banks_) n += bank.retunes();
+    return n;
+  }
 
   ring::OpticalRing* ring() override { return ring_.get(); }
   ring::NwcFifos* fifos(int disk_idx) override {

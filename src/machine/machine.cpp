@@ -124,6 +124,7 @@ void Machine::start() {
     eng_->spawn(diskDrainLoop(d));
     backend_->startDiskDaemons(d);
   }
+  if (sampler_ != nullptr) eng_->spawn(samplerDaemon());
 }
 
 ring::OpticalRing* Machine::ring() { return backend_->ring(); }
@@ -147,6 +148,7 @@ void Machine::cpuDone(int cpu) {
   metrics_->cpu(cpu).tlb += nc.tlb_penalty;
   nc.pending = 0;
   nc.tlb_penalty = 0;
+  ++cpus_done_;
 }
 
 sim::Tick Machine::pageSerTicks(double bps) const {

@@ -40,6 +40,8 @@
 namespace nwc::obs {
 class EventTimeline;
 class MetricsRegistry;
+class Sampler;
+struct SampleFrame;
 }
 
 namespace nwc::io {
@@ -154,6 +156,16 @@ class Machine {
   void attachAttrRecords(std::vector<obs::AttrRecord>* sink) {
     attr_records_ = sink;
   }
+
+  /// Attaches the periodic sampler (optional; null to detach). Must be
+  /// attached before `start()`: the sampling daemon is spawned there, so a
+  /// machine without one never schedules a single extra event.
+  void attachSampler(obs::Sampler* s) { sampler_ = s; }
+  obs::Sampler* sampler() const { return sampler_; }
+
+  /// Fills one frame of the sampler's track catalog from live machine state
+  /// (observe.cpp, next to the end-of-run catalog it subsets).
+  void collectSample(obs::SampleFrame& f) const;
 
   /// Publishes every component's end-of-run statistics into `reg`
   /// (observe.cpp has the shared-fabric catalog; the backend appends its
@@ -278,6 +290,12 @@ class Machine {
   /// Records one timeline snapshot (no-op when sampling is disabled).
   void sampleTimeline();
 
+  // -- periodic sampler (observe.cpp) -----------------------------------------
+  /// Snapshots the sampler's tracks every `sampler_->interval()` ticks; takes
+  /// one final sample after the last CPU finishes, then exits so the engine
+  /// calendar can drain.
+  sim::Task<> samplerDaemon();
+
   MachineConfig cfg_;
   std::unique_ptr<sim::Engine> eng_;
   MachineArena* arena_ = nullptr;
@@ -293,6 +311,8 @@ class Machine {
   RefRecorder* ref_recorder_ = nullptr;
   obs::EventTimeline* etl_ = nullptr;
   std::vector<obs::AttrRecord>* attr_records_ = nullptr;
+  obs::Sampler* sampler_ = nullptr;
+  int cpus_done_ = 0;  // lets the sampler daemon stop with the workload
   std::unique_ptr<Timeline> timeline_;
   sim::Rng rng_;
   std::uint64_t next_vaddr_ = 0;

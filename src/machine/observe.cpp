@@ -6,6 +6,7 @@
 #include "machine/backends/io_backend.hpp"
 #include "machine/machine.hpp"
 #include "obs/registry.hpp"
+#include "obs/sampler.hpp"
 #include "obs/timeline.hpp"
 
 namespace nwc::machine {
@@ -13,6 +14,42 @@ namespace nwc::machine {
 void Machine::attachEventTimeline(obs::EventTimeline* tl) {
   etl_ = tl;
   mesh_->setTimeline(tl);
+}
+
+void Machine::collectSample(obs::SampleFrame& f) const {
+  double free = 0, in_flight = 0;
+  for (const auto& n : nodes_) {
+    free += n->frames.freeFrames();
+    in_flight += n->swaps_in_flight;
+  }
+  double dirty = 0;
+  for (const auto& d : disks_) dirty += d->cache.dirtyCount();
+  f[obs::Track::kFreeFrames] = free;
+  f[obs::Track::kSwapsInFlight] = in_flight;
+  f[obs::Track::kRingStaged] = backend_->stagedPages();
+  f[obs::Track::kDirtySlots] = dirty;
+  f[obs::Track::kFaults] = static_cast<double>(metrics_->faults);
+  f[obs::Track::kSwapOuts] = static_cast<double>(metrics_->swap_outs);
+  f[obs::Track::kNacks] = static_cast<double>(metrics_->nacks);
+  f[obs::Track::kCleanEvictions] = static_cast<double>(metrics_->clean_evictions);
+  f[obs::Track::kDestageWrites] = static_cast<double>(metrics_->destage_writes);
+  f[obs::Track::kDestageStallTicks] =
+      static_cast<double>(metrics_->destage_stall_ticks);
+  f[obs::Track::kRetunes] = static_cast<double>(backend_->receiverRetunes());
+}
+
+sim::Task<> Machine::samplerDaemon() {
+  obs::SampleFrame f;
+  collectSample(f);
+  sampler_->record(eng_->now(), f);  // the t=0 baseline
+  for (;;) {
+    co_await eng_->delay(sampler_->interval());
+    collectSample(f);
+    sampler_->record(eng_->now(), f);
+    // One final sample lands after the last CPU retires, then the daemon
+    // exits so the engine calendar can drain.
+    if (cpus_done_ >= metrics_->numCpus()) break;
+  }
 }
 
 void Machine::publishMetrics(obs::MetricsRegistry& reg) const {

@@ -1,0 +1,108 @@
+#include "obs/health.hpp"
+
+#include "obs/registry.hpp"
+
+namespace nwc::obs {
+
+const char* toString(Detector d) {
+  switch (d) {
+    case Detector::kNackStorm: return "nack_storm";
+    case Detector::kDestageStall: return "destage_stall";
+    case Detector::kFreeFrames: return "free_frames";
+    case Detector::kRetuneLivelock: return "retune_livelock";
+    case Detector::kRingPegged: return "ring_pegged";
+    case Detector::kNumDetectors: break;
+  }
+  return "?";
+}
+
+void HealthMonitor::record(sim::Tick at, Detector d, bool onset, double value) {
+  if (events_.size() >= th_.max_events) {
+    ++events_dropped_;
+    return;
+  }
+  events_.push_back(HealthEvent{at, d, onset, value});
+}
+
+void HealthMonitor::step(Detector d, bool hot, double value, sim::Tick at) {
+  DetectorState& s = state_[static_cast<unsigned>(d)];
+  if (hot) {
+    ++s.windows;
+    ++s.hot_run;
+    s.quiet_run = 0;
+    // "Worst" is the most extreme hot value; for free frames lower is worse.
+    const bool lower_is_worse = d == Detector::kFreeFrames;
+    if (s.windows == 1 || (lower_is_worse ? value < s.worst : value > s.worst)) {
+      s.worst = value;
+    }
+    if (!s.active && s.hot_run >= th_.consecutive) {
+      s.active = true;
+      ++s.trips;
+      record(at, d, /*onset=*/true, value);
+    }
+  } else {
+    ++s.quiet_run;
+    s.hot_run = 0;
+    if (s.active && s.quiet_run >= th_.consecutive) {
+      s.active = false;
+      record(at, d, /*onset=*/false, value);
+    }
+  }
+}
+
+std::size_t HealthMonitor::observe(const Window& w) {
+  const std::size_t before = events_.size();
+  ++windows_observed_;
+  const double dt = w.t1 > w.t0 ? static_cast<double>(w.t1 - w.t0) : 1.0;
+
+  step(Detector::kNackStorm,
+       th_.nack_storm_min > 0 && w.nacks >= static_cast<double>(th_.nack_storm_min),
+       w.nacks, w.t1);
+
+  const double stall_frac = w.stall_ticks / dt;
+  step(Detector::kDestageStall, stall_frac >= th_.destage_stall_frac, stall_frac,
+       w.t1);
+
+  step(Detector::kFreeFrames,
+       ctx_.reserve_frames > 0.0 &&
+           w.free_frames <= th_.free_frames_frac * ctx_.reserve_frames,
+       w.free_frames, w.t1);
+
+  const double retune_frac = w.retunes * ctx_.retune_ticks / dt;
+  step(Detector::kRetuneLivelock,
+       ctx_.retune_ticks > 0.0 && retune_frac >= th_.retune_busy_frac, retune_frac,
+       w.t1);
+
+  const double peg = ctx_.ring_capacity_pages > 0.0
+                         ? w.ring_staged / ctx_.ring_capacity_pages
+                         : 0.0;
+  step(Detector::kRingPegged,
+       ctx_.ring_capacity_pages > 0.0 && peg >= th_.ring_pegged_frac, peg, w.t1);
+
+  return events_.size() - before;
+}
+
+std::uint64_t HealthMonitor::totalTrips() const {
+  std::uint64_t n = 0;
+  for (const DetectorState& s : state_) n += s.trips;
+  return n;
+}
+
+const char* HealthMonitor::verdict() const {
+  return totalTrips() == 0 ? "healthy" : "degraded";
+}
+
+void HealthMonitor::publishMetrics(MetricsRegistry& reg) const {
+  for (unsigned d = 0; d < static_cast<unsigned>(Detector::kNumDetectors); ++d) {
+    const std::string prefix = std::string("health.") + toString(static_cast<Detector>(d));
+    const DetectorState& s = state_[d];
+    reg.counter(prefix + ".trips", s.trips);
+    reg.counter(prefix + ".windows", s.windows);
+    reg.gauge(prefix + ".worst", s.worst);
+  }
+  reg.counter("health.trips", totalTrips());
+  reg.counter("health.events", events_.size());
+  reg.counter("health.events_dropped", events_dropped_);
+}
+
+}  // namespace nwc::obs

@@ -1,0 +1,126 @@
+// Online health detectors over the periodic sampler's windows.
+//
+// Each detector watches one failure mode the paper's machine exhibits under
+// stress (NACK storms when the staging cache saturates, destage-stall ramps,
+// free-frame starvation during swap bursts, receiver-retune livelock,
+// ring-occupancy pegging). A detector evaluates every sampling window and
+// trips only after `consecutive` hot windows in a row — one noisy window is
+// not an episode — then clears after the same number of quiet windows.
+// Onset/clear transitions are kept in a bounded event log and can be mirrored
+// onto the event timeline as `health.*` instants; the per-run summary is a
+// single verdict: "healthy" when no detector ever tripped, "degraded"
+// otherwise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace nwc::obs {
+
+class MetricsRegistry;
+
+enum class Detector : unsigned {
+  kNackStorm = 0,   // staging-cache-full NACKs per window
+  kDestageStall,    // destage stall ticks per elapsed tick
+  kFreeFrames,      // machine-wide free frames at/below the reserve floor
+  kRetuneLivelock,  // receiver banks spending the window retuning
+  kRingPegged,      // ring occupancy against channel capacity
+  kNumDetectors,
+};
+
+const char* toString(Detector d);
+
+/// Trip thresholds; the defaults are documented in docs/OBSERVABILITY.md.
+struct HealthThresholds {
+  std::uint64_t nack_storm_min = 16;  // NACK delta per window that is "hot"
+  double destage_stall_frac = 0.5;    // stall ticks per elapsed tick
+  // Hot when machine-wide free frames <= frac * the reserve floor. Steady
+  // state legitimately hovers near the floor (min-free is a per-node reclaim
+  // trigger), so starvation means approaching zero, not merely dipping below.
+  double free_frames_frac = 0.25;
+  double retune_busy_frac = 0.5;      // retune ticks per elapsed tick
+  double ring_pegged_frac = 0.95;     // staged pages / ring capacity
+  int consecutive = 3;                // hot windows in a row before a trip
+  std::size_t max_events = 1024;      // bounded onset/clear log
+};
+
+/// Static facts about the machine under test; zero disables the detectors
+/// that need them (no ring => no pegging, free retunes => no livelock).
+struct HealthContext {
+  double reserve_frames = 0.0;       // num_nodes * min_free_frames
+  double ring_capacity_pages = 0.0;  // 0 on ring-less systems
+  double retune_ticks = 0.0;         // pcycles per receiver retune
+};
+
+struct HealthEvent {
+  sim::Tick at = 0;
+  Detector detector = Detector::kNackStorm;
+  bool onset = true;   // false: the episode cleared
+  double value = 0.0;  // the observed value at the transition
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor(const HealthThresholds& th, const HealthContext& ctx)
+      : th_(th), ctx_(ctx) {}
+
+  /// One sampling window: cumulative-counter deltas over (t0, t1] plus the
+  /// instantaneous gauges at t1.
+  struct Window {
+    sim::Tick t0 = 0;
+    sim::Tick t1 = 0;
+    double nacks = 0.0;          // delta
+    double stall_ticks = 0.0;    // delta
+    double retunes = 0.0;        // delta
+    double free_frames = 0.0;    // gauge at t1
+    double ring_staged = 0.0;    // gauge at t1
+  };
+
+  /// Evaluates every detector against one window; onset/clear transitions
+  /// are appended to events(). Returns the number of events appended.
+  std::size_t observe(const Window& w);
+
+  struct DetectorState {
+    bool active = false;         // currently inside an episode
+    std::uint64_t trips = 0;     // episodes started
+    std::uint64_t windows = 0;   // hot windows seen (in or out of episodes)
+    double worst = 0.0;          // most extreme hot value (min for free frames)
+    int hot_run = 0;
+    int quiet_run = 0;
+  };
+
+  const DetectorState& state(Detector d) const {
+    return state_[static_cast<unsigned>(d)];
+  }
+  const std::vector<HealthEvent>& events() const { return events_; }
+  std::uint64_t eventsDropped() const { return events_dropped_; }
+  std::uint64_t totalTrips() const;
+  std::uint64_t windowsObserved() const { return windows_observed_; }
+
+  /// "healthy" when no detector ever tripped, "degraded" otherwise.
+  const char* verdict() const;
+
+  /// `health.<detector>.{trips,windows,worst}` per detector plus the
+  /// machine-wide `health.trips` / `health.events` / `health.events_dropped`.
+  void publishMetrics(MetricsRegistry& reg) const;
+
+  const HealthThresholds& thresholds() const { return th_; }
+  const HealthContext& context() const { return ctx_; }
+
+ private:
+  void step(Detector d, bool hot, double value, sim::Tick at);
+  void record(sim::Tick at, Detector d, bool onset, double value);
+
+  HealthThresholds th_;
+  HealthContext ctx_;
+  std::array<DetectorState, static_cast<unsigned>(Detector::kNumDetectors)> state_{};
+  std::vector<HealthEvent> events_;
+  std::uint64_t events_dropped_ = 0;
+  std::uint64_t windows_observed_ = 0;
+};
+
+}  // namespace nwc::obs

@@ -102,6 +102,9 @@ std::string RunMeta::toJson() const {
     o.add("kernel_trace_hash", std::string(trace_hex))
         .add("trace_bytes", trace_bytes);
   }
+  if (!health_verdict.empty()) {
+    o.add("health", health_verdict).add("health_trips", health_trips);
+  }
   return o.str();
 }
 

@@ -44,6 +44,10 @@ struct RunMeta {
   std::string trace_outcome = "executed";
   std::uint64_t kernel_trace_hash = 0;
   std::uint64_t trace_bytes = 0;
+  // Continuous-telemetry verdict ("healthy" / "degraded"); empty when the
+  // run was not sampled (the fields are then omitted from the JSON).
+  std::string health_verdict;
+  std::uint64_t health_trips = 0;
 
   std::string toJson() const;
   void write(const std::string& path) const;  // throws on I/O failure

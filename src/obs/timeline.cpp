@@ -19,6 +19,7 @@ const char* toString(Layer l) {
     case Layer::kDisk: return "disk";
     case Layer::kVm: return "vm";
     case Layer::kTlb: return "tlb";
+    case Layer::kHealth: return "health";
     case Layer::kNumLayers: break;
   }
   return "?";
@@ -59,6 +60,7 @@ EventTimeline::EventTimeline(unsigned layer_mask, std::size_t capacity)
 
 void EventTimeline::push(const TimelineEvent& e) {
   if (capacity_ != 0 && events_.size() >= capacity_) {
+    ++dropped_by_layer_[static_cast<unsigned>(events_.front().layer)];
     events_.pop_front();
     ++dropped_;
   }
@@ -137,6 +139,7 @@ std::size_t EventTimeline::count(Layer l) const {
 void EventTimeline::clear() {
   events_.clear();
   dropped_ = 0;
+  dropped_by_layer_.fill(0);
   next_id_ = 1;
 }
 

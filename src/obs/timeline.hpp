@@ -15,6 +15,7 @@
 // sub-operations nested inside.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -31,6 +32,7 @@ enum class Layer : unsigned {
   kDisk,       // disk-arm operations, controller-cache occupancy
   kVm,         // machine-wide occupancy counters (free frames, in-flight)
   kTlb,        // shootdowns
+  kHealth,     // online health-detector onsets/clears (obs/health.hpp)
   kNumLayers,
 };
 
@@ -99,6 +101,11 @@ class EventTimeline {
   bool empty() const { return events_.empty(); }
   std::size_t capacity() const { return capacity_; }  // 0 = unbounded
   std::uint64_t dropped() const { return dropped_; }
+  /// Ring-mode drops attributed to the evicted event's layer, so users learn
+  /// which `--timeline-layers=` to trim when the buffer overflows.
+  std::uint64_t droppedByLayer(Layer l) const {
+    return dropped_by_layer_[static_cast<unsigned>(l)];
+  }
   const std::deque<TimelineEvent>& events() const { return events_; }
   std::size_t count(Layer l) const;
   void clear();
@@ -115,6 +122,8 @@ class EventTimeline {
   std::size_t capacity_;
   std::uint64_t next_id_ = 1;
   std::uint64_t dropped_ = 0;
+  std::array<std::uint64_t, static_cast<unsigned>(Layer::kNumLayers)>
+      dropped_by_layer_{};
   std::deque<TimelineEvent> events_;
 };
 

@@ -98,4 +98,9 @@ std::size_t ProgressMeter::running() const {
   return running_;
 }
 
+long long ProgressMeter::etaSeconds() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return etaSecondsLocked();
+}
+
 }  // namespace nwc::util

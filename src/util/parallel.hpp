@@ -62,6 +62,8 @@ class ProgressMeter {
 
   std::size_t done() const;
   std::size_t running() const;
+  /// ETA seconds from throughput so far; < 0 when not yet estimable.
+  long long etaSeconds() const;
 
  private:
   /// ETA seconds from throughput so far; < 0 when not yet estimable.

@@ -94,6 +94,36 @@ for doc in docs/OBSERVABILITY.md docs/POLICIES.md; do
     } || fail=1
 done
 
+# 4. Continuous-telemetry names (`sampler.*`, `health.*`) must resolve
+#    against the sampler/health sources specifically — the generic suffix
+#    fallback above could accept one via an unrelated literal elsewhere in
+#    src/. Accept a full registration literal in src/obs/, or (for names
+#    composed at publish time, e.g. health.<detector>.trips) every dotted
+#    segment appearing there.
+for doc in README.md docs/OBSERVABILITY.md; do
+  grep -oE '`(sampler|health)\.[a-z0-9_.]+`' "$doc" | tr -d '\`' | sort -u |
+    {
+      bad=0
+      while IFS= read -r name; do
+        esc=$(printf '%s' "$name" | sed 's/\./\\./g')
+        if grep -rqE "\"$esc" src/obs/ --include='*.cpp' --include='*.hpp'; then
+          continue
+        fi
+        ok=1
+        for seg in $(printf '%s' "$name" | tr '.' ' '); do
+          if ! grep -rq "$seg" src/obs/ --include='*.cpp' --include='*.hpp'; then
+            ok=0
+          fi
+        done
+        if [ "$ok" -eq 0 ]; then
+          echo "UNKNOWN TELEMETRY NAME: $doc mentions $name"
+          bad=1
+        fi
+      done
+      exit "$bad"
+    } || fail=1
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "docs link check FAILED"
   exit 1

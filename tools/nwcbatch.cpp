@@ -2,6 +2,7 @@
 //
 //   nwcbatch [--jobs=N] [--meta-dir=DIR] [--heartbeat=SECS] [--resume]
 //            [--trace-dir=DIR] [--trace-mode=off|auto|record|replay]
+//            [--sample-interval=N] [--sample-dir=DIR] [--status=FILE]
 //            experiments.ini
 //
 //   # experiments.ini
@@ -43,9 +44,14 @@ int main(int argc, char** argv) {
   bool resume = false;
   std::string trace_dir;
   std::string trace_mode;
+  long sample_interval = -1;  // -1 = use the INI's sample_interval key
+  std::string sample_dir;
+  std::string status_path;
   const char* usage =
       "usage: nwcbatch [--jobs=N] [--meta-dir=DIR] [--heartbeat=SECS] "
-      "[--resume] [--trace-dir=DIR] [--trace-mode=MODE] <experiments.ini>\n";
+      "[--resume] [--trace-dir=DIR] [--trace-mode=MODE] "
+      "[--sample-interval=N] [--sample-dir=DIR] [--status=FILE] "
+      "<experiments.ini>\n";
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--jobs=", 0) == 0) {
@@ -68,6 +74,16 @@ int main(int argc, char** argv) {
       trace_dir = a.substr(std::strlen("--trace-dir="));
     } else if (a.rfind("--trace-mode=", 0) == 0) {
       trace_mode = a.substr(std::strlen("--trace-mode="));
+    } else if (a.rfind("--sample-interval=", 0) == 0) {
+      sample_interval = std::strtol(a.c_str() + 18, nullptr, 10);
+      if (sample_interval < 0) {
+        std::fprintf(stderr, "nwcbatch: --sample-interval must be >= 0\n");
+        return 2;
+      }
+    } else if (a.rfind("--sample-dir=", 0) == 0) {
+      sample_dir = a.substr(std::strlen("--sample-dir="));
+    } else if (a.rfind("--status=", 0) == 0) {
+      status_path = a.substr(std::strlen("--status="));
     } else if (a == "--help" || a == "-h") {
       std::printf("%s"
                   "  --jobs=N          worker threads (0 = all cores, 1 = serial;\n"
@@ -78,7 +94,12 @@ int main(int argc, char** argv) {
                   "                    batch.jsonl file; rerun only the rest\n"
                   "  --trace-dir=DIR   kernel trace cache: replay hits, record misses\n"
                   "                    (overrides the INI's batch.trace_dir key)\n"
-                  "  --trace-mode=M    off, auto (default), record, or replay\n",
+                  "  --trace-mode=M    off, auto (default), record, or replay\n"
+                  "  --sample-interval=N  pcycles between telemetry samples\n"
+                  "                    (0 = off; overrides batch.sample_interval)\n"
+                  "  --sample-dir=DIR  one nwc-timeseries-v1 JSON + CSV per cell\n"
+                  "  --status=FILE     live JSONL status stream (tail it with\n"
+                  "                    nwctop)\n",
                   usage);
       return 0;
     } else if (ini_path.empty()) {
@@ -105,6 +126,13 @@ int main(int argc, char** argv) {
                    trace_mode.c_str());
       return 2;
     }
+    if (sample_interval >= 0) spec.sample_interval = static_cast<sim::Tick>(sample_interval);
+    if (!sample_dir.empty()) spec.sample_dir = sample_dir;
+    if (!status_path.empty()) spec.status_path = status_path;
+    if (!spec.sample_dir.empty() && spec.sample_interval == 0) {
+      std::fprintf(stderr, "nwcbatch: --sample-dir requires --sample-interval > 0\n");
+      return 2;
+    }
     if (spec.trace_dir.empty() && (spec.trace_mode == apps::TraceMode::kRecord ||
                                    spec.trace_mode == apps::TraceMode::kReplay)) {
       std::fprintf(stderr, "nwcbatch: trace mode '%s' requires a trace dir "
@@ -129,6 +157,8 @@ int main(int argc, char** argv) {
     if (!spec.csv_path.empty()) std::printf("csv: %s\n", spec.csv_path.c_str());
     if (!spec.jsonl_path.empty()) std::printf("jsonl: %s\n", spec.jsonl_path.c_str());
     if (!spec.meta_dir.empty()) std::printf("meta: %s\n", spec.meta_dir.c_str());
+    if (!spec.sample_dir.empty()) std::printf("samples: %s\n", spec.sample_dir.c_str());
+    if (!spec.status_path.empty()) std::printf("status: %s\n", spec.status_path.c_str());
     if (!spec.trace_dir.empty() && spec.trace_mode != apps::TraceMode::kOff) {
       const auto& st = apps::traceCacheStats();
       std::printf("trace cache: %llu replayed, %llu recorded, %llu executed, "

@@ -1,6 +1,7 @@
 // nwcreport: render a run's fault-latency attribution as CSV and HTML.
 //
 //   nwcreport --metrics=run.metrics.json [--timeline=run.trace.json]
+//             [--sample=run.timeseries.json]
 //             [--csv=attr.csv] [--html=report.html] [--title=NAME]
 //
 // Reads the nwc-metrics-v1 JSON written by `nwcsim --metrics=` and distills
@@ -14,7 +15,10 @@
 //           Fig 3/4-style stacked CPU-stall bar, per-outcome stage
 //           composition bars, a queue-vs-service waterfall per (op,
 //           outcome), and — when --timeline= is given — a ring-occupancy
-//           sparkline taken from the Chrome-trace counter track.
+//           sparkline taken from the Chrome-trace counter track. With
+//           --sample= (the nwc-timeseries-v1 export of `nwcsim --sample=`)
+//           the page gains per-track sparkline charts with health onsets
+//           marked, plus the health-detector verdict table.
 //
 // The tool is read-only over the artifact files; it never touches the
 // simulator, so it can be pointed at archived runs.
@@ -347,6 +351,46 @@ std::vector<std::pair<double, double>> ringOccupancy(const JsonValue& trace) {
   return pts;
 }
 
+// One track of the nwc-timeseries-v1 export as an SVG polyline; health
+// onsets render as red vertical markers, clears as grey ones.
+std::string trackChart(const JsonValue& track,
+                       const std::vector<std::pair<double, bool>>& marks,
+                       int width, int height) {
+  const JsonValue& pts = track.at("points");
+  if (pts.array.size() < 2) return "<p class=\"muted\">too few samples</p>";
+  const double tmin = pts.array.front().array.at(0).number;
+  double tmax = pts.array.back().array.at(0).number;
+  if (tmax <= tmin) tmax = tmin + 1;
+  double vmax = track.at("max").number;
+  if (vmax <= 0) vmax = 1;
+  const std::size_t stride = std::max<std::size_t>(1, pts.array.size() / 2000);
+  std::ostringstream svg;
+  svg << "<svg width=\"" << width << "\" height=\"" << height << "\">";
+  for (const auto& [t, onset] : marks) {
+    if (t < tmin || t > tmax) continue;
+    const double px = (t - tmin) / (tmax - tmin) * (width - 2) + 1;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "<line x1=\"%.1f\" y1=\"0\" x2=\"%.1f\" y2=\"%d\" "
+                  "stroke=\"%s\" stroke-width=\"1\"/>",
+                  px, px, height, onset ? "#b00020" : "#bbbbbb");
+    svg << buf;
+  }
+  svg << "<polyline fill=\"none\" stroke=\"#4e79a7\" stroke-width=\"1.2\" "
+         "points=\"";
+  for (std::size_t i = 0; i < pts.array.size(); i += stride) {
+    const double t = pts.array[i].array.at(0).number;
+    const double v = pts.array[i].array.at(1).number;
+    const double px = (t - tmin) / (tmax - tmin) * (width - 2) + 1;
+    const double py = height - 2 - v / vmax * (height - 4);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.1f,%.1f ", px, py);
+    svg << buf;
+  }
+  svg << "\"/></svg>";
+  return svg.str();
+}
+
 std::string opHeading(const std::string& op) {
   if (op == "fault") return "Page faults";
   if (op == "swap") return "Swap-outs";
@@ -363,8 +407,56 @@ std::string outcomeLabel(const std::string& outcome) {
   return outcome;
 }
 
-void writeHtml(const Report& rep, const JsonValue* trace, const std::string& title,
-               const std::string& path) {
+// The "Sampled telemetry" + "Health" sections from an nwc-timeseries-v1
+// document; returns empty on a schema mismatch (caller reports it).
+std::string timeseriesSections(const JsonValue& samples) {
+  const JsonValue* schema = samples.find("schema");
+  if (schema == nullptr || schema->string != "nwc-timeseries-v1") {
+    throw std::runtime_error("not an nwc-timeseries-v1 file");
+  }
+  std::ostringstream html;
+
+  // Health onset/clear instants mark every track chart.
+  std::vector<std::pair<double, bool>> marks;
+  const JsonValue& health = samples.at("health");
+  if (const JsonValue* events = health.find("events")) {
+    for (const JsonValue& e : events->array) {
+      marks.emplace_back(e.at("t").number, e.at("kind").string == "onset");
+    }
+  }
+
+  html << "<h2 id=\"timeseries\">Sampled telemetry</h2>\n"
+       << "<p class=\"muted\">" << fmtNum(samples.at("samples").number)
+       << " samples every " << fmtNum(samples.at("interval_pcycles").number)
+       << " pcycles; red markers are health onsets, grey ones clears.</p>\n";
+  for (const auto& [name, track] : samples.at("tracks").object) {
+    html << "<div class=\"card\"><h3>" << htmlEscape(name) << " <span "
+         << "class=\"muted\">min " << fmtNum(track.at("min").number) << ", mean "
+         << fmtNum(track.at("mean").number) << ", max "
+         << fmtNum(track.at("max").number) << "</span></h3>"
+         << trackChart(track, marks, 720, 60) << "</div>\n";
+  }
+
+  html << "<h2 id=\"health\">Health</h2>\n";
+  const std::string verdict = health.at("verdict").string;
+  html << "<p>verdict: <span class=\""
+       << (verdict == "healthy" ? "ok" : "bad") << "\">" << htmlEscape(verdict)
+       << "</span> (" << fmtNum(health.at("trips").number) << " trips over "
+       << fmtNum(health.at("windows").number) << " windows)</p>\n";
+  html << "<table class=\"wf\"><tr><th>detector</th><th>trips</th>"
+          "<th>hot windows</th><th>worst</th></tr>";
+  for (const auto& [name, d] : health.at("detectors").object) {
+    html << "<tr><td>" << htmlEscape(name) << "</td><td class=\"n\">"
+         << fmtNum(d.at("trips").number) << "</td><td class=\"n\">"
+         << fmtNum(d.at("windows").number) << "</td><td class=\"n\">"
+         << fmtNum(d.at("worst").number) << "</td></tr>";
+  }
+  html << "</table>\n";
+  return html.str();
+}
+
+void writeHtml(const Report& rep, const JsonValue* trace, const JsonValue* samples,
+               const std::string& title, const std::string& path) {
   std::ostringstream html;
   html << "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>"
        << htmlEscape(title) << "</title><style>\n"
@@ -448,6 +540,11 @@ void writeHtml(const Report& rep, const JsonValue* trace, const std::string& tit
          << sparkline(ringOccupancy(*trace), 720, 90) << "</div>\n";
   }
 
+  // Sampled time series + health verdict (sample export optional).
+  if (samples != nullptr) {
+    html << timeseriesSections(*samples);
+  }
+
   html << "<p class=\"muted\">generated by nwcreport from nwc-metrics-v1 "
           "artifacts</p></body></html>\n";
 
@@ -460,17 +557,19 @@ void writeHtml(const Report& rep, const JsonValue* trace, const std::string& tit
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string metrics_path, timeline_path, csv_path, html_path;
+  std::string metrics_path, timeline_path, sample_path, csv_path, html_path;
   std::string title = "NWCache fault-latency attribution";
   const char* usage =
-      "usage: nwcreport --metrics=FILE [--timeline=FILE] [--csv=FILE] "
-      "[--html=FILE] [--title=NAME]\n";
+      "usage: nwcreport --metrics=FILE [--timeline=FILE] [--sample=FILE] "
+      "[--csv=FILE] [--html=FILE] [--title=NAME]\n";
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--metrics=", 0) == 0) {
       metrics_path = a.substr(std::strlen("--metrics="));
     } else if (a.rfind("--timeline=", 0) == 0) {
       timeline_path = a.substr(std::strlen("--timeline="));
+    } else if (a.rfind("--sample=", 0) == 0) {
+      sample_path = a.substr(std::strlen("--sample="));
     } else if (a.rfind("--csv=", 0) == 0) {
       csv_path = a.substr(std::strlen("--csv="));
     } else if (a.rfind("--html=", 0) == 0) {
@@ -482,6 +581,8 @@ int main(int argc, char** argv) {
                   "  --metrics=FILE   nwc-metrics-v1 JSON (nwcsim --metrics=)\n"
                   "  --timeline=FILE  Chrome trace (nwcsim --timeline=) for the\n"
                   "                   ring-occupancy sparkline\n"
+                  "  --sample=FILE    nwc-timeseries-v1 export (nwcsim --sample=)\n"
+                  "                   for per-track charts + health verdict\n"
                   "  --csv=FILE       long-format attribution table\n"
                   "  --html=FILE      self-contained report page\n"
                   "  --title=NAME     report heading\n",
@@ -510,12 +611,19 @@ int main(int argc, char** argv) {
       trace = parseJson(readFile(timeline_path));
       have_trace = true;
     }
+    JsonValue samples;
+    bool have_samples = false;
+    if (!sample_path.empty()) {
+      samples = parseJson(readFile(sample_path));
+      have_samples = true;
+    }
     if (!csv_path.empty()) {
       writeCsv(rep, csv_path);
       std::printf("csv: %s (%zu rows)\n", csv_path.c_str(), rep.rows.size());
     }
     if (!html_path.empty()) {
-      writeHtml(rep, have_trace ? &trace : nullptr, title, html_path);
+      writeHtml(rep, have_trace ? &trace : nullptr,
+                have_samples ? &samples : nullptr, title, html_path);
       std::printf("html: %s\n", html_path.c_str());
     }
     return 0;

@@ -23,6 +23,7 @@
 #include "apps/runner.hpp"
 #include "machine/config_io.hpp"
 #include "obs/registry.hpp"
+#include "obs/sampler.hpp"
 #include "obs/timeline.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
@@ -51,6 +52,10 @@ namespace {
       "  --timeline-layers=L   comma list: fault,swap,ring,mesh,disk,vm,tlb\n"
       "                        or \"all\" (default all)\n"
       "  --timeline-cap=N      keep only the newest N timeline events\n"
+      "  --sample=FILE         export periodic telemetry (tracks + health\n"
+      "                        verdict) as nwc-timeseries-v1 JSON, plus a\n"
+      "                        sibling .csv; single app\n"
+      "  --sample-interval=N   pcycles between samples (default 50000)\n"
       "  --jobs=N              threads for multi-app runs (0 = all cores)\n"
       "  --trace-dir=DIR       kernel trace cache: replay hits, record misses\n"
       "  --record              with --trace-dir: always execute + (re)write\n"
@@ -93,6 +98,8 @@ int main(int argc, char** argv) {
   std::string timeline_path;
   unsigned timeline_layers = nwc::obs::kAllLayers;
   std::size_t timeline_cap = 0;
+  std::string sample_path;
+  sim::Tick sample_interval = 50'000;
   apps::TraceCacheConfig tcfg;
   bool as_json = false;
   bool dump_config = false;
@@ -142,6 +149,11 @@ int main(int argc, char** argv) {
         timeline_layers = obs::layerMaskFromString(val("--timeline-layers="));
       } else if (a.rfind("--timeline-cap=", 0) == 0) {
         timeline_cap = std::strtoul(val("--timeline-cap=").c_str(), nullptr, 10);
+      } else if (a.rfind("--sample=", 0) == 0) {
+        sample_path = val("--sample=");
+      } else if (a.rfind("--sample-interval=", 0) == 0) {
+        sample_interval = static_cast<sim::Tick>(
+            std::strtoull(val("--sample-interval=").c_str(), nullptr, 10));
       } else if (a.rfind("--jobs=", 0) == 0) {
         jobs = static_cast<unsigned>(std::strtoul(val("--jobs=").c_str(), nullptr, 10));
       } else if (a.rfind("--trace-dir=", 0) == 0) {
@@ -198,10 +210,16 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    if ((!trace_path.empty() || !metrics_path.empty() || !timeline_path.empty()) &&
+    if ((!trace_path.empty() || !metrics_path.empty() || !timeline_path.empty() ||
+         !sample_path.empty()) &&
         app_names.size() > 1) {
       std::fprintf(stderr,
-                   "nwcsim: --trace/--metrics/--timeline require a single --app\n");
+                   "nwcsim: --trace/--metrics/--timeline/--sample require a "
+                   "single --app\n");
+      return 2;
+    }
+    if (!sample_path.empty() && sample_interval == 0) {
+      std::fprintf(stderr, "nwcsim: --sample-interval must be > 0\n");
       return 2;
     }
     if (tcfg.dir.empty() && (tcfg.mode == apps::TraceMode::kRecord ||
@@ -222,6 +240,12 @@ int main(int argc, char** argv) {
       auto row = [&](const char* k, const std::string& v) { t.addRow({k, v}); };
       row("verified", s.verified ? "yes" : "NO");
       row("invariants", s.invariant_violations.empty() ? "ok" : "VIOLATED");
+      if (!s.health_verdict.empty()) {
+        row("health", s.health_verdict +
+                          (s.health_trips > 0
+                               ? " (" + std::to_string(s.health_trips) + " trips)"
+                               : ""));
+      }
       row("execution (Mpcycles)", util::AsciiTable::fmt(s.exec_time / 1e6, 1));
       row("page faults", std::to_string(m.faults));
       row("swap-outs", std::to_string(m.swap_outs));
@@ -243,10 +267,14 @@ int main(int argc, char** argv) {
       machine::TraceBuffer trace(trace_cap);
       obs::EventTimeline timeline(timeline_layers, timeline_cap);
       obs::MetricsRegistry registry;
+      obs::SamplerConfig scfg;
+      scfg.interval = sample_interval;
+      obs::Sampler sampler(scfg, apps::healthContextFor(cfg));
       apps::ObsSinks sinks;
       sinks.trace = trace_path.empty() ? nullptr : &trace;
       sinks.timeline = timeline_path.empty() ? nullptr : &timeline;
       sinks.registry = metrics_path.empty() ? nullptr : &registry;
+      sinks.sampler = sample_path.empty() ? nullptr : &sampler;
       apps::TraceCacheResult tres;
       const apps::RunSummary s =
           apps::runAppCached(cfg, app_names[0], scale, tcfg, sinks, &tres);
@@ -268,6 +296,16 @@ int main(int argc, char** argv) {
       if (!timeline_path.empty()) {
         timeline.writeChromeTrace(timeline_path, cfg.pcycle_ns);
       }
+      if (!sample_path.empty()) {
+        sampler.writeJson(sample_path);
+        std::string csv_path = sample_path;
+        if (csv_path.size() > 5 && csv_path.rfind(".json") == csv_path.size() - 5) {
+          csv_path.replace(csv_path.size() - 5, 5, ".csv");
+        } else {
+          csv_path += ".csv";
+        }
+        sampler.writeCsv(csv_path);
+      }
       printSummary(s);
       if (!as_json && !trace_path.empty()) {
         std::printf("trace written to %s (%zu events, %llu dropped)\n",
@@ -279,9 +317,26 @@ int main(int argc, char** argv) {
                     registry.size());
       }
       if (!as_json && !timeline_path.empty()) {
-        std::printf("timeline written to %s (%zu events, %llu dropped)\n",
+        // Drops broken down by the evicted event's layer, so users know which
+        // --timeline-layers= to trim when the ring buffer overflows.
+        std::string drops;
+        for (unsigned l = 0; l < static_cast<unsigned>(obs::Layer::kNumLayers);
+             ++l) {
+          const auto layer = static_cast<obs::Layer>(l);
+          const std::uint64_t n = timeline.droppedByLayer(layer);
+          if (n == 0) continue;
+          drops += drops.empty() ? ": " : ", ";
+          drops += std::string(obs::toString(layer)) + "=" + std::to_string(n);
+        }
+        std::printf("timeline written to %s (%zu events, %llu dropped%s)\n",
                     timeline_path.c_str(), timeline.size(),
-                    static_cast<unsigned long long>(timeline.dropped()));
+                    static_cast<unsigned long long>(timeline.dropped()),
+                    drops.c_str());
+      }
+      if (!as_json && !sample_path.empty()) {
+        std::printf("samples written to %s (%zu samples, health: %s)\n",
+                    sample_path.c_str(), sampler.samples(),
+                    sampler.health().verdict());
       }
       if (!as_json && tcfg.enabled()) {
         std::printf("trace cache: %s (%s)\n", apps::toString(tres.outcome),

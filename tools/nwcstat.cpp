@@ -4,12 +4,14 @@
 //
 //   nwcstat show  run.metrics.json            # pretty-print every instrument
 //   nwcstat show  run.metrics.json ring disk  # only these component prefixes
-//   nwcstat diff  a.metrics.json b.metrics.json [--all]
+//   nwcstat diff  a.metrics.json b.metrics.json [--all] [--top=N]
 //
 // diff prints one line per instrument whose value changed between the two
 // runs (plus instruments present on only one side); --all includes the
-// unchanged ones too. Histograms compare through their exported summary
-// (count/p50/p90/p99).
+// unchanged ones too, and --top=N keeps only the N biggest movers ranked
+// by absolute relative delta (added/removed instruments rank first).
+// Histograms compare through their exported summary (count/p50/p90/p99).
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -123,16 +125,23 @@ int cmdShow(const std::vector<std::string>& args) {
 
 int cmdDiff(const std::vector<std::string>& args) {
   bool all = false;
+  std::size_t top = 0;  // 0 = no limit, keep name order
   std::vector<std::string> paths;
   for (const auto& a : args) {
     if (a == "--all") {
       all = true;
+    } else if (a.rfind("--top=", 0) == 0) {
+      top = std::strtoul(a.c_str() + 6, nullptr, 10);
+      if (top == 0) {
+        std::fprintf(stderr, "nwcstat: --top must be > 0\n");
+        return 2;
+      }
     } else {
       paths.push_back(a);
     }
   }
   if (paths.size() != 2) {
-    std::fprintf(stderr, "usage: nwcstat diff <a.json> <b.json> [--all]\n");
+    std::fprintf(stderr, "usage: nwcstat diff <a.json> <b.json> [--all] [--top=N]\n");
     return 2;
   }
   const InstrumentMap ma = loadMetrics(paths[0]);
@@ -142,42 +151,70 @@ int cmdDiff(const std::vector<std::string>& args) {
   for (const auto& [n, i] : ma) names.insert(n);
   for (const auto& [n, i] : mb) names.insert(n);
 
+  // Collect first, print after: --top=N re-ranks the rows by |relative
+  // delta| (added/removed instruments sort first — their ratio is infinite).
+  struct Row {
+    std::string line;
+    double magnitude = 0.0;  // |delta / a|, HUGE_VAL for added/removed
+  };
+  std::vector<Row> rows;
   std::size_t changed = 0, added = 0, removed = 0, same = 0;
-  std::printf("%-44s %14s %14s %14s\n", "instrument", "a", "b", "delta");
   for (const std::string& name : names) {
     const auto ia = ma.find(name);
     const auto ib = mb.find(name);
+    char line[160];
     if (ia == ma.end()) {
       ++added;
-      std::printf("%-44s %14s %14s %14s\n", name.c_str(), "-",
-                  fmtValue(ib->second).c_str(), "added");
+      std::snprintf(line, sizeof(line), "%-44s %14s %14s %14s", name.c_str(),
+                    "-", fmtValue(ib->second).c_str(), "added");
+      rows.push_back({line, HUGE_VAL});
       continue;
     }
     if (ib == mb.end()) {
       ++removed;
-      std::printf("%-44s %14s %14s %14s\n", name.c_str(),
-                  fmtValue(ia->second).c_str(), "-", "removed");
+      std::snprintf(line, sizeof(line), "%-44s %14s %14s %14s", name.c_str(),
+                    fmtValue(ia->second).c_str(), "-", "removed");
+      rows.push_back({line, HUGE_VAL});
       continue;
     }
     const double d = ib->second.value - ia->second.value;
     if (d == 0.0) {
       ++same;
       if (all) {
-        std::printf("%-44s %14s %14s %14s\n", name.c_str(),
-                    fmtValue(ia->second).c_str(), fmtValue(ib->second).c_str(), "=");
+        std::snprintf(line, sizeof(line), "%-44s %14s %14s %14s", name.c_str(),
+                      fmtValue(ia->second).c_str(), fmtValue(ib->second).c_str(),
+                      "=");
+        rows.push_back({line, 0.0});
       }
       continue;
     }
     ++changed;
     char delta[64];
+    double magnitude = HUGE_VAL;  // a == 0, b != 0: infinite relative change
     if (ia->second.value != 0.0) {
-      std::snprintf(delta, sizeof(delta), "%+.6g (%+.1f%%)", d,
-                    100.0 * d / std::fabs(ia->second.value));
+      magnitude = std::fabs(d / ia->second.value);
+      std::snprintf(delta, sizeof(delta), "%+.6g (%+.1f%%)", d, 100.0 * d /
+                    std::fabs(ia->second.value));
     } else {
       std::snprintf(delta, sizeof(delta), "%+.6g", d);
     }
-    std::printf("%-44s %14s %14s %s\n", name.c_str(), fmtValue(ia->second).c_str(),
-                fmtValue(ib->second).c_str(), delta);
+    std::snprintf(line, sizeof(line), "%-44s %14s %14s %s", name.c_str(),
+                  fmtValue(ia->second).c_str(), fmtValue(ib->second).c_str(), delta);
+    rows.push_back({line, magnitude});
+  }
+
+  const std::size_t total_rows = rows.size();
+  if (top > 0) {
+    std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      return a.magnitude > b.magnitude;
+    });
+    if (rows.size() > top) rows.resize(top);
+  }
+  std::printf("%-44s %14s %14s %14s\n", "instrument", "a", "b", "delta");
+  for (const Row& r : rows) std::printf("%s\n", r.line.c_str());
+  if (top > 0 && total_rows > rows.size()) {
+    std::printf("\nshowing top %zu of %zu by |relative delta|\n", rows.size(),
+                total_rows);
   }
   std::printf("\n%zu changed, %zu added, %zu removed, %zu unchanged\n", changed,
               added, removed, same);
@@ -190,7 +227,7 @@ int main(int argc, char** argv) {
   const char* usage =
       "usage: nwcstat <command> ...\n"
       "  show <metrics.json> [component...]   pretty-print instruments\n"
-      "  diff <a.json> <b.json> [--all]       compare two exports\n";
+      "  diff <a.json> <b.json> [--all] [--top=N]   compare two exports\n";
   if (argc < 2) {
     std::fputs(usage, stderr);
     return 2;

@@ -1,0 +1,257 @@
+// nwctop: live view of a running nwcbatch grid.
+//
+//   nwcbatch --status=status.jsonl --sample-interval=50000 --sample-dir=ts ...
+//   nwctop [--refresh-ms=N] [--once] [--track=NAME] status.jsonl
+//
+// Tails the batch's JSONL status stream (start/hb/cell/end lines) and
+// redraws a terminal dashboard: overall progress with ETA and RSS, one row
+// per grid cell with its state, wall time and health verdict, and — when
+// the batch exports per-cell time series — an ASCII sparkline of one track
+// (default vm.free_frames, pick another with --track=).
+//
+// The stream is append-only and every line is flushed whole, so re-reading
+// the file each refresh and ignoring a torn final line is a complete
+// tailing strategy. nwctop exits when the "end" line appears (or after one
+// frame with --once, which also skips the screen-clear escape codes so the
+// output is pipeable and testable).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/timeseries.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+struct CellInfo {
+  std::string stem;
+  std::string app;
+  std::string system;
+  std::string prefetch;
+  std::uint64_t seed = 0;
+  // Completion state, filled by "cell" lines.
+  bool done = false;
+  bool ok = false;
+  bool resumed = false;
+  double wall_ms = 0.0;
+  std::string health;
+  std::string sample_file;
+};
+
+struct BatchView {
+  bool started = false;
+  bool ended = false;
+  bool end_ok = false;
+  std::size_t total = 0;
+  std::string sample_dir;
+  std::vector<CellInfo> cells;
+  // Latest heartbeat.
+  std::size_t hb_done = 0;
+  std::size_t hb_running = 0;
+  long long hb_eta_s = -1;
+  std::uint64_t hb_rss = 0;
+  bool hb_seen = false;
+};
+
+// Parses the whole status file into a view; torn trailing lines (a crash or
+// an in-flight write) are ignored, matching the resume loader's tolerance.
+bool loadView(const std::string& path, BatchView& view) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    nwc::util::JsonValue v;
+    try {
+      v = nwc::util::parseJson(line);
+    } catch (const std::exception&) {
+      continue;
+    }
+    const nwc::util::JsonValue* type = v.find("type");
+    if (type == nullptr) continue;
+    if (type->string == "start") {
+      view.started = true;
+      view.total = static_cast<std::size_t>(v.at("total").number);
+      if (const auto* sd = v.find("sample_dir")) view.sample_dir = sd->string;
+      view.cells.assign(view.total, CellInfo{});
+      if (const auto* cells = v.find("cells")) {
+        for (const auto& c : cells->array) {
+          const auto i = static_cast<std::size_t>(c.at("cell").number);
+          if (i >= view.cells.size()) continue;
+          CellInfo& ci = view.cells[i];
+          ci.stem = c.at("stem").string;
+          ci.app = c.at("app").string;
+          ci.system = c.at("system").string;
+          ci.prefetch = c.at("prefetch").string;
+          ci.seed = static_cast<std::uint64_t>(c.at("seed").number);
+        }
+      }
+    } else if (type->string == "cell") {
+      const auto i = static_cast<std::size_t>(v.at("cell").number);
+      if (i >= view.cells.size()) continue;
+      CellInfo& ci = view.cells[i];
+      ci.done = true;
+      ci.ok = v.at("ok").boolean;
+      if (const auto* r = v.find("resumed")) ci.resumed = r->boolean;
+      if (const auto* w = v.find("wall_ms")) ci.wall_ms = w->number;
+      if (const auto* h = v.find("health")) ci.health = h->string;
+      if (const auto* s = v.find("sample")) ci.sample_file = s->string;
+    } else if (type->string == "hb") {
+      view.hb_seen = true;
+      view.hb_done = static_cast<std::size_t>(v.at("done").number);
+      view.hb_running = static_cast<std::size_t>(v.at("running").number);
+      view.hb_eta_s = static_cast<long long>(v.at("eta_s").number);
+      view.hb_rss = static_cast<std::uint64_t>(v.at("rss_bytes").number);
+    } else if (type->string == "end") {
+      view.ended = true;
+      view.end_ok = v.at("ok").boolean;
+    }
+  }
+  return view.started;
+}
+
+// Loads one track of a cell's nwc-timeseries-v1 export as a sparkline.
+// Results are cached by file name: exports are written once, before the
+// cell's status line, so a loaded sparkline never goes stale.
+std::string cellSparkline(const std::string& dir, const std::string& file,
+                          const std::string& track, int width,
+                          std::map<std::string, std::string>& cache) {
+  if (file.empty()) return "";
+  if (const auto it = cache.find(file); it != cache.end()) return it->second;
+  const std::string path = dir.empty() ? file : dir + "/" + file;
+  std::ifstream in(path);
+  if (!in) return "";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string spark;
+  try {
+    const nwc::util::JsonValue doc = nwc::util::parseJson(ss.str());
+    const nwc::util::JsonValue* tracks = doc.find("tracks");
+    const nwc::util::JsonValue* t = tracks ? tracks->find(track) : nullptr;
+    if (t == nullptr) return "";
+    nwc::sim::TimeSeries series;
+    for (const auto& p : t->at("points").array) {
+      series.sample(static_cast<nwc::sim::Tick>(p.array.at(0).number),
+                    p.array.at(1).number);
+    }
+    spark = series.sparkline(width);
+  } catch (const std::exception&) {
+    return "";
+  }
+  cache[file] = spark;
+  return spark;
+}
+
+std::string fmtWall(double ms) {
+  char buf[32];
+  if (ms >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", ms / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fms", ms);
+  }
+  return buf;
+}
+
+void render(const BatchView& view, const std::string& track, bool ansi,
+            std::map<std::string, std::string>& spark_cache) {
+  if (ansi) std::fputs("\033[H\033[2J", stdout);
+
+  std::size_t done = 0, failed = 0;
+  for (const CellInfo& c : view.cells) {
+    if (c.done) ++done;
+    if (c.done && !c.ok) ++failed;
+  }
+  std::printf("nwctop — %zu/%zu done", done, view.total);
+  if (failed > 0) std::printf(", %zu FAILED", failed);
+  if (view.hb_seen && !view.ended) {
+    std::printf(", %zu running", view.hb_running);
+    if (view.hb_eta_s >= 0) std::printf(", eta %llds", view.hb_eta_s);
+    std::printf(", rss %.1f MB", static_cast<double>(view.hb_rss) / (1024.0 * 1024.0));
+  }
+  if (view.ended) std::printf(" — batch %s", view.end_ok ? "ok" : "FAILED");
+  std::printf("\n\n");
+
+  const bool sparks = !view.sample_dir.empty();
+  std::printf("%-5s %-28s %-8s %-10s %-9s", "cell", "configuration", "state",
+              "wall", "health");
+  if (sparks) std::printf(" %s", track.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < view.cells.size(); ++i) {
+    const CellInfo& c = view.cells[i];
+    const std::string config =
+        c.app + " " + c.system + "/" + c.prefetch + " s" + std::to_string(c.seed);
+    const char* state = !c.done ? "…" : (!c.ok ? "FAIL" : (c.resumed ? "resumed" : "ok"));
+    std::printf("%-5zu %-28s %-8s %-10s %-9s", i, config.c_str(), state,
+                c.done && !c.resumed ? fmtWall(c.wall_ms).c_str() : "-",
+                c.health.empty() ? "-" : c.health.c_str());
+    if (sparks && c.done) {
+      const std::string s =
+          cellSparkline(view.sample_dir, c.sample_file, track, 32, spark_cache);
+      if (!s.empty()) std::printf(" |%s|", s.c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+[[noreturn]] void usage(int code) {
+  std::printf(
+      "usage: nwctop [--refresh-ms=N] [--once] [--track=NAME] status.jsonl\n"
+      "  --refresh-ms=N  redraw cadence (default 1000)\n"
+      "  --once          render a single frame without ANSI escapes and exit\n"
+      "  --track=NAME    sparkline track (default vm.free_frames)\n");
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string track = "vm.free_frames";
+  long refresh_ms = 1000;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--refresh-ms=", 0) == 0) {
+      refresh_ms = std::strtol(a.c_str() + 13, nullptr, 10);
+      if (refresh_ms <= 0) {
+        std::fprintf(stderr, "nwctop: --refresh-ms must be > 0\n");
+        return 2;
+      }
+    } else if (a == "--once") {
+      once = true;
+    } else if (a.rfind("--track=", 0) == 0) {
+      track = a.substr(std::strlen("--track="));
+    } else if (a == "--help" || a == "-h") {
+      usage(0);
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      usage(2);
+    }
+  }
+  if (path.empty()) usage(2);
+
+  std::map<std::string, std::string> spark_cache;
+  for (;;) {
+    BatchView view;
+    if (!loadView(path, view)) {
+      if (once) {
+        std::fprintf(stderr, "nwctop: no status stream at %s\n", path.c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(refresh_ms));
+      continue;
+    }
+    render(view, track, /*ansi=*/!once, spark_cache);
+    if (once) return 0;
+    if (view.ended) return view.end_ok ? 0 : 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(refresh_ms));
+  }
+}
