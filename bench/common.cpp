@@ -11,8 +11,10 @@
 
 #include "apps/registry.hpp"
 #include "machine/config_io.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/run_meta.hpp"
+#include "util/host.hpp"
 #include "util/parallel.hpp"
 
 namespace nwc::bench {
@@ -124,10 +126,14 @@ Options parseArgs(int argc, char** argv, const std::string& bench_name,
       opt.trace.mode = apps::TraceMode::kReplay;
     } else if (a == "--no-trace") {
       opt.trace.mode = apps::TraceMode::kOff;
+    } else if (a.rfind("--profile=", 0) == 0) {
+      opt.profile_path = a.substr(std::strlen("--profile="));
+      obs::prof::enableWithReportAtExit(opt.profile_path);
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "usage: %s [--scale=F] [--apps=a,b] [--csv=PATH] [--seed=N] [--jobs=N] "
-          "[--metrics-dir=DIR] [--trace-dir=DIR [--record|--replay|--no-trace]]\n",
+          "[--metrics-dir=DIR] [--trace-dir=DIR [--record|--replay|--no-trace]] "
+          "[--profile=FILE]\n",
           bench_name.c_str());
       std::exit(0);
     } else {
@@ -245,8 +251,8 @@ void printTraceCacheSummary(const Options& opt) {
                static_cast<unsigned long long>(st.records.load()),
                static_cast<unsigned long long>(st.executes.load()),
                static_cast<unsigned long long>(st.fallbacks.load()),
-               obs::formatBytes(st.bytes_written.load()).c_str(),
-               obs::formatBytes(st.bytes_read.load()).c_str());
+               util::formatBytes(st.bytes_written.load()).c_str(),
+               util::formatBytes(st.bytes_read.load()).c_str());
 }
 
 std::string bar(double fraction, int width) {

@@ -11,6 +11,8 @@
 //   --record      with --trace-dir: always execute and (re)write traces
 //   --replay      with --trace-dir: strict replay, never fall back
 //   --no-trace    ignore the trace cache even if --trace-dir is given
+//   --profile=<path>     profile the simulator itself: nwc-profile-v1 JSON
+//                        report (+ .folded flamegraph stacks) at exit
 //
 // Parallelism model: a bench declares its full run grid up front with
 // runAhead(), which executes the simulations concurrently and caches the
@@ -39,6 +41,7 @@ struct Options {
   std::uint64_t seed = 0x5eed;
   unsigned jobs = 0;  // 0 = hardware concurrency, 1 = serial
   apps::TraceCacheConfig trace;  // --trace-dir / --record / --replay / --no-trace
+  std::string profile_path;  // --profile=: host self-profile report at exit
 };
 
 /// Parses the common flags; unknown flags abort with a usage message.

@@ -18,6 +18,7 @@
 #include "obs/run_meta.hpp"
 #include "obs/sampler.hpp"
 #include "util/csv.hpp"
+#include "util/host.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 
@@ -433,7 +434,7 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
     meta.config_hash = obs::fnv1aHash(machine::toIni(grid[i].cfg).serialize());
     meta.git_sha = obs::buildGitSha();
     meta.wall_ms = wall_ms;
-    meta.peak_rss_bytes = obs::peakRssBytes();
+    meta.peak_rss_bytes = util::peakRssBytes();
     meta.exec_pcycles = static_cast<std::uint64_t>(s.exec_time);
     meta.verified = s.verified;
     meta.trace_outcome = toString(tr.outcome);
@@ -441,6 +442,7 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
     meta.trace_bytes = tr.trace_bytes;
     meta.health_verdict = s.health_verdict;
     meta.health_trips = s.health_trips;
+    meta.fillHostFields();
     meta.write(spec.meta_dir + "/" + cellStem(i) + ".json");
   };
 
@@ -477,7 +479,7 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                   w0)
             .count();
-    std::uint64_t rss = obs::currentRssBytes();
+    std::uint64_t rss = util::currentRssBytes();
     std::uint64_t seen = cell_rss_peak.load(std::memory_order_relaxed);
     while (rss > seen &&
            !cell_rss_peak.compare_exchange_weak(seen, rss, std::memory_order_relaxed)) {
@@ -515,13 +517,13 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
         std::unique_lock<std::mutex> lk(hb_mutex);
         while (!hb_cv.wait_for(lk, std::chrono::seconds(spec.heartbeat_secs),
                                [&] { return hb_stop; })) {
-          meter.heartbeat("rss=" + obs::formatBytes(obs::currentRssBytes()) +
-                          " peak=" + obs::formatBytes(obs::peakRssBytes()) +
+          meter.heartbeat("rss=" + util::formatBytes(util::currentRssBytes()) +
+                          " peak=" + util::formatBytes(util::peakRssBytes()) +
                           " cell_peak=" +
-                          obs::formatBytes(
+                          util::formatBytes(
                               cell_rss_peak.load(std::memory_order_relaxed)) +
                           " pooled=" +
-                          obs::formatBytes(
+                          util::formatBytes(
                               machine::MachineArena::totalPooledBytes()));
           if (status.is_open()) {
             util::JsonObject o;
@@ -532,7 +534,7 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
                 .add("running", static_cast<std::uint64_t>(meter.running()))
                 .add("total", static_cast<std::uint64_t>(grid.size()))
                 .add("eta_s", static_cast<std::int64_t>(meter.etaSeconds()))
-                .add("rss_bytes", obs::currentRssBytes());
+                .add("rss_bytes", util::currentRssBytes());
             statusLine(o.str());
           }
         }

@@ -1,8 +1,10 @@
 #include "apps/replay.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "apps/app_context.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
 
@@ -49,7 +51,12 @@ RunSummary replayKernelTrace(const machine::MachineConfig& cfg,
         " (the interleave is baked into the streams; re-record)");
   }
 
-  machine::Machine m(cfg, sinks.arena);
+  std::optional<machine::Machine> mm;
+  {
+    obs::prof::Scope scope("setup");
+    mm.emplace(cfg, sinks.arena);
+  }
+  machine::Machine& m = *mm;
   if (sinks.trace != nullptr) m.attachTrace(sinks.trace);
   if (sinks.timeline != nullptr) m.attachEventTimeline(sinks.timeline);
   if (sinks.attr_records != nullptr) m.attachAttrRecords(sinks.attr_records);
@@ -61,22 +68,32 @@ RunSummary replayKernelTrace(const machine::MachineConfig& cfg,
   }
 
   AppContext ctx(m);
-  std::vector<std::uint64_t> bases;
-  bases.reserve(trace.regions.size());
-  for (const auto& r : trace.regions) {
-    bases.push_back(m.allocRegion(r.bytes, r.name));
-  }
-  m.start();
-
   std::vector<sim::RefStreamReader> readers;
-  readers.reserve(trace.streams.size());
-  for (const auto& s : trace.streams) readers.emplace_back(s);
-  for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
-    m.engine().spawn(
-        replayCpu(ctx, readers[static_cast<std::size_t>(cpu)], bases, cpu));
-  }
-  m.engine().run();
+  std::vector<std::uint64_t> bases;
+  {
+    obs::prof::Scope scope("warmup");
+    bases.reserve(trace.regions.size());
+    for (const auto& r : trace.regions) {
+      bases.push_back(m.allocRegion(r.bytes, r.name));
+    }
+    m.start();
 
+    readers.reserve(trace.streams.size());
+    for (const auto& s : trace.streams) readers.emplace_back(s);
+    for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
+      m.engine().spawn(
+          replayCpu(ctx, readers[static_cast<std::size_t>(cpu)], bases, cpu));
+    }
+  }
+  {
+    obs::prof::Scope scope("event-loop");
+    m.engine().run();
+    if (const std::uint64_t drain0 = m.hostDrainStartNs(); drain0 != 0) {
+      obs::prof::addSample("destage-drain", obs::prof::nowNs() - drain0);
+    }
+  }
+
+  obs::prof::Scope finalize_scope("finalize");
   RunSummary s;
   s.app = trace.app;
   s.cfg = cfg;

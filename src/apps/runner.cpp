@@ -1,8 +1,10 @@
 #include "apps/runner.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "apps/app_context.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
 #include "obs/timeline.hpp"
@@ -32,35 +34,50 @@ RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name
     throw std::invalid_argument("unknown application: " + app_name);
   }
 
-  machine::Machine m(cfg, sinks.arena);
-  if (sinks.trace != nullptr) m.attachTrace(sinks.trace);
-  if (sinks.timeline != nullptr) m.attachEventTimeline(sinks.timeline);
-  if (sinks.attr_records != nullptr) m.attachAttrRecords(sinks.attr_records);
-  if (sinks.ref_recorder != nullptr) m.attachRefRecorder(sinks.ref_recorder);
-  if (sinks.sampler != nullptr) {
-    sinks.sampler->attachTimeline(sinks.timeline);
-    m.attachSampler(sinks.sampler);
+  std::optional<machine::Machine> m;
+  std::unique_ptr<AppInstance> app;
+  {
+    obs::prof::Scope scope("setup");
+    m.emplace(cfg, sinks.arena);
+    if (sinks.trace != nullptr) m->attachTrace(sinks.trace);
+    if (sinks.timeline != nullptr) m->attachEventTimeline(sinks.timeline);
+    if (sinks.attr_records != nullptr) m->attachAttrRecords(sinks.attr_records);
+    if (sinks.ref_recorder != nullptr) m->attachRefRecorder(sinks.ref_recorder);
+    if (sinks.sampler != nullptr) {
+      sinks.sampler->attachTimeline(sinks.timeline);
+      m->attachSampler(sinks.sampler);
+    }
+    app = info->make(scale);
   }
-  std::unique_ptr<AppInstance> app = info->make(scale);
-  AppContext ctx(m);
-  app->setup(ctx);
-  m.start();
 
-  for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
-    m.engine().spawn(cpuMain(ctx, *app, cpu));
+  AppContext ctx(*m);
+  {
+    obs::prof::Scope scope("warmup");
+    app->setup(ctx);
+    m->start();
+    for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
+      m->engine().spawn(cpuMain(ctx, *app, cpu));
+    }
   }
-  m.engine().run();
+  {
+    obs::prof::Scope scope("event-loop");
+    m->engine().run();
+    if (const std::uint64_t drain0 = m->hostDrainStartNs(); drain0 != 0) {
+      obs::prof::addSample("destage-drain", obs::prof::nowNs() - drain0);
+    }
+  }
 
+  obs::prof::Scope finalize_scope("finalize");
   RunSummary s;
   s.app = info->name;
   s.cfg = cfg;
-  s.metrics = m.metrics();
-  s.exec_time = m.metrics().executionTime();
+  s.metrics = m->metrics();
+  s.exec_time = m->metrics().executionTime();
   s.verified = app->verify();
-  s.invariant_violations = m.checkInvariants();
-  s.engine_events = m.engine().eventsProcessed();
+  s.invariant_violations = m->checkInvariants();
+  s.engine_events = m->engine().eventsProcessed();
   s.data_bytes = app->dataBytes();
-  if (sinks.registry != nullptr) m.publishMetrics(*sinks.registry);
+  if (sinks.registry != nullptr) m->publishMetrics(*sinks.registry);
   if (sinks.sampler != nullptr) {
     s.health_verdict = sinks.sampler->health().verdict();
     s.health_trips = sinks.sampler->health().totalTrips();

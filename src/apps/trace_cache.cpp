@@ -5,6 +5,7 @@
 #include <system_error>
 
 #include "apps/replay.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 
 namespace nwc::apps {
@@ -74,6 +75,7 @@ RunSummary executeAndRecord(const machine::MachineConfig& cfg,
   RunSummary s = runApp(cfg, app_name, scale, with_rec);
   const KernelTrace t = rec.finish(s.verified, s.data_bytes);
 
+  obs::prof::Scope store_scope("trace-store");
   std::error_code ec;
   fs::create_directories(fs::path(path).parent_path(), ec);
   const std::string tmp = uniqueTmpPath(path);
@@ -134,7 +136,10 @@ RunSummary runAppCached(const machine::MachineConfig& cfg,
 
   std::string load_error;
   try {
-    KernelTrace t = readKernelTrace(path);
+    KernelTrace t = [&] {
+      obs::prof::Scope load_scope("trace-load");
+      return readKernelTrace(path);
+    }();
     if (t.kernel_hash != hash) {
       throw std::runtime_error(
           "kernel trace '" + path + "': keyed for app=" + t.app +

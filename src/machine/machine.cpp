@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "machine/backends/io_backend.hpp"
+#include "obs/profiler.hpp"
 #include "obs/timeline.hpp"
 #include "util/units.hpp"
 
@@ -149,6 +150,12 @@ void Machine::cpuDone(int cpu) {
   nc.pending = 0;
   nc.tlb_penalty = 0;
   ++cpus_done_;
+  // Host timestamp of the moment the last CPU finished: everything the
+  // event loop does after this is destage/drain tail work, which the
+  // profiler reports as its own phase (see runApp/replayApp).
+  if (cpus_done_ == cfg_.num_nodes && obs::prof::enabled()) {
+    host_drain_start_ns_ = obs::prof::nowNs();
+  }
 }
 
 sim::Tick Machine::pageSerTicks(double bps) const {

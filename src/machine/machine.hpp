@@ -136,6 +136,12 @@ class Machine {
   /// Marks `cpu` finished (records its finish time).
   void cpuDone(int cpu);
 
+  /// Host clock (obs::prof::nowNs) at the instant the last CPU called
+  /// cpuDone, or 0 when profiling was disabled / CPUs still running. The
+  /// runner uses it to attribute the event loop's post-workload tail to a
+  /// "destage-drain" profile phase.
+  std::uint64_t hostDrainStartNs() const { return host_drain_start_ns_; }
+
   /// Attaches a page-event trace sink (optional; may be null to detach).
   void attachTrace(TraceBuffer* sink) { trace_ = sink; }
   TraceBuffer* trace() const { return trace_; }
@@ -313,6 +319,7 @@ class Machine {
   std::vector<obs::AttrRecord>* attr_records_ = nullptr;
   obs::Sampler* sampler_ = nullptr;
   int cpus_done_ = 0;  // lets the sampler daemon stop with the workload
+  std::uint64_t host_drain_start_ns_ = 0;  // see hostDrainStartNs()
   std::unique_ptr<Timeline> timeline_;
   sim::Rng rng_;
   std::uint64_t next_vaddr_ = 0;

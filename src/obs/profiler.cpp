@@ -1,0 +1,568 @@
+#include "obs/profiler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/registry.hpp"
+#include "obs/run_meta.hpp"
+#include "util/host.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+// Allocation counters are thread-local PODs bumped by the operator-new
+// replacement at the bottom of this file. They count unconditionally (the
+// bump is ~1ns and contention-free) so the "profiling disabled performs
+// zero allocations" property is itself testable.
+thread_local std::uint64_t tls_alloc_count = 0;
+thread_local std::uint64_t tls_alloc_bytes = 0;
+
+}  // namespace
+
+namespace nwc::obs::prof {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_origin_ns{0};  // host-time zero for trace events
+
+constexpr std::size_t kMaxRetainedEventsPerThread = 1 << 16;
+
+struct Acc {
+  std::uint64_t ns = 0;
+  std::uint64_t count = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t bytes = 0;
+
+  void operator+=(const Acc& o) {
+    ns += o.ns;
+    count += o.count;
+    allocs += o.allocs;
+    bytes += o.bytes;
+  }
+};
+
+struct Ev {
+  std::string path;  // full slash path (leaf name rendered in the trace)
+  std::uint64_t t0_ns = 0;
+  std::uint64_t dur_ns = 0;
+  int tid = 0;
+};
+
+struct RssSample {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t rss_bytes = 0;
+  std::uint64_t alloc_bytes = 0;  // thread-cumulative at sample time
+};
+
+struct Frame {
+  const char* name;
+  std::uint64_t t0_ns;
+  std::uint64_t alloc0;
+  std::uint64_t bytes0;
+  std::size_t path_len;  // ts.path length before this frame was appended
+};
+
+struct ThreadState;
+
+struct GlobalState {
+  std::mutex mu;
+  std::vector<ThreadState*> live;
+  std::unordered_map<std::string, Acc> dead_acc;
+  std::vector<Ev> dead_events;
+  std::vector<RssSample> dead_rss;
+  std::uint64_t events_dropped = 0;
+  int next_tid = 1;
+  std::atomic<unsigned> pool_threads{0};
+  std::atomic<std::uint64_t> pool_lifetime_ns{0};
+  std::atomic<std::uint64_t> pool_busy_ns{0};
+  std::atomic<std::uint64_t> pool_tasks{0};
+  std::atomic<std::uint64_t> pool_steals{0};
+};
+
+// Leaked on purpose: thread exits (merging into this) can happen after
+// static destructors would have run.
+GlobalState& global() {
+  static GlobalState* g = new GlobalState;
+  return *g;
+}
+
+struct ThreadState {
+  std::mutex mu;  // guards acc/events/rss against snapshot()
+  std::vector<Frame> stack;
+  std::string path;  // slash-joined names of the active stack
+  std::unordered_map<std::string, Acc> acc;
+  std::vector<Ev> events;
+  std::vector<RssSample> rss;
+  std::uint64_t dropped = 0;
+  int tid = 0;
+
+  ThreadState() {
+    GlobalState& g = global();
+    std::lock_guard<std::mutex> lk(g.mu);
+    tid = g.next_tid++;
+    g.live.push_back(this);
+  }
+
+  ~ThreadState() {
+    GlobalState& g = global();
+    std::lock_guard<std::mutex> lk(g.mu);
+    for (auto& [k, v] : acc) g.dead_acc[k] += v;
+    for (Ev& e : events) g.dead_events.push_back(std::move(e));
+    for (const RssSample& s : rss) g.dead_rss.push_back(s);
+    g.events_dropped += dropped;
+    std::erase(g.live, this);
+  }
+};
+
+ThreadState& threadState() {
+  thread_local ThreadState ts;
+  return ts;
+}
+
+void retainEvent(ThreadState& ts, std::string path, std::uint64_t t0,
+                 std::uint64_t dur) {
+  if (ts.events.size() >= kMaxRetainedEventsPerThread) {
+    ++ts.dropped;
+    return;
+  }
+  ts.events.push_back(Ev{std::move(path), t0, dur, ts.tid});
+}
+
+void poolObserver(const util::ThreadPoolStats& s) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  GlobalState& g = global();
+  unsigned seen = g.pool_threads.load(std::memory_order_relaxed);
+  while (s.threads > seen &&
+         !g.pool_threads.compare_exchange_weak(seen, s.threads,
+                                               std::memory_order_relaxed)) {
+  }
+  g.pool_lifetime_ns.fetch_add(s.lifetime_ns * s.threads, std::memory_order_relaxed);
+  g.pool_busy_ns.fetch_add(s.busy_ns, std::memory_order_relaxed);
+  g.pool_tasks.fetch_add(s.tasks, std::memory_order_relaxed);
+  g.pool_steals.fetch_add(s.steals, std::memory_order_relaxed);
+}
+
+void buildTree(const std::unordered_map<std::string, Acc>& flat, Node& root) {
+  for (const auto& [path, a] : flat) {
+    Node* cur = &root;
+    std::size_t pos = 0;
+    while (pos <= path.size()) {
+      const std::size_t slash = path.find('/', pos);
+      const std::string part =
+          path.substr(pos, slash == std::string::npos ? slash : slash - pos);
+      cur = &cur->children[part];
+      if (slash == std::string::npos) break;
+      pos = slash + 1;
+    }
+    cur->wall_ns += a.ns;
+    cur->count += a.count;
+    cur->alloc_count += a.allocs;
+    cur->alloc_bytes += a.bytes;
+  }
+  for (const auto& [name, child] : root.children) {
+    root.wall_ns += child.wall_ns;
+    root.count += child.count;
+    root.alloc_count += child.alloc_count;
+    root.alloc_bytes += child.alloc_bytes;
+  }
+}
+
+std::string dottedMetricName(const std::string& slash_path) {
+  std::string out;
+  out.reserve(slash_path.size());
+  for (const char c : slash_path) {
+    if (c == '/') {
+      out += '.';
+    } else if (c == '-') {
+      out += '_';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void publishNode(const Node& n, const std::string& slash_path, MetricsRegistry& reg) {
+  if (!slash_path.empty()) {
+    const std::string base = "profile.phase." + dottedMetricName(slash_path);
+    reg.gauge(base + ".wall_ms", static_cast<double>(n.wall_ns) / 1e6);
+    reg.counter(base + ".count", n.count);
+    reg.counter(base + ".allocs", n.alloc_count);
+    reg.counter(base + ".alloc_bytes", n.alloc_bytes);
+  }
+  for (const auto& [name, child] : n.children) {
+    publishNode(child, slash_path.empty() ? name : slash_path + "/" + name, reg);
+  }
+}
+
+void foldNode(const Node& n, const std::string& semi_path, std::string& out) {
+  std::uint64_t child_ns = 0;
+  for (const auto& [name, child] : n.children) child_ns += child.wall_ns;
+  if (!semi_path.empty()) {
+    const std::uint64_t self_ns = n.wall_ns > child_ns ? n.wall_ns - child_ns : 0;
+    out += semi_path;
+    out += ' ';
+    out += std::to_string(self_ns / 1000);  // folded counts: self µs
+    out += '\n';
+  }
+  for (const auto& [name, child] : n.children) {
+    foldNode(child, semi_path.empty() ? name : semi_path + ";" + name, out);
+  }
+}
+
+std::string nodeJson(const Node& n, const std::string& name) {
+  util::JsonObject o;
+  o.add("name", name)
+      .add("wall_ms", static_cast<double>(n.wall_ns) / 1e6)
+      .add("count", n.count)
+      .add("allocs", n.alloc_count)
+      .add("alloc_bytes", n.alloc_bytes);
+  if (!n.children.empty()) {
+    std::vector<std::string> kids;
+    kids.reserve(n.children.size());
+    for (const auto& [k, child] : n.children) kids.push_back(nodeJson(child, k));
+    o.addRaw("children", util::jsonArray(kids));
+  }
+  return o.str();
+}
+
+// --profile= report path for the atexit writer.
+std::string& atexitPath() {
+  static std::string* p = new std::string;
+  return *p;
+}
+
+void atexitWriter() {
+  const std::string& path = atexitPath();
+  if (path.empty()) return;
+  try {
+    writeReport(path);
+    std::fprintf(stderr, "profile written to %s (+ %s.folded)\n", path.c_str(),
+                 path.c_str());
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "profile write failed: %s\n", ex.what());
+  }
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void enable() {
+  std::uint64_t expect = 0;
+  g_origin_ns.compare_exchange_strong(expect, nowNs(), std::memory_order_relaxed);
+  util::setThreadPoolObserver(&poolObserver);
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void reset() {
+  GlobalState& g = global();
+  std::lock_guard<std::mutex> lk(g.mu);
+  g.dead_acc.clear();
+  g.dead_events.clear();
+  g.dead_rss.clear();
+  g.events_dropped = 0;
+  for (ThreadState* ts : g.live) {
+    std::lock_guard<std::mutex> tlk(ts->mu);
+    ts->acc.clear();
+    ts->events.clear();
+    ts->rss.clear();
+    ts->dropped = 0;
+  }
+  g.pool_threads.store(0, std::memory_order_relaxed);
+  g.pool_lifetime_ns.store(0, std::memory_order_relaxed);
+  g.pool_busy_ns.store(0, std::memory_order_relaxed);
+  g.pool_tasks.store(0, std::memory_order_relaxed);
+  g.pool_steals.store(0, std::memory_order_relaxed);
+}
+
+void enableWithReportAtExit(const std::string& path) {
+  static std::once_flag once;
+  atexitPath() = path;
+  std::call_once(once, [] { std::atexit(&atexitWriter); });
+  enable();
+}
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Scope::Scope(const char* name) : live_(enabled()) {
+  if (!live_) return;
+  ThreadState& ts = threadState();
+  Frame f;
+  f.name = name;
+  f.path_len = ts.path.size();
+  if (!ts.path.empty()) ts.path += '/';
+  ts.path += name;
+  if (ts.stack.empty()) {
+    // Top-level phase boundary: cheap place to sample the RSS counter track
+    // (one /proc read per coarse phase, not per nested scope).
+    std::lock_guard<std::mutex> lk(ts.mu);
+    ts.rss.push_back(RssSample{nowNs(), util::currentRssBytes(), tls_alloc_bytes});
+  }
+  f.alloc0 = tls_alloc_count;
+  f.bytes0 = tls_alloc_bytes;
+  f.t0_ns = nowNs();
+  ts.stack.push_back(f);
+}
+
+Scope::~Scope() {
+  if (!live_) return;
+  const std::uint64_t t1 = nowNs();
+  ThreadState& ts = threadState();
+  const Frame f = ts.stack.back();
+  ts.stack.pop_back();
+  Acc a;
+  a.ns = t1 - f.t0_ns;
+  a.count = 1;
+  a.allocs = tls_alloc_count - f.alloc0;
+  a.bytes = tls_alloc_bytes - f.bytes0;
+  {
+    std::lock_guard<std::mutex> lk(ts.mu);
+    ts.acc[ts.path] += a;
+    retainEvent(ts, ts.path, f.t0_ns, a.ns);
+    if (ts.stack.empty()) {
+      ts.rss.push_back(RssSample{t1, util::currentRssBytes(), tls_alloc_bytes});
+    }
+  }
+  ts.path.resize(f.path_len);
+}
+
+void addSample(const char* rel_path, std::uint64_t wall_ns) {
+  if (!enabled()) return;
+  ThreadState& ts = threadState();
+  const std::string key =
+      ts.path.empty() ? std::string(rel_path) : ts.path + "/" + rel_path;
+  Acc a;
+  a.ns = wall_ns;
+  a.count = 1;
+  std::lock_guard<std::mutex> lk(ts.mu);
+  ts.acc[key] += a;
+  const std::uint64_t now = nowNs();
+  retainEvent(ts, key, now > wall_ns ? now - wall_ns : 0, wall_ns);
+}
+
+void notePool(unsigned threads, std::uint64_t lifetime_ns, std::uint64_t busy_ns,
+              std::uint64_t tasks, std::uint64_t steals) {
+  util::ThreadPoolStats s;
+  s.threads = threads;
+  s.lifetime_ns = lifetime_ns;
+  s.busy_ns = busy_ns;
+  s.tasks = tasks;
+  s.steals = steals;
+  // lifetime_ns here is already thread-summed by direct callers, so undo the
+  // per-thread multiply the pool observer applies.
+  s.lifetime_ns = threads > 0 ? lifetime_ns / threads : lifetime_ns;
+  poolObserver(s);
+}
+
+std::uint64_t threadAllocCount() { return tls_alloc_count; }
+std::uint64_t threadAllocBytes() { return tls_alloc_bytes; }
+
+double Report::poolUtilization() const {
+  if (pool_lifetime_ns == 0) return 0.0;
+  const double u =
+      static_cast<double>(pool_busy_ns) / static_cast<double>(pool_lifetime_ns);
+  return u > 1.0 ? 1.0 : u;
+}
+
+Report snapshot() {
+  GlobalState& g = global();
+  std::unordered_map<std::string, Acc> flat;
+  {
+    std::lock_guard<std::mutex> lk(g.mu);
+    flat = g.dead_acc;
+    for (ThreadState* ts : g.live) {
+      std::lock_guard<std::mutex> tlk(ts->mu);
+      for (const auto& [k, v] : ts->acc) flat[k] += v;
+    }
+  }
+  Report r;
+  buildTree(flat, r.root);
+  r.peak_rss_bytes = util::peakRssBytes();
+  r.current_rss_bytes = util::currentRssBytes();
+  r.pool_threads = g.pool_threads.load(std::memory_order_relaxed);
+  r.pool_lifetime_ns = g.pool_lifetime_ns.load(std::memory_order_relaxed);
+  r.pool_busy_ns = g.pool_busy_ns.load(std::memory_order_relaxed);
+  r.pool_tasks = g.pool_tasks.load(std::memory_order_relaxed);
+  r.pool_steals = g.pool_steals.load(std::memory_order_relaxed);
+  return r;
+}
+
+void publishMetrics(const Report& r, MetricsRegistry& reg) {
+  publishNode(r.root, "", reg);
+  reg.counter("profile.peak_rss_bytes", r.peak_rss_bytes);
+  reg.counter("profile.current_rss_bytes", r.current_rss_bytes);
+  reg.counter("profile.pool.threads", r.pool_threads);
+  reg.gauge("profile.pool.busy_ms", static_cast<double>(r.pool_busy_ns) / 1e6);
+  reg.gauge("profile.pool.idle_ms", static_cast<double>(r.poolIdleNs()) / 1e6);
+  reg.gauge("profile.pool.utilization", r.poolUtilization());
+  reg.counter("profile.pool.tasks", r.pool_tasks);
+  reg.counter("profile.pool.steals", r.pool_steals);
+}
+
+std::string foldedStacks(const Report& r) {
+  std::string out;
+  foldNode(r.root, "", out);
+  return out;
+}
+
+std::string reportJson(const Report& r) {
+  util::JsonObject pool;
+  pool.add("threads", static_cast<std::uint64_t>(r.pool_threads))
+      .add("busy_ms", static_cast<double>(r.pool_busy_ns) / 1e6)
+      .add("idle_ms", static_cast<double>(r.poolIdleNs()) / 1e6)
+      .add("utilization", r.poolUtilization())
+      .add("tasks", r.pool_tasks)
+      .add("steals", r.pool_steals);
+  std::vector<std::string> phases;
+  phases.reserve(r.root.children.size());
+  for (const auto& [name, child] : r.root.children) {
+    phases.push_back(nodeJson(child, name));
+  }
+  util::JsonObject o;
+  o.add("schema", "nwc-profile-v1")
+      .add("git_sha", buildGitSha())
+      .addRaw("host", util::hostInfoJson())
+      .add("total_wall_ms", static_cast<double>(r.root.wall_ns) / 1e6)
+      .add("peak_rss_bytes", r.peak_rss_bytes)
+      .add("current_rss_bytes", r.current_rss_bytes)
+      .addRaw("pool", pool.str())
+      .addRaw("phases", util::jsonArray(phases));
+  return o.str();
+}
+
+void writeReport(const std::string& path) {
+  const Report r = snapshot();
+  {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("profiler: cannot open " + path);
+    out << reportJson(r) << "\n";
+    if (!out) throw std::runtime_error("profiler: write failed for " + path);
+  }
+  {
+    const std::string folded_path = path + ".folded";
+    std::ofstream out(folded_path, std::ios::binary);
+    if (!out) throw std::runtime_error("profiler: cannot open " + folded_path);
+    out << foldedStacks(r);
+    if (!out) throw std::runtime_error("profiler: write failed for " + folded_path);
+  }
+}
+
+std::vector<std::string> chromeTraceEvents() {
+  GlobalState& g = global();
+  std::vector<Ev> events;
+  std::vector<RssSample> rss;
+  {
+    std::lock_guard<std::mutex> lk(g.mu);
+    events = g.dead_events;
+    rss = g.dead_rss;
+    for (ThreadState* ts : g.live) {
+      std::lock_guard<std::mutex> tlk(ts->mu);
+      events.insert(events.end(), ts->events.begin(), ts->events.end());
+      rss.insert(rss.end(), ts->rss.begin(), ts->rss.end());
+    }
+  }
+  const std::uint64_t origin = g_origin_ns.load(std::memory_order_relaxed);
+  auto micros = [origin](std::uint64_t ns) {
+    const std::uint64_t rel = ns > origin ? ns - origin : 0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(rel) / 1e3);
+    return std::string(buf);
+  };
+  std::vector<std::string> out;
+  out.reserve(events.size() + rss.size() + 2);
+  out.push_back(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"host (profiler)\"}}");
+  for (const Ev& e : events) {
+    const std::size_t slash = e.path.rfind('/');
+    const std::string leaf =
+        slash == std::string::npos ? e.path : e.path.substr(slash + 1);
+    out.push_back("{\"name\":\"" + util::jsonEscape(leaf) +
+                  "\",\"cat\":\"host\",\"ph\":\"X\",\"ts\":" + micros(e.t0_ns) +
+                  ",\"dur\":" + micros(origin + e.dur_ns) +
+                  ",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+                  ",\"args\":{\"path\":\"" + util::jsonEscape(e.path) + "\"}}");
+  }
+  for (const RssSample& s : rss) {
+    out.push_back("{\"name\":\"host rss (bytes)\",\"cat\":\"host\",\"ph\":\"C\""
+                  ",\"ts\":" + micros(s.ts_ns) + ",\"pid\":1,\"args\":{\"value\":" +
+                  std::to_string(s.rss_bytes) + "}}");
+    out.push_back("{\"name\":\"host alloc (bytes)\",\"cat\":\"host\",\"ph\":\"C\""
+                  ",\"ts\":" + micros(s.ts_ns) + ",\"pid\":1,\"args\":{\"value\":" +
+                  std::to_string(s.alloc_bytes) + "}}");
+  }
+  return out;
+}
+
+}  // namespace nwc::obs::prof
+
+// --- allocation counting -----------------------------------------------
+//
+// Replace the malloc-backed global operator-new forms with counting
+// versions, and the matching operator-delete forms with free() so the
+// new/delete pairing is explicit (GCC's -Wmismatched-new-delete otherwise
+// flags a replaced new paired with the library delete). Aligned-new forms
+// are not replaced (their default implementations pair among themselves),
+// so over-aligned allocations simply go uncounted.
+
+namespace {
+
+void* countedAlloc(std::size_t n) noexcept {
+  for (;;) {
+    void* p = std::malloc(n != 0 ? n : 1);
+    if (p != nullptr) {
+      ++tls_alloc_count;
+      tls_alloc_bytes += n;
+      return p;
+    }
+    std::new_handler h = std::get_new_handler();
+    if (h == nullptr) return nullptr;
+    h();
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  void* p = countedAlloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) {
+  void* p = countedAlloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return countedAlloc(n);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return countedAlloc(n);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }

@@ -1,0 +1,151 @@
+// Host-side self-profiler: watches the *simulator*, not the simulated
+// machine. Every other observability layer (metrics, timeline, sampler)
+// reports simulated behavior; this one answers "where does the host's
+// wall-clock time, allocation traffic, and memory go when we run?" — the
+// measured ground the perf-regression harness (bench/perf_suite,
+// tools/nwcperf) and the future PDES work stand on.
+//
+// Design:
+//  - RAII `prof::Scope` marks a named phase ("config-parse", "trace-load",
+//    "event-loop", ...). Scopes nest; the nesting forms a phase tree.
+//  - Per-thread TLS buffers: scope entry/exit touch only thread-local
+//    state plus one short uncontended lock at exit, so `util::ThreadPool`
+//    workers profile concurrently without serializing. Buffers are merged
+//    at snapshot()/thread-exit.
+//  - Compiled in but disabled by default: a Scope on the disabled path is
+//    one relaxed atomic load and performs no allocation. Enabling changes
+//    nothing about simulated results — profiling reads host clocks only —
+//    so simulated outputs are byte-identical with profiling on or off.
+//  - Allocation counters: global operator new is replaced (malloc + a
+//    thread-local counter bump, ~1ns) so each phase reports how many
+//    heap allocations happened inside it.
+//  - Thread-pool utilization: util::ThreadPool reports busy/steal/task
+//    totals through an observer installed by enable(); the report carries
+//    pool busy vs idle time.
+//
+// Output surfaces (all produced from one snapshot()):
+//  - `profile.*` instruments in a MetricsRegistry (publishMetrics),
+//  - folded-stack text for flamegraph tooling (foldedStacks),
+//  - a JSON report (reportJson/writeReport; writeReport also writes a
+//    sibling `.folded` file),
+//  - Chrome trace events on a "host" process track (chromeTraceEvents)
+//    that nwcsim merges into the Perfetto timeline export.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nwc::obs {
+class MetricsRegistry;
+}
+
+namespace nwc::obs::prof {
+
+/// Process-wide switch. Off by default; reading it is one relaxed load.
+bool enabled();
+void enable();
+void disable();
+
+/// Drops all recorded data (phase accumulators, retained events, pool
+/// stats). Keeps the enabled/disabled state. Test support; not meant to be
+/// called while scopes are active on other threads.
+void reset();
+
+/// enable() plus an atexit hook that writes the report to `path` (and the
+/// folded stacks to `path + ".folded"`). Backs every tool's `--profile=`
+/// flag; the report is written to stderr-adjacent files only, never to the
+/// tool's stdout, so simulated outputs stay byte-identical.
+void enableWithReportAtExit(const std::string& path);
+
+/// Monotonic host clock in nanoseconds (steady_clock).
+std::uint64_t nowNs();
+
+/// RAII phase scope. `name` must have static lifetime (string literal).
+class Scope {
+ public:
+  explicit Scope(const char* name);
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  bool live_;  // pushed a frame (profiler was enabled at construction)
+};
+
+/// Records a manually measured sample at `rel_path` (slash-separated)
+/// under the calling thread's *current* scope path — used for phases whose
+/// boundaries cannot be expressed as a C++ scope, e.g. the event loop's
+/// destage-drain tail measured inside Machine. No-op when disabled.
+void addSample(const char* rel_path, std::uint64_t wall_ns);
+
+/// Thread-pool utilization totals, reported by util::ThreadPool's observer
+/// on pool destruction. Accumulates across pools. No-op when disabled.
+void notePool(unsigned threads, std::uint64_t lifetime_ns, std::uint64_t busy_ns,
+              std::uint64_t tasks, std::uint64_t steals);
+
+/// The calling thread's allocation counters. Counted unconditionally (the
+/// operator-new hook is ~1ns), so tests can assert the disabled profiling
+/// path performs zero allocations.
+std::uint64_t threadAllocCount();
+std::uint64_t threadAllocBytes();
+
+/// One node of the merged phase tree. Children are keyed by phase name in
+/// lexicographic order, so every export is deterministic.
+struct Node {
+  std::uint64_t wall_ns = 0;
+  std::uint64_t count = 0;        // scope entries
+  std::uint64_t alloc_count = 0;  // heap allocations inside the phase
+  std::uint64_t alloc_bytes = 0;
+  std::map<std::string, Node> children;
+};
+
+struct Report {
+  Node root;  // root.children are the top-level phases; root totals are sums
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t current_rss_bytes = 0;
+  unsigned pool_threads = 0;  // max threads over reporting pools
+  std::uint64_t pool_lifetime_ns = 0;  // sum of per-pool thread-lifetime ns
+  std::uint64_t pool_busy_ns = 0;
+  std::uint64_t pool_tasks = 0;
+  std::uint64_t pool_steals = 0;
+
+  std::uint64_t poolIdleNs() const {
+    return pool_lifetime_ns > pool_busy_ns ? pool_lifetime_ns - pool_busy_ns : 0;
+  }
+  /// busy / (busy + idle) across all reporting pools; 0 when no pool ran.
+  double poolUtilization() const;
+};
+
+/// Merges every thread's buffer (live and exited) into one tree. Safe to
+/// call while other threads are between scopes; an active (unfinished)
+/// scope is not included until it closes.
+Report snapshot();
+
+/// Exports the report as `profile.*` instruments:
+///   profile.phase.<path>.wall_ms / .count / .allocs / .alloc_bytes
+///   (path components are dot-joined with '-' mapped to '_'), plus
+///   profile.peak_rss_bytes, profile.pool.threads, profile.pool.busy_ms,
+///   profile.pool.idle_ms, profile.pool.utilization, profile.pool.tasks,
+///   profile.pool.steals.
+void publishMetrics(const Report& r, MetricsRegistry& reg);
+
+/// Folded-stack lines ("config-parse 1234" / "event-loop;destage-drain 56")
+/// with self-time microseconds as the count column — feed to flamegraph.pl
+/// or speedscope directly.
+std::string foldedStacks(const Report& r);
+
+/// {"schema":"nwc-profile-v1",...} — the full report as JSON.
+std::string reportJson(const Report& r);
+
+/// Writes reportJson to `path` and foldedStacks to `path + ".folded"`.
+void writeReport(const std::string& path);
+
+/// Retained phase spans and RSS counter samples as Chrome trace-event JSON
+/// objects on a dedicated "host" process, host-time microsecond timebase.
+/// nwcsim appends these to the Perfetto timeline export when profiling is
+/// enabled (without --profile= the export is byte-identical to before).
+std::vector<std::string> chromeTraceEvents();
+
+}  // namespace nwc::obs::prof

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/host.hpp"
 #include "util/json.hpp"
 
 #ifndef NWC_GIT_SHA
@@ -23,58 +24,11 @@ std::uint64_t fnv1aHash(const std::string& s) {
 
 std::string buildGitSha() { return NWC_GIT_SHA; }
 
-namespace {
-
-// Reads the n-th whitespace-separated field of a /proc single-line file.
-std::uint64_t procStatmField(int field) {
-  std::ifstream in("/proc/self/statm");
-  if (!in) return 0;
-  std::uint64_t v = 0;
-  for (int i = 0; i <= field; ++i) {
-    if (!(in >> v)) return 0;
-  }
-  return v;
-}
-
-}  // namespace
-
-std::uint64_t currentRssBytes() {
-  // statm field 1 is resident pages.
-  return procStatmField(1) * 4096ULL;
-}
-
-std::uint64_t peakRssBytes() {
-  std::ifstream in("/proc/self/status");
-  if (!in) return 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.rfind("VmHWM:", 0) == 0) {
-      std::uint64_t kb = 0;
-      if (std::sscanf(line.c_str() + 6, "%llu",
-                      reinterpret_cast<unsigned long long*>(&kb)) == 1) {
-        return kb * 1024ULL;
-      }
-      return 0;
-    }
-  }
-  return 0;
-}
-
-std::string formatBytes(std::uint64_t bytes) {
-  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
-  double v = static_cast<double>(bytes);
-  int u = 0;
-  while (v >= 1024.0 && u < 4) {
-    v /= 1024.0;
-    ++u;
-  }
-  char buf[32];
-  if (u == 0) {
-    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
-  }
-  return buf;
+void RunMeta::fillHostFields() {
+  const util::HostInfo& h = util::hostInfo();
+  host_cores = h.cores;
+  host_compiler = h.compiler;
+  host_flags = h.compile_flags;
 }
 
 std::string RunMeta::toJson() const {
@@ -104,6 +58,11 @@ std::string RunMeta::toJson() const {
   }
   if (!health_verdict.empty()) {
     o.add("health", health_verdict).add("health_trips", health_trips);
+  }
+  if (host_cores != 0) {
+    o.add("host_cores", static_cast<std::uint64_t>(host_cores))
+        .add("host_compiler", host_compiler)
+        .add("host_flags", host_flags);
   }
   return o.str();
 }

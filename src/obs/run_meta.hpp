@@ -15,16 +15,9 @@ std::uint64_t fnv1aHash(const std::string& s);
 /// build did not run inside a checkout).
 std::string buildGitSha();
 
-/// Current resident set size in bytes (/proc/self/statm; 0 if unavailable).
-std::uint64_t currentRssBytes();
-
-/// Process peak resident set size in bytes (/proc/self/status VmHWM; 0 if
-/// unavailable). Note: process-wide high-water mark, so per-cell readings
-/// in a batch are an upper bound on the cell's own footprint.
-std::uint64_t peakRssBytes();
-
-/// Renders bytes as a short human string ("1.5 GB", "312 MB", "8 KB").
-std::string formatBytes(std::uint64_t bytes);
+// RSS and byte-formatting helpers live in util/host.hpp (util::currentRssBytes,
+// util::peakRssBytes, util::formatBytes) so host facts are read one way
+// everywhere — run_meta, the nwcbatch heartbeat, perf_suite, the profiler.
 
 struct RunMeta {
   std::string app;
@@ -48,6 +41,14 @@ struct RunMeta {
   // run was not sampled (the fields are then omitted from the JSON).
   std::string health_verdict;
   std::uint64_t health_trips = 0;
+  // Host provenance (BENCH comparability): filled by fillHostFields() from
+  // util::hostInfo(). Empty/zero fields are omitted from the JSON so
+  // pre-existing metadata consumers see unchanged files until callers opt in.
+  unsigned host_cores = 0;
+  std::string host_compiler;
+  std::string host_flags;
+
+  void fillHostFields();
 
   std::string toJson() const;
   void write(const std::string& path) const;  // throws on I/O failure

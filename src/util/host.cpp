@@ -1,0 +1,152 @@
+#include "util/host.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "util/json.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+#ifndef NWC_CXX_FLAGS
+#define NWC_CXX_FLAGS ""
+#endif
+#ifndef NWC_BUILD_TYPE
+#define NWC_BUILD_TYPE ""
+#endif
+
+namespace nwc::util {
+
+namespace {
+
+// Reads the n-th whitespace-separated field of a /proc single-line file.
+std::uint64_t procStatmField(int field) {
+  std::ifstream in("/proc/self/statm");
+  if (!in) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i <= field; ++i) {
+    if (!(in >> v)) return 0;
+  }
+  return v;
+}
+
+// "VmHWM:   123456 kB"-style line from a /proc status-format file.
+std::uint64_t procStatusKb(const char* path, const std::string& key) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(key, 0) == 0) {
+      std::uint64_t kb = 0;
+      if (std::sscanf(line.c_str() + key.size(), "%llu",
+                      reinterpret_cast<unsigned long long*>(&kb)) == 1) {
+        return kb * 1024ULL;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+std::string cpuModelName() {
+  std::ifstream in("/proc/cpuinfo");
+  if (!in) return "unknown";
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) break;
+      std::size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+std::string compilerString() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+HostInfo captureHostInfo() {
+  HostInfo h;
+  h.cores = std::thread::hardware_concurrency();
+  if (h.cores == 0) h.cores = 1;
+  h.cpu_model = cpuModelName();
+  h.total_mem_bytes = procStatusKb("/proc/meminfo", "MemTotal:");
+  h.compiler = compilerString();
+  h.compile_flags = NWC_CXX_FLAGS;
+  h.build_type = NWC_BUILD_TYPE;
+  h.hostname = "unknown";
+  h.os = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256];
+  if (gethostname(buf, sizeof(buf)) == 0) {
+    buf[sizeof(buf) - 1] = '\0';
+    h.hostname = buf;
+  }
+  struct utsname un;
+  if (uname(&un) == 0) {
+    h.os = std::string(un.sysname) + " " + un.release;
+  }
+#endif
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t currentRssBytes() {
+  // statm field 1 is resident pages.
+  return procStatmField(1) * 4096ULL;
+}
+
+std::uint64_t peakRssBytes() {
+  return procStatusKb("/proc/self/status", "VmHWM:");
+}
+
+std::string formatBytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+  }
+  return buf;
+}
+
+const HostInfo& hostInfo() {
+  static const HostInfo info = captureHostInfo();
+  return info;
+}
+
+std::string hostInfoJson() {
+  const HostInfo& h = hostInfo();
+  JsonObject o;
+  o.add("hostname", h.hostname)
+      .add("os", h.os)
+      .add("cpu_model", h.cpu_model)
+      .add("cores", static_cast<std::uint64_t>(h.cores))
+      .add("total_mem_bytes", h.total_mem_bytes)
+      .add("compiler", h.compiler)
+      .add("compile_flags", h.compile_flags)
+      .add("build_type", h.build_type);
+  return o.str();
+}
+
+}  // namespace nwc::util

@@ -10,9 +10,16 @@ unsigned clampThreads(unsigned requested) {
   return hw != 0 ? hw : 1;
 }
 
+std::atomic<void (*)(const ThreadPoolStats&)> g_pool_observer{nullptr};
+
 }  // namespace
 
-ThreadPool::ThreadPool(unsigned threads) {
+void setThreadPoolObserver(void (*observer)(const ThreadPoolStats&)) {
+  g_pool_observer.store(observer, std::memory_order_release);
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : created_(std::chrono::steady_clock::now()) {
   const unsigned n = clampThreads(threads);
   queues_.reserve(n);
   for (unsigned i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
@@ -31,6 +38,22 @@ ThreadPool::~ThreadPool() {
   }
   idle_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  if (auto* observer = g_pool_observer.load(std::memory_order_acquire)) {
+    observer(stats());
+  }
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats s;
+  s.threads = static_cast<unsigned>(workers_.size());
+  s.lifetime_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - created_)
+          .count());
+  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  s.tasks = tasks_run_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
@@ -73,12 +96,20 @@ bool ThreadPool::runOneTask(std::size_t self) {
       if (!q.tasks.empty()) {
         task = std::move(q.tasks.back());
         q.tasks.pop_back();
+        steals_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
   if (!task.valid()) return false;
   queued_.fetch_sub(1, std::memory_order_acq_rel);
+  const auto t0 = std::chrono::steady_clock::now();
   task();  // packaged_task captures any exception into the future
+  busy_ns_.fetch_add(static_cast<std::uint64_t>(
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count()),
+                     std::memory_order_relaxed);
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
   pending_.fetch_sub(1, std::memory_order_acq_rel);
   return true;
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -20,6 +21,24 @@
 #include <vector>
 
 namespace nwc::util {
+
+/// Lifetime totals for one pool, reported to the observer when the pool is
+/// destroyed. `lifetime_ns` is the pool's wall-clock lifetime (construction
+/// to destruction); multiply by `threads` for total thread-time. `busy_ns`
+/// is the summed wall time workers spent inside tasks.
+struct ThreadPoolStats {
+  unsigned threads = 0;
+  std::uint64_t lifetime_ns = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t steals = 0;
+};
+
+/// Installs a process-wide observer invoked from every ThreadPool
+/// destructor (after workers joined, so the stats are final). Pass nullptr
+/// to uninstall. Used by the profiler (obs::prof) to report pool
+/// utilization; util must not depend on obs, hence the function pointer.
+void setThreadPoolObserver(void (*observer)(const ThreadPoolStats&));
 
 class ThreadPool {
  public:
@@ -43,6 +62,11 @@ class ThreadPool {
   /// Tasks submitted but not yet finished.
   std::size_t pending() const { return pending_.load(std::memory_order_acquire); }
 
+  /// Totals so far (busy_ns/tasks/steals are live; lifetime_ns is
+  /// construction-to-now). The destructor reports the final values to the
+  /// observer installed via setThreadPoolObserver().
+  ThreadPoolStats stats() const;
+
  private:
   struct Queue {
     std::mutex mutex;
@@ -60,6 +84,10 @@ class ThreadPool {
   std::atomic<std::size_t> queued_{0};    // queued only (wake predicate)
   std::atomic<std::uint64_t> next_queue_{0};
   std::atomic<bool> stopping_{false};
+  std::chrono::steady_clock::time_point created_;
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::atomic<std::uint64_t> tasks_run_{0};
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 }  // namespace nwc::util

@@ -94,14 +94,15 @@ for doc in docs/OBSERVABILITY.md docs/POLICIES.md; do
     } || fail=1
 done
 
-# 4. Continuous-telemetry names (`sampler.*`, `health.*`) must resolve
-#    against the sampler/health sources specifically — the generic suffix
-#    fallback above could accept one via an unrelated literal elsewhere in
-#    src/. Accept a full registration literal in src/obs/, or (for names
-#    composed at publish time, e.g. health.<detector>.trips) every dotted
+# 4. Continuous-telemetry and profiler names (`sampler.*`, `health.*`,
+#    `profile.*`) must resolve against the src/obs sources specifically —
+#    the generic suffix fallback above could accept one via an unrelated
+#    literal elsewhere in src/. Accept a full registration literal in
+#    src/obs/, or (for names composed at publish time, e.g.
+#    health.<detector>.trips or profile.phase.<path>.wall_ms) every dotted
 #    segment appearing there.
 for doc in README.md docs/OBSERVABILITY.md; do
-  grep -oE '`(sampler|health)\.[a-z0-9_.]+`' "$doc" | tr -d '\`' | sort -u |
+  grep -oE '`(sampler|health|profile)\.[a-z0-9_.]+`' "$doc" | tr -d '\`' | sort -u |
     {
       bad=0
       while IFS= read -r name; do

@@ -31,7 +31,9 @@
 
 #include "apps/batch.hpp"
 #include "apps/trace_cache.hpp"
+#include "obs/profiler.hpp"
 #include "obs/run_meta.hpp"
+#include "util/host.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
@@ -51,7 +53,7 @@ int main(int argc, char** argv) {
       "usage: nwcbatch [--jobs=N] [--meta-dir=DIR] [--heartbeat=SECS] "
       "[--resume] [--trace-dir=DIR] [--trace-mode=MODE] "
       "[--sample-interval=N] [--sample-dir=DIR] [--status=FILE] "
-      "<experiments.ini>\n";
+      "[--profile=FILE] <experiments.ini>\n";
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--jobs=", 0) == 0) {
@@ -84,6 +86,8 @@ int main(int argc, char** argv) {
       sample_dir = a.substr(std::strlen("--sample-dir="));
     } else if (a.rfind("--status=", 0) == 0) {
       status_path = a.substr(std::strlen("--status="));
+    } else if (a.rfind("--profile=", 0) == 0) {
+      obs::prof::enableWithReportAtExit(a.substr(std::strlen("--profile=")));
     } else if (a == "--help" || a == "-h") {
       std::printf("%s"
                   "  --jobs=N          worker threads (0 = all cores, 1 = serial;\n"
@@ -99,7 +103,10 @@ int main(int argc, char** argv) {
                   "                    (0 = off; overrides batch.sample_interval)\n"
                   "  --sample-dir=DIR  one nwc-timeseries-v1 JSON + CSV per cell\n"
                   "  --status=FILE     live JSONL status stream (tail it with\n"
-                  "                    nwctop)\n",
+                  "                    nwctop)\n"
+                  "  --profile=FILE    profile the simulator itself: write an\n"
+                  "                    nwc-profile-v1 JSON report (+ FILE.folded)\n"
+                  "                    at exit; grid results are unchanged\n",
                   usage);
       return 0;
     } else if (ini_path.empty()) {
@@ -167,8 +174,8 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(st.records.load()),
                   static_cast<unsigned long long>(st.executes.load()),
                   static_cast<unsigned long long>(st.fallbacks.load()),
-                  obs::formatBytes(st.bytes_written.load()).c_str(),
-                  obs::formatBytes(st.bytes_read.load()).c_str());
+                  util::formatBytes(st.bytes_written.load()).c_str(),
+                  util::formatBytes(st.bytes_read.load()).c_str());
     }
     return res.all_ok ? 0 : 1;
   } catch (const std::exception& ex) {

@@ -1,0 +1,93 @@
+// nwcperf: compare two BENCH_*.json files (bench/perf_suite output) and
+// gate on performance regressions.
+//
+//   nwcperf [--tolerance=F] [--min-ms=F] [--no-phases] [--gate]
+//           <baseline.json> <current.json>
+//
+// Prints a GitHub-flavored markdown table (one row per workload × metric)
+// with a PASS/FAIL verdict line. Exit status: 0 when no metric regressed
+// beyond tolerance, 1 on regression (with --gate it also prints the
+// offending rows to stderr), 2 on usage or I/O errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/bench_compare.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nwc::obs::bench;
+  CompareOptions opts;
+  bool gate = false;
+  std::string baseline_path;
+  std::string current_path;
+  const char* usage =
+      "usage: nwcperf [--tolerance=F] [--min-ms=F] [--no-phases] [--gate] "
+      "<baseline.json> <current.json>\n";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--tolerance=", 0) == 0) {
+      opts.tolerance = std::atof(a.c_str() + std::strlen("--tolerance="));
+      if (opts.tolerance <= 0.0) {
+        std::fprintf(stderr, "nwcperf: --tolerance must be > 0\n");
+        return 2;
+      }
+    } else if (a.rfind("--min-ms=", 0) == 0) {
+      opts.min_wall_ms = std::atof(a.c_str() + std::strlen("--min-ms="));
+    } else if (a == "--no-phases") {
+      opts.include_phases = false;
+    } else if (a == "--gate") {
+      gate = true;
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "%s"
+          "  --tolerance=F  ratio slack before a metric regresses (default 0.25:\n"
+          "                 current/baseline > 1.25 fails)\n"
+          "  --min-ms=F     time metrics with a baseline under F ms are noise,\n"
+          "                 never gated (default 5)\n"
+          "  --no-phases    compare whole-workload metrics only, skip the\n"
+          "                 per-phase wall-time rows\n"
+          "  --gate         echo regressing rows to stderr (for CI logs)\n",
+          usage);
+      return 0;
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "nwcperf: unknown flag %s\n%s", a.c_str(), usage);
+      return 2;
+    } else if (baseline_path.empty()) {
+      baseline_path = a;
+    } else if (current_path.empty()) {
+      current_path = a;
+    } else {
+      std::fputs(usage, stderr);
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fputs(usage, stderr);
+    return 2;
+  }
+  try {
+    const BenchFile baseline = readBenchFile(baseline_path);
+    const BenchFile current = readBenchFile(current_path);
+    std::printf("baseline: %s (tag %s, sha %s, %u trials)\n", baseline_path.c_str(),
+                baseline.tag.c_str(), baseline.git_sha.c_str(), baseline.trials);
+    std::printf("current:  %s (tag %s, sha %s, %u trials)\n\n", current_path.c_str(),
+                current.tag.c_str(), current.git_sha.c_str(), current.trials);
+    const CompareResult res = compare(baseline, current, opts);
+    std::fputs(res.markdown().c_str(), stdout);
+    if (gate && !res.ok()) {
+      for (const CompareRow& r : res.rows) {
+        if (r.status != RowStatus::kRegression && r.status != RowStatus::kMissing) {
+          continue;
+        }
+        std::fprintf(stderr, "nwcperf: REGRESSION %s %s: %.3f -> %.3f (x%.2f)\n",
+                     r.workload.c_str(), r.metric.c_str(), r.baseline, r.current,
+                     r.ratio);
+      }
+    }
+    return res.ok() ? 0 : 1;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "nwcperf: %s\n", ex.what());
+    return 2;
+  }
+}

@@ -22,6 +22,7 @@
 #include "apps/registry.hpp"
 #include "apps/runner.hpp"
 #include "machine/config_io.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
 #include "obs/timeline.hpp"
@@ -62,6 +63,11 @@ namespace {
       "  --replay              with --trace-dir: strict replay, never fall back\n"
       "  --no-trace            ignore the trace cache even with --trace-dir\n"
       "  --json                emit the run summary as JSON\n"
+      "  --profile=FILE        profile the simulator itself: write an\n"
+      "                        nwc-profile-v1 JSON report (+ FILE.folded\n"
+      "                        flamegraph stacks) at exit; host tracks are\n"
+      "                        merged into --timeline= exports. Simulated\n"
+      "                        results are unchanged.\n"
       "  --dump-config         print the effective config as INI and exit\n");
   std::exit(code);
 }
@@ -108,93 +114,111 @@ int main(int argc, char** argv) {
 
   machine::MachineConfig cfg;
 
-  std::vector<std::string> overrides;
+  // --profile= is pre-scanned so the profiler is live before any other flag
+  // does work (config files parsed under --config= count as "config-parse").
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    auto val = [&](const char* prefix) { return a.substr(std::strlen(prefix)); };
-    try {
-      if (a.rfind("--app=", 0) == 0) {
-        app = val("--app=");
-      } else if (a.rfind("--scale=", 0) == 0) {
-        scale = std::atof(val("--scale=").c_str());
-      } else if (a.rfind("--system=", 0) == 0) {
-        cfg.system = machine::systemKindFromString(val("--system="));
-        system_set = true;
-      } else if (a.rfind("--prefetch=", 0) == 0) {
-        cfg.prefetch = machine::prefetchFromString(val("--prefetch="));
-        prefetch_set = true;
-      } else if (a.rfind("--minfree=", 0) == 0) {
-        cfg.min_free_frames = std::atoi(val("--minfree=").c_str());
-        minfree_overridden = true;
-      } else if (a.rfind("--config=", 0) == 0) {
-        machine::applyIni(util::IniFile::load(val("--config=")), cfg);
-        minfree_overridden = true;  // the file's value wins
-      } else if (a.rfind("--set", 0) == 0) {
-        if (a == "--set" && i + 1 < argc) {
-          overrides.push_back(argv[++i]);
-        } else if (a.rfind("--set=", 0) == 0) {
-          overrides.push_back(val("--set="));
+    if (a.rfind("--profile=", 0) == 0) {
+      obs::prof::enableWithReportAtExit(a.substr(std::strlen("--profile=")));
+    }
+  }
+
+  std::vector<std::string> overrides;
+  {
+    obs::prof::Scope parse_scope("config-parse");
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto val = [&](const char* prefix) { return a.substr(std::strlen(prefix)); };
+      try {
+        if (a.rfind("--app=", 0) == 0) {
+          app = val("--app=");
+        } else if (a.rfind("--scale=", 0) == 0) {
+          scale = std::atof(val("--scale=").c_str());
+        } else if (a.rfind("--system=", 0) == 0) {
+          cfg.system = machine::systemKindFromString(val("--system="));
+          system_set = true;
+        } else if (a.rfind("--prefetch=", 0) == 0) {
+          cfg.prefetch = machine::prefetchFromString(val("--prefetch="));
+          prefetch_set = true;
+        } else if (a.rfind("--minfree=", 0) == 0) {
+          cfg.min_free_frames = std::atoi(val("--minfree=").c_str());
+          minfree_overridden = true;
+        } else if (a.rfind("--config=", 0) == 0) {
+          machine::applyIni(util::IniFile::load(val("--config=")), cfg);
+          minfree_overridden = true;  // the file's value wins
+        } else if (a.rfind("--set", 0) == 0) {
+          if (a == "--set" && i + 1 < argc) {
+            overrides.push_back(argv[++i]);
+          } else if (a.rfind("--set=", 0) == 0) {
+            overrides.push_back(val("--set="));
+          } else {
+            usage(2);
+          }
+        } else if (a.rfind("--trace=", 0) == 0) {
+          trace_path = val("--trace=");
+        } else if (a.rfind("--trace-cap=", 0) == 0) {
+          trace_cap = std::strtoul(val("--trace-cap=").c_str(), nullptr, 10);
+        } else if (a.rfind("--metrics=", 0) == 0) {
+          metrics_path = val("--metrics=");
+        } else if (a.rfind("--timeline=", 0) == 0) {
+          timeline_path = val("--timeline=");
+        } else if (a.rfind("--timeline-layers=", 0) == 0) {
+          timeline_layers = obs::layerMaskFromString(val("--timeline-layers="));
+        } else if (a.rfind("--timeline-cap=", 0) == 0) {
+          timeline_cap = std::strtoul(val("--timeline-cap=").c_str(), nullptr, 10);
+        } else if (a.rfind("--sample=", 0) == 0) {
+          sample_path = val("--sample=");
+        } else if (a.rfind("--sample-interval=", 0) == 0) {
+          sample_interval = static_cast<sim::Tick>(
+              std::strtoull(val("--sample-interval=").c_str(), nullptr, 10));
+        } else if (a.rfind("--jobs=", 0) == 0) {
+          jobs = static_cast<unsigned>(std::strtoul(val("--jobs=").c_str(), nullptr, 10));
+        } else if (a.rfind("--trace-dir=", 0) == 0) {
+          tcfg.dir = val("--trace-dir=");
+        } else if (a == "--record") {
+          tcfg.mode = apps::TraceMode::kRecord;
+        } else if (a == "--replay") {
+          tcfg.mode = apps::TraceMode::kReplay;
+        } else if (a == "--no-trace") {
+          tcfg.mode = apps::TraceMode::kOff;
+        } else if (a == "--json") {
+          as_json = true;
+        } else if (a.rfind("--profile=", 0) == 0) {
+          // Handled by the pre-scan above.
+        } else if (a == "--dump-config") {
+          dump_config = true;
+        } else if (a == "--help" || a == "-h") {
+          usage(0);
         } else {
+          std::fprintf(stderr, "nwcsim: unknown flag %s\n", a.c_str());
           usage(2);
         }
-      } else if (a.rfind("--trace=", 0) == 0) {
-        trace_path = val("--trace=");
-      } else if (a.rfind("--trace-cap=", 0) == 0) {
-        trace_cap = std::strtoul(val("--trace-cap=").c_str(), nullptr, 10);
-      } else if (a.rfind("--metrics=", 0) == 0) {
-        metrics_path = val("--metrics=");
-      } else if (a.rfind("--timeline=", 0) == 0) {
-        timeline_path = val("--timeline=");
-      } else if (a.rfind("--timeline-layers=", 0) == 0) {
-        timeline_layers = obs::layerMaskFromString(val("--timeline-layers="));
-      } else if (a.rfind("--timeline-cap=", 0) == 0) {
-        timeline_cap = std::strtoul(val("--timeline-cap=").c_str(), nullptr, 10);
-      } else if (a.rfind("--sample=", 0) == 0) {
-        sample_path = val("--sample=");
-      } else if (a.rfind("--sample-interval=", 0) == 0) {
-        sample_interval = static_cast<sim::Tick>(
-            std::strtoull(val("--sample-interval=").c_str(), nullptr, 10));
-      } else if (a.rfind("--jobs=", 0) == 0) {
-        jobs = static_cast<unsigned>(std::strtoul(val("--jobs=").c_str(), nullptr, 10));
-      } else if (a.rfind("--trace-dir=", 0) == 0) {
-        tcfg.dir = val("--trace-dir=");
-      } else if (a == "--record") {
-        tcfg.mode = apps::TraceMode::kRecord;
-      } else if (a == "--replay") {
-        tcfg.mode = apps::TraceMode::kReplay;
-      } else if (a == "--no-trace") {
-        tcfg.mode = apps::TraceMode::kOff;
-      } else if (a == "--json") {
-        as_json = true;
-      } else if (a == "--dump-config") {
-        dump_config = true;
-      } else if (a == "--help" || a == "-h") {
-        usage(0);
-      } else {
-        std::fprintf(stderr, "nwcsim: unknown flag %s\n", a.c_str());
-        usage(2);
+      } catch (const std::exception& ex) {
+        std::fprintf(stderr, "nwcsim: %s\n", ex.what());
+        return 2;
       }
-    } catch (const std::exception& ex) {
-      std::fprintf(stderr, "nwcsim: %s\n", ex.what());
-      return 2;
     }
   }
 
   try {
-    if (!overrides.empty()) {
-      util::IniFile ini;
-      for (const auto& kv : overrides) {
-        const auto eq = kv.find('=');
-        if (eq == std::string::npos) usage(2);
-        std::string key = util::trim(kv.substr(0, eq));
-        if (key.rfind("machine.", 0) != 0) key = "machine." + key;
-        ini.set(key, util::trim(kv.substr(eq + 1)));
+    {
+      obs::prof::Scope parse_scope("config-parse");
+      if (!overrides.empty()) {
+        util::IniFile ini;
+        for (const auto& kv : overrides) {
+          const auto eq = kv.find('=');
+          if (eq == std::string::npos) usage(2);
+          std::string key = util::trim(kv.substr(0, eq));
+          if (key.rfind("machine.", 0) != 0) key = "machine." + key;
+          ini.set(key, util::trim(kv.substr(eq + 1)));
+        }
+        machine::applyIni(ini, cfg);
+        minfree_overridden = true;
       }
-      machine::applyIni(ini, cfg);
-      minfree_overridden = true;
-    }
-    if ((system_set || prefetch_set) && !minfree_overridden) {
-      cfg.min_free_frames = machine::MachineConfig::bestMinFree(cfg.system, cfg.prefetch);
+      if ((system_set || prefetch_set) && !minfree_overridden) {
+        cfg.min_free_frames =
+            machine::MachineConfig::bestMinFree(cfg.system, cfg.prefetch);
+      }
     }
 
     if (dump_config) {
@@ -278,33 +302,44 @@ int main(int argc, char** argv) {
       apps::TraceCacheResult tres;
       const apps::RunSummary s =
           apps::runAppCached(cfg, app_names[0], scale, tcfg, sinks, &tres);
-      if (!trace_path.empty()) trace.dumpCsv(trace_path);
-      if (!metrics_path.empty()) {
-        // Only when the cache was in play, so cache-less metric exports stay
-        // byte-identical to previous releases.
-        if (tcfg.enabled()) apps::publishTraceCacheMetrics(registry);
-        registry.writeJson(metrics_path);
-        // Sibling flat CSV: out.json -> out.csv (or path + ".csv").
-        std::string csv_path = metrics_path;
-        if (csv_path.size() > 5 && csv_path.rfind(".json") == csv_path.size() - 5) {
-          csv_path.replace(csv_path.size() - 5, 5, ".csv");
-        } else {
-          csv_path += ".csv";
+      {
+        obs::prof::Scope export_scope("export");
+        if (!trace_path.empty()) trace.dumpCsv(trace_path);
+        if (!metrics_path.empty()) {
+          // Only when the cache was in play, so cache-less metric exports stay
+          // byte-identical to previous releases.
+          if (tcfg.enabled()) apps::publishTraceCacheMetrics(registry);
+          registry.writeJson(metrics_path);
+          // Sibling flat CSV: out.json -> out.csv (or path + ".csv").
+          std::string csv_path = metrics_path;
+          if (csv_path.size() > 5 &&
+              csv_path.rfind(".json") == csv_path.size() - 5) {
+            csv_path.replace(csv_path.size() - 5, 5, ".csv");
+          } else {
+            csv_path += ".csv";
+          }
+          registry.writeCsv(csv_path);
         }
-        registry.writeCsv(csv_path);
-      }
-      if (!timeline_path.empty()) {
-        timeline.writeChromeTrace(timeline_path, cfg.pcycle_ns);
-      }
-      if (!sample_path.empty()) {
-        sampler.writeJson(sample_path);
-        std::string csv_path = sample_path;
-        if (csv_path.size() > 5 && csv_path.rfind(".json") == csv_path.size() - 5) {
-          csv_path.replace(csv_path.size() - 5, 5, ".csv");
-        } else {
-          csv_path += ".csv";
+        if (!timeline_path.empty()) {
+          // With profiling on, the host phase tree rides along as a second
+          // process in the same Perfetto view; without it the export is
+          // byte-identical to the single-argument form.
+          timeline.writeChromeTrace(timeline_path, cfg.pcycle_ns,
+                                    obs::prof::enabled()
+                                        ? obs::prof::chromeTraceEvents()
+                                        : std::vector<std::string>{});
         }
-        sampler.writeCsv(csv_path);
+        if (!sample_path.empty()) {
+          sampler.writeJson(sample_path);
+          std::string csv_path = sample_path;
+          if (csv_path.size() > 5 &&
+              csv_path.rfind(".json") == csv_path.size() - 5) {
+            csv_path.replace(csv_path.size() - 5, 5, ".csv");
+          } else {
+            csv_path += ".csv";
+          }
+          sampler.writeCsv(csv_path);
+        }
       }
       printSummary(s);
       if (!as_json && !trace_path.empty()) {

@@ -154,6 +154,7 @@ int cmdDiff(const std::vector<std::string>& args) {
   // Collect first, print after: --top=N re-ranks the rows by |relative
   // delta| (added/removed instruments sort first — their ratio is infinite).
   struct Row {
+    std::string name;
     std::string line;
     double magnitude = 0.0;  // |delta / a|, HUGE_VAL for added/removed
   };
@@ -167,14 +168,14 @@ int cmdDiff(const std::vector<std::string>& args) {
       ++added;
       std::snprintf(line, sizeof(line), "%-44s %14s %14s %14s", name.c_str(),
                     "-", fmtValue(ib->second).c_str(), "added");
-      rows.push_back({line, HUGE_VAL});
+      rows.push_back({name, line, HUGE_VAL});
       continue;
     }
     if (ib == mb.end()) {
       ++removed;
       std::snprintf(line, sizeof(line), "%-44s %14s %14s %14s", name.c_str(),
                     fmtValue(ia->second).c_str(), "-", "removed");
-      rows.push_back({line, HUGE_VAL});
+      rows.push_back({name, line, HUGE_VAL});
       continue;
     }
     const double d = ib->second.value - ia->second.value;
@@ -184,7 +185,7 @@ int cmdDiff(const std::vector<std::string>& args) {
         std::snprintf(line, sizeof(line), "%-44s %14s %14s %14s", name.c_str(),
                       fmtValue(ia->second).c_str(), fmtValue(ib->second).c_str(),
                       "=");
-        rows.push_back({line, 0.0});
+        rows.push_back({name, line, 0.0});
       }
       continue;
     }
@@ -200,13 +201,16 @@ int cmdDiff(const std::vector<std::string>& args) {
     }
     std::snprintf(line, sizeof(line), "%-44s %14s %14s %s", name.c_str(),
                   fmtValue(ia->second).c_str(), fmtValue(ib->second).c_str(), delta);
-    rows.push_back({line, magnitude});
+    rows.push_back({name, line, magnitude});
   }
 
   const std::size_t total_rows = rows.size();
   if (top > 0) {
-    std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-      return a.magnitude > b.magnitude;
+    // Deterministic ranking: ties in |relative delta| break by instrument
+    // name, so --top=N output is stable across runs and platforms.
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      if (a.magnitude != b.magnitude) return a.magnitude > b.magnitude;
+      return a.name < b.name;
     });
     if (rows.size() > top) rows.resize(top);
   }

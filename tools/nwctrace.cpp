@@ -14,6 +14,7 @@
 
 #include "apps/kernel_trace.hpp"
 #include "obs/run_meta.hpp"
+#include "util/host.hpp"
 
 namespace {
 
@@ -32,9 +33,9 @@ int cmdInfo(const KernelTrace& t) {
   std::printf("verified:    %s\n", t.verified ? "yes" : "no");
   std::printf("data_bytes:  %llu (%s)\n",
               static_cast<unsigned long long>(t.data_bytes),
-              nwc::obs::formatBytes(t.data_bytes).c_str());
+              nwc::util::formatBytes(t.data_bytes).c_str());
   std::printf("streams:     %zu (%s encoded)\n", t.streams.size(),
-              nwc::obs::formatBytes(t.streamBytes()).c_str());
+              nwc::util::formatBytes(t.streamBytes()).c_str());
   std::printf("regions:     %zu\n", t.regions.size());
   for (std::size_t i = 0; i < t.regions.size(); ++i) {
     std::printf("  [%zu] %-16s %12llu bytes\n", i, t.regions[i].name.c_str(),
@@ -132,7 +133,7 @@ int cmdDiff(const KernelTrace& a, const KernelTrace& b) {
   }
   if (diffs == 0) {
     std::printf("traces identical (%zu streams, %s)\n", a.streams.size(),
-                nwc::obs::formatBytes(a.streamBytes()).c_str());
+                nwc::util::formatBytes(a.streamBytes()).c_str());
     return 0;
   }
   std::printf("%d difference%s\n", diffs, diffs == 1 ? "" : "s");
