@@ -2,9 +2,12 @@
 // throughput, coroutine primitives, analytical servers, model components.
 #include <benchmark/benchmark.h>
 
+#include <queue>
+
 #include "mem/cache.hpp"
 #include "mem/tlb.hpp"
 #include "net/mesh.hpp"
+#include "sim/calendar.hpp"
 #include "sim/channel.hpp"
 #include "sim/engine.hpp"
 #include "sim/fifo_server.hpp"
@@ -39,6 +42,65 @@ void BM_EngineManyTasks(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0) * 10);
 }
 BENCHMARK(BM_EngineManyTasks)->Arg(1000);
+
+// Calendar-queue hold model: pop the minimum, reinsert at a bounded random
+// offset — the classic queue benchmark, shaped like the engine's steady
+// state. range(0) is the fraction (in 1/8ths) of reinserts that land on the
+// *current* tick, exercising the same-tick batch path.
+void BM_CalendarQueueHold(benchmark::State& state) {
+  constexpr int kLive = 4096;
+  const std::uint64_t same_tick_eighths =
+      static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::CalendarQueue q;
+    sim::Rng rng(11);
+    std::uint64_t seq = 0;
+    for (int i = 0; i < kLive; ++i) {
+      q.push(static_cast<sim::Tick>(rng.below(256)), seq++, {});
+    }
+    for (int i = 0; i < 100000; ++i) {
+      const sim::CalEntry e = q.pop();
+      const bool same = rng.below(8) < same_tick_eighths;
+      q.push(e.t + (same ? 0 : 1 + rng.below(255)), seq++, {});
+    }
+    q.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_CalendarQueueHold)->Arg(0)->Arg(4);
+
+// The std::priority_queue the calendar replaced, under the identical hold
+// model — the baseline the CalendarQueue speedup is measured against.
+void BM_PriorityQueueHold(benchmark::State& state) {
+  struct Entry {
+    sim::Tick t;
+    std::uint64_t seq;
+  };
+  struct Greater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+  constexpr int kLive = 4096;
+  const std::uint64_t same_tick_eighths =
+      static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    std::priority_queue<Entry, std::vector<Entry>, Greater> q;
+    sim::Rng rng(11);
+    std::uint64_t seq = 0;
+    for (int i = 0; i < kLive; ++i) {
+      q.push(Entry{static_cast<sim::Tick>(rng.below(256)), seq++});
+    }
+    for (int i = 0; i < 100000; ++i) {
+      const Entry e = q.top();
+      q.pop();
+      const bool same = rng.below(8) < same_tick_eighths;
+      q.push(Entry{e.t + (same ? 0 : 1 + rng.below(255)), seq++});
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_PriorityQueueHold)->Arg(0)->Arg(4);
 
 sim::Task<> mutexLoop(sim::Engine& e, sim::CoMutex& m, int n) {
   for (int i = 0; i < n; ++i) {

@@ -28,6 +28,7 @@
 
 #include "apps/runner.hpp"
 #include "apps/trace_cache.hpp"
+#include "sim/engine.hpp"
 #include "machine/arena.hpp"
 #include "machine/config.hpp"
 #include "obs/bench_compare.hpp"
@@ -48,6 +49,7 @@ struct SuiteOptions {
   unsigned warmup = 1;
   double scale = 0.1;       // pinned canonical scale
   unsigned jobs = 2;        // parallel-grid workload width
+  unsigned sim_threads = 4; // partitions for the radix64/simtN workload
 };
 
 [[noreturn]] void usage(int code) {
@@ -58,7 +60,8 @@ struct SuiteOptions {
       "  --trials=N    measured trials per workload, median reported (default 5)\n"
       "  --warmup=N    unmeasured warmup runs per workload (default 1)\n"
       "  --scale=F     input scale for the canonical workloads (default 0.1)\n"
-      "  --jobs=N      threads for the parallel-grid workload (default 2)\n");
+      "  --jobs=N      threads for the parallel-grid workload (default 2)\n"
+      "  --sim-threads=N  partitions for the PDES workload (default 4)\n");
   std::exit(code);
 }
 
@@ -181,6 +184,13 @@ MeasuredWorkload measure(const std::string& name, const SuiteOptions& opt,
   return out;
 }
 
+// Pure engine churn for the micro/engine-calendar workload: deterministic
+// mixed-stride delays so the calendar sees both same-tick batches and
+// singleton pops (the two CalendarQueue fast paths).
+sim::Task<> churnTask(sim::Engine& e, int lane) {
+  for (int i = 0; i < 20000; ++i) co_await e.delay(1 + ((i + lane) & 7));
+}
+
 machine::MachineConfig pinnedConfig(machine::SystemKind sys) {
   machine::MachineConfig cfg;
   cfg.withSystem(sys, machine::Prefetch::kOptimal);
@@ -236,6 +246,9 @@ int main(int argc, char** argv) {
       opt.scale = std::atof(val("--scale=").c_str());
     } else if (a.rfind("--jobs=", 0) == 0) {
       opt.jobs = static_cast<unsigned>(std::atoi(val("--jobs=").c_str()));
+    } else if (a.rfind("--sim-threads=", 0) == 0) {
+      opt.sim_threads =
+          static_cast<unsigned>(std::atoi(val("--sim-threads=").c_str()));
     } else if (a == "--help" || a == "-h") {
       usage(0);
     } else {
@@ -243,8 +256,11 @@ int main(int argc, char** argv) {
       usage(2);
     }
   }
-  if (opt.trials == 0 || opt.scale <= 0.0 || opt.scale > 1.0 || opt.jobs == 0) {
-    std::fprintf(stderr, "perf_suite: need --trials>0, --jobs>0, --scale in (0,1]\n");
+  if (opt.trials == 0 || opt.scale <= 0.0 || opt.scale > 1.0 || opt.jobs == 0 ||
+      opt.sim_threads == 0) {
+    std::fprintf(stderr,
+                 "perf_suite: need --trials>0, --jobs>0, --sim-threads>0, "
+                 "--scale in (0,1]\n");
     return 2;
   }
   if (opt.out.empty()) opt.out = "BENCH_" + opt.tag + ".json";
@@ -313,6 +329,42 @@ int main(int argc, char** argv) {
             return agg;
           }).result);
     }
+
+    // 4) PDES: the 64-node canonical workload, serial vs partitioned. Both
+    // simulate identical work (results are byte-identical by construction);
+    // the wall-clock delta is pure engine cost of conservative windows.
+    {
+      machine::MachineConfig cfg = pinnedConfig(machine::SystemKind::kNWCache);
+      cfg.num_nodes = 64;
+      cfg.num_io_nodes = 8;
+      workloads.push_back(measure("radix64/serial", opt, [&] {
+                            return apps::runApp(cfg, "radix", opt.scale);
+                          }).result);
+      apps::ObsSinks sinks;
+      sinks.sim_threads = static_cast<int>(opt.sim_threads);
+      workloads.push_back(
+          measure("radix64/simt" + std::to_string(opt.sim_threads), opt, [&] {
+            return apps::runApp(cfg, "radix", opt.scale, sinks);
+          }).result);
+    }
+
+    // 5) Engine/calendar micro: event-loop churn with no machine model on
+    // top, isolating CalendarQueue push/pop and coroutine frame recycling.
+    // The summary is fabricated (there is no app to verify); exec_time pins
+    // determinism across trials like every other workload.
+    workloads.push_back(measure("micro/engine-calendar", opt, [&] {
+                          sim::Engine e;
+                          for (int lane = 0; lane < 64; ++lane) {
+                            e.spawn(churnTask(e, lane));
+                          }
+                          e.run();
+                          apps::RunSummary s;
+                          s.app = "micro";
+                          s.verified = true;
+                          s.exec_time = e.now();
+                          s.engine_events = e.eventsProcessed();
+                          return s;
+                        }).result);
 
     const std::string json = benchJson(opt, workloads);
     {

@@ -91,6 +91,10 @@ BatchSpec BatchSpec::fromIni(const util::IniFile& ini) {
     if (*v < 0) throw std::runtime_error("batch: jobs must be >= 0");
     spec.jobs = static_cast<unsigned>(*v);
   }
+  if (const auto v = ini.getInt("batch.sim_threads")) {
+    if (*v < 1) throw std::runtime_error("batch: sim_threads must be >= 1");
+    spec.sim_threads = static_cast<int>(*v);
+  }
   if (const auto v = ini.getInt("batch.heartbeat_secs")) {
     if (*v < 0) throw std::runtime_error("batch: heartbeat_secs must be >= 0");
     spec.heartbeat_secs = static_cast<unsigned>(*v);
@@ -459,6 +463,7 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
     thread_local machine::MachineArena arena;
     ObsSinks sinks;
     sinks.arena = &arena;
+    sinks.sim_threads = spec.sim_threads;
     // Per-cell telemetry: samples are taken at simulated ticks, so the
     // exported series are byte-identical at any jobs= setting.
     std::unique_ptr<obs::Sampler> sampler;

@@ -55,6 +55,7 @@ RunSummary replayKernelTrace(const machine::MachineConfig& cfg,
   {
     obs::prof::Scope scope("setup");
     mm.emplace(cfg, sinks.arena);
+    if (sinks.sim_threads > 1) mm->configureSimThreads(sinks.sim_threads);
   }
   machine::Machine& m = *mm;
   if (sinks.trace != nullptr) m.attachTrace(sinks.trace);
@@ -81,7 +82,8 @@ RunSummary replayKernelTrace(const machine::MachineConfig& cfg,
     readers.reserve(trace.streams.size());
     for (const auto& s : trace.streams) readers.emplace_back(s);
     for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
-      m.engine().spawn(
+      m.engine().spawnOn(
+          m.partitionOf(cpu),
           replayCpu(ctx, readers[static_cast<std::size_t>(cpu)], bases, cpu));
     }
   }
@@ -103,6 +105,11 @@ RunSummary replayKernelTrace(const machine::MachineConfig& cfg,
   s.invariant_violations = m.checkInvariants();
   s.engine_events = m.engine().eventsProcessed();
   s.data_bytes = trace.data_bytes;
+  s.sim_partitions = m.engine().partitionCount();
+  if (s.sim_partitions > 1) {
+    s.pdes = m.engine().pdesStats();
+    obs::prof::notePdes(s.pdes);
+  }
   if (sinks.registry != nullptr) m.publishMetrics(*sinks.registry);
   if (sinks.sampler != nullptr) {
     s.health_verdict = sinks.sampler->health().verdict();

@@ -39,6 +39,7 @@ RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name
   {
     obs::prof::Scope scope("setup");
     m.emplace(cfg, sinks.arena);
+    if (sinks.sim_threads > 1) m->configureSimThreads(sinks.sim_threads);
     if (sinks.trace != nullptr) m->attachTrace(sinks.trace);
     if (sinks.timeline != nullptr) m->attachEventTimeline(sinks.timeline);
     if (sinks.attr_records != nullptr) m->attachAttrRecords(sinks.attr_records);
@@ -56,7 +57,7 @@ RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name
     app->setup(ctx);
     m->start();
     for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
-      m->engine().spawn(cpuMain(ctx, *app, cpu));
+      m->engine().spawnOn(m->partitionOf(cpu), cpuMain(ctx, *app, cpu));
     }
   }
   {
@@ -77,6 +78,11 @@ RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name
   s.invariant_violations = m->checkInvariants();
   s.engine_events = m->engine().eventsProcessed();
   s.data_bytes = app->dataBytes();
+  s.sim_partitions = m->engine().partitionCount();
+  if (s.sim_partitions > 1) {
+    s.pdes = m->engine().pdesStats();
+    obs::prof::notePdes(s.pdes);
+  }
   if (sinks.registry != nullptr) m->publishMetrics(*sinks.registry);
   if (sinks.sampler != nullptr) {
     s.health_verdict = sinks.sampler->health().verdict();

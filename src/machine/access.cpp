@@ -49,7 +49,7 @@ bool Machine::tryFastAccess(int cpu, std::uint64_t vaddr, bool write) {
     if (!o2.hit) {
       auto act = dir_->onWrite(cpu, line);
       for (int n = 0; n < cfg_.num_nodes; ++n) {
-        if (act.invalidate_mask & (1u << n)) {
+        if (act.invalidate_mask & (std::uint64_t{1} << n)) {
           nodes_[static_cast<std::size_t>(n)]->l1.invalidateLine(nc.l1.lineOf(vaddr));
           nodes_[static_cast<std::size_t>(n)]->l2.invalidateLine(line);
           ctrlTransfer(eng_->now(), cpu, n);
@@ -141,7 +141,7 @@ sim::Task<> Machine::slowAccess(int cpu, std::uint64_t vaddr, bool write) {
         // the write itself is buffered).
         auto act = dir_->onWrite(cpu, line);
         for (int n = 0; n < cfg_.num_nodes; ++n) {
-          if (act.invalidate_mask & (1u << n)) {
+          if (act.invalidate_mask & (std::uint64_t{1} << n)) {
             nodes_[static_cast<std::size_t>(n)]->l1.invalidateLine(
                 nc.l1.lineOf(vaddr));
             nodes_[static_cast<std::size_t>(n)]->l2.invalidateLine(line);

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cassert>
 #include <sstream>
+#include <stdexcept>
 
 #include "machine/backends/io_backend.hpp"
 #include "obs/profiler.hpp"
@@ -50,6 +51,11 @@ Machine::Machine(const MachineConfig& cfg, MachineArena* arena)
       metrics_(arena ? arena->takeMetrics(cfg.num_nodes)
                      : std::make_unique<Metrics>(cfg.num_nodes)),
       rng_(cfg.seed) {
+  if (cfg_.num_nodes < 1 || cfg_.num_nodes > 64) {
+    throw std::invalid_argument(
+        "MachineConfig.num_nodes must be in [1, 64]: the directory tracks "
+        "sharers in a 64-bit node bitmask");
+  }
   for (int n = 0; n < cfg_.num_nodes; ++n) {
     nodes_.push_back(std::make_unique<NodeCtx>(
         *eng_, cfg_,
@@ -119,13 +125,40 @@ void Machine::start() {
   if (started_) return;
   started_ = true;
   for (int n = 0; n < cfg_.num_nodes; ++n) {
-    eng_->spawn(replacementDaemon(n));
+    eng_->spawnOn(partitionOf(n), replacementDaemon(n));
   }
   for (int d = 0; d < static_cast<int>(disks_.size()); ++d) {
-    eng_->spawn(diskDrainLoop(d));
+    const int part = partitionOf(disks_[d]->node);
+    eng_->spawnOn(part, diskDrainLoop(d));
+    // Backend daemons spawn internally via eng().spawn(); the ambient
+    // partition pins them to the disk's hosting node.
+    eng_->setAmbientPartition(part);
     backend_->startDiskDaemons(d);
+    eng_->setAmbientPartition(0);
   }
   if (sampler_ != nullptr) eng_->spawn(samplerDaemon());
+}
+
+void Machine::configureSimThreads(int threads) {
+  assert(!started_ && "configureSimThreads must precede start()");
+  int parts = threads < 1 ? 1 : threads;
+  if (parts > cfg_.num_nodes) parts = cfg_.num_nodes;
+  if (parts == eng_->partitionCount()) return;
+  eng_->configurePartitions(parts, pdesLookahead());
+}
+
+sim::Tick Machine::pdesLookahead() const {
+  // Any cross-node interaction crosses the mesh: one hop of latency is a
+  // hard lower bound on how soon a partition can affect another.
+  sim::Tick la = cfg_.hop_latency > 0 ? cfg_.hop_latency : 1;
+  if (cfg_.hasRing() && cfg_.ring_channels > 0) {
+    // A ring slot (round-trip spread over the TDM channels) can undercut
+    // the mesh hop for aggressive ring geometries.
+    const sim::Tick slot = util::usToTicks(
+        cfg_.ring_round_trip_us / cfg_.ring_channels, cfg_.pcycle_ns);
+    if (slot > 0 && slot < la) la = slot;
+  }
+  return la;
 }
 
 ring::OpticalRing* Machine::ring() { return backend_->ring(); }

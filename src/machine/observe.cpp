@@ -147,6 +147,11 @@ void Machine::publishMetrics(obs::MetricsRegistry& reg) const {
   reg.counter("disk.writes", disk_writes);
   reg.counter("disk.pages_transferred", disk_pages);
 
+  // --- simulator self-accounting -------------------------------------------
+  // scheduleAt calls whose tick was silently clamped up to now(). Nonzero
+  // counts flag model code that would reorder under real lookahead.
+  reg.counter("sim.schedule_clamped", eng_->clampedSchedules());
+
   // --- backend instruments (ring + interfaces + receivers, log disk, ...) --
   backend_->publishMetrics(reg);
 }

@@ -17,7 +17,7 @@ CoherenceActions Directory::onRead(sim::NodeId n, std::uint64_t line) {
     remote_dirty_.miss();
   }
   e.owner = sim::kNoNode;  // downgraded to shared
-  e.sharers |= 1u << n;
+  e.sharers |= std::uint64_t{1} << n;
   return a;
 }
 
@@ -28,10 +28,10 @@ CoherenceActions Directory::onWrite(sim::NodeId n, std::uint64_t line) {
     a.owner_flush = true;
     a.owner = e.owner;
   }
-  const std::uint32_t others = e.sharers & ~(1u << n);
+  const std::uint64_t others = e.sharers & ~(std::uint64_t{1} << n);
   a.invalidate_mask = others;
   a.invalidations = std::popcount(others);
-  e.sharers = 1u << n;
+  e.sharers = std::uint64_t{1} << n;
   e.owner = n;
   return a;
 }
@@ -40,16 +40,16 @@ void Directory::onWriteback(sim::NodeId n, std::uint64_t line) {
   Entry* e = map_.find(line);
   if (!e) return;
   if (e->owner == n) e->owner = sim::kNoNode;
-  e->sharers &= ~(1u << n);
+  e->sharers &= ~(std::uint64_t{1} << n);
   if (e->sharers == 0) map_.erase(line);
 }
 
-std::uint32_t Directory::dropPage(std::uint64_t first_line, std::uint64_t lines) {
-  std::uint32_t mask = 0;
+std::uint64_t Directory::dropPage(std::uint64_t first_line, std::uint64_t lines) {
+  std::uint64_t mask = 0;
   for (std::uint64_t l = first_line; l < first_line + lines; ++l) {
     if (Entry* e = map_.find(l)) {
       mask |= e->sharers;
-      if (e->owner != sim::kNoNode) mask |= 1u << e->owner;
+      if (e->owner != sim::kNoNode) mask |= std::uint64_t{1} << e->owner;
       map_.erase(l);
     }
   }

@@ -20,7 +20,7 @@ struct CoherenceActions {
   bool owner_flush = false;       // dirty copy must be fetched from `owner`
   sim::NodeId owner = sim::kNoNode;
   int invalidations = 0;          // number of remote sharer copies invalidated
-  std::uint32_t invalidate_mask = 0;  // bit i set => node i must drop the line
+  std::uint64_t invalidate_mask = 0;  // bit i set => node i must drop the line
 };
 
 class Directory {
@@ -40,14 +40,14 @@ class Directory {
 
   /// Drops all state for the lines of a page (page swapped out / migrated).
   /// Returns the union mask of nodes that held any of the lines.
-  std::uint32_t dropPage(std::uint64_t first_line, std::uint64_t lines);
+  std::uint64_t dropPage(std::uint64_t first_line, std::uint64_t lines);
 
   std::size_t trackedLines() const { return map_.size(); }
   const sim::RatioCounter& remoteDirtyStats() const { return remote_dirty_; }
 
  private:
   struct Entry {
-    std::uint32_t sharers = 0;      // bitmask of nodes with a copy
+    std::uint64_t sharers = 0;      // bitmask of nodes with a copy
     sim::NodeId owner = sim::kNoNode;  // kNoNode unless modified
   };
 

@@ -201,14 +201,28 @@ CompareResult compare(const BenchFile& baseline, const BenchFile& current,
 }
 
 std::string CompareResult::markdown() const {
-  std::string out =
-      "| workload | metric | baseline | current | ratio | status |\n"
-      "|---|---|---:|---:|---:|---|\n";
-  for (const CompareRow& r : rows) {
-    out += "| " + r.workload + " | " + r.metric + " | " + fmtValue(r.baseline) +
+  auto row = [](const CompareRow& r) {
+    return "| " + r.workload + " | " + r.metric + " | " + fmtValue(r.baseline) +
            " | " + fmtValue(r.current) + " | " +
            (r.ratio > 0.0 ? fmtValue(r.ratio) : std::string("-")) + " | " +
            statusLabel(r.status) + " |\n";
+  };
+  constexpr const char* kHeader =
+      "| workload | metric | baseline | current | ratio | status |\n"
+      "|---|---|---:|---:|---:|---|\n";
+  std::string out = kHeader;
+  for (const CompareRow& r : rows) {
+    if (r.status == RowStatus::kImprovement) continue;
+    out += row(r);
+  }
+  // Improvements get their own section so wins read at a glance instead of
+  // drowning in the (mostly "ok") main table.
+  if (improvements > 0) {
+    out += "\n### faster\n\n";
+    out += kHeader;
+    for (const CompareRow& r : rows) {
+      if (r.status == RowStatus::kImprovement) out += row(r);
+    }
   }
   out += "\n";
   if (regressions == 0) {

@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/partition.hpp"
+
 namespace nwc::obs {
 class MetricsRegistry;
 }
@@ -85,6 +87,12 @@ void addSample(const char* rel_path, std::uint64_t wall_ns);
 void notePool(unsigned threads, std::uint64_t lifetime_ns, std::uint64_t busy_ns,
               std::uint64_t tasks, std::uint64_t steals);
 
+/// Conservative-PDES window accounting for a partitioned run (apps::runApp
+/// reports this after the event loop when sim_threads > 1). Last reported
+/// run wins; the stats land in the JSON report's "pdes" section. No-op when
+/// disabled.
+void notePdes(const sim::PdesStats& stats);
+
 /// The calling thread's allocation counters. Counted unconditionally (the
 /// operator-new hook is ~1ns), so tests can assert the disabled profiling
 /// path performs zero allocations.
@@ -110,6 +118,9 @@ struct Report {
   std::uint64_t pool_busy_ns = 0;
   std::uint64_t pool_tasks = 0;
   std::uint64_t pool_steals = 0;
+  /// From the most recent notePdes call; pdes.partitions <= 1 means no
+  /// partitioned run reported (the report omits its "pdes" section).
+  sim::PdesStats pdes;
 
   std::uint64_t poolIdleNs() const {
     return pool_lifetime_ns > pool_busy_ns ? pool_lifetime_ns - pool_busy_ns : 0;

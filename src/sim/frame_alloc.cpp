@@ -1,0 +1,70 @@
+#include "sim/frame_alloc.hpp"
+
+#include <new>
+
+namespace nwc::sim::detail {
+
+namespace {
+
+constexpr std::size_t kGranule = 64;   // size-class width
+constexpr std::size_t kBins = 17;      // classes up to 1 KiB (bin 1..16)
+constexpr std::size_t kMaxPerBin = 256;  // parked-block cap per class
+
+// 1-based size class; >= kBins means "too large, use plain new".
+inline std::size_t binOf(std::size_t n) { return (n + kGranule - 1) / kGranule; }
+
+struct FreeLists {
+  void* head[kBins] = {};
+  std::size_t count[kBins] = {};
+
+  ~FreeLists() {
+    for (std::size_t b = 0; b < kBins; ++b) {
+      void* p = head[b];
+      while (p != nullptr) {
+        void* next = *static_cast<void**>(p);
+        ::operator delete(p);
+        p = next;
+      }
+    }
+  }
+};
+
+thread_local FreeLists tls_lists;
+
+}  // namespace
+
+void* allocFrame(std::size_t n) {
+  const std::size_t b = binOf(n);
+  if (b < kBins) {
+    FreeLists& fl = tls_lists;
+    if (void* p = fl.head[b]) {
+      fl.head[b] = *static_cast<void**>(p);
+      --fl.count[b];
+      return p;
+    }
+    return ::operator new(b * kGranule);
+  }
+  return ::operator new(n);
+}
+
+void freeFrame(void* p, std::size_t n) noexcept {
+  const std::size_t b = binOf(n);
+  if (b < kBins) {
+    FreeLists& fl = tls_lists;
+    if (fl.count[b] < kMaxPerBin) {
+      *static_cast<void**>(p) = fl.head[b];
+      fl.head[b] = p;
+      ++fl.count[b];
+      return;
+    }
+  }
+  ::operator delete(p);
+}
+
+std::size_t parkedFrameCount() {
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < kBins; ++b) total += tls_lists.count[b];
+  return total;
+}
+
+}  // namespace nwc::sim::detail

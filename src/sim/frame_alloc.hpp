@@ -1,0 +1,27 @@
+// Coroutine-frame recycler.
+//
+// Every simulated process is a Task<> coroutine; hot paths (Machine's
+// slowAccess, fault/swap flows) create and destroy millions of identical
+// small frames per run. The promise-level operator new/delete below route
+// those frames through per-thread size-class freelists, avoiding a
+// malloc/free round trip (and the profiler's allocation-counting hook) per
+// event.
+//
+// Thread safety: each freelist is thread_local and only ever touched by its
+// own thread. A frame freed on a different thread than it was allocated on
+// simply parks in the freeing thread's list — blocks migrate between
+// threads only through a full free/alloc cycle, so no synchronization is
+// needed beyond what already ordered the coroutine's destruction.
+#pragma once
+
+#include <cstddef>
+
+namespace nwc::sim::detail {
+
+void* allocFrame(std::size_t n);
+void freeFrame(void* p, std::size_t n) noexcept;
+
+/// Frames currently parked on the calling thread's freelists (test hook).
+std::size_t parkedFrameCount();
+
+}  // namespace nwc::sim::detail

@@ -1,0 +1,122 @@
+// Safe-horizon tracking for conservative windows.
+//
+// HorizonTracker is an indexed min-heap over partition calendar heads keyed
+// by (tick, seq). The merged execution mode pops the globally minimal event
+// by asking the tracker which partition currently holds it; the window
+// horizon is minTime() + lookahead. update() re-keys one partition in
+// O(log P) — P is at most Engine::kMaxPartitions (64), so sifts touch a
+// handful of entries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace nwc::sim {
+
+class HorizonTracker {
+ public:
+  static constexpr Tick kIdle = ~Tick{0};
+
+  void reset(std::size_t partitions) {
+    key_.assign(partitions, Key{kIdle, ~std::uint64_t{0}});
+    pos_.assign(partitions, -1);
+    heap_.clear();
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+  /// Partition holding the globally minimal head. Pre: !empty().
+  int top() const { return heap_[0]; }
+
+  /// Tick of the globally minimal head. Pre: !empty().
+  Tick minTime() const { return key_[static_cast<std::size_t>(heap_[0])].t; }
+
+  /// True when (t, seq) sorts before partition p's current key — i.e. a
+  /// push of (t, seq) to p would become its new head.
+  bool beats(int p, Tick t, std::uint64_t seq) const {
+    const Key& k = key_[static_cast<std::size_t>(p)];
+    return t != k.t ? t < k.t : seq < k.seq;
+  }
+
+  /// Re-keys partition p to its calendar head (t == kIdle removes it).
+  void update(int p, Tick t, std::uint64_t seq) {
+    const std::size_t up = static_cast<std::size_t>(p);
+    key_[up] = Key{t, seq};
+    int at = pos_[up];
+    if (t == kIdle) {
+      if (at >= 0) removeAt(static_cast<std::size_t>(at));
+      return;
+    }
+    if (at < 0) {
+      pos_[up] = static_cast<int>(heap_.size());
+      heap_.push_back(p);
+      siftUp(heap_.size() - 1);
+      return;
+    }
+    // Re-keyed in place: restore heap order in whichever direction moved.
+    if (!siftUp(static_cast<std::size_t>(at))) siftDown(static_cast<std::size_t>(at));
+  }
+
+ private:
+  struct Key {
+    Tick t;
+    std::uint64_t seq;
+  };
+
+  bool keyLess(int a, int b) const {
+    const Key& ka = key_[static_cast<std::size_t>(a)];
+    const Key& kb = key_[static_cast<std::size_t>(b)];
+    return ka.t != kb.t ? ka.t < kb.t : ka.seq < kb.seq;
+  }
+
+  void place(std::size_t i, int p) {
+    heap_[i] = p;
+    pos_[static_cast<std::size_t>(p)] = static_cast<int>(i);
+  }
+
+  bool siftUp(std::size_t i) {
+    const int p = heap_[i];
+    bool moved = false;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 1;
+      if (!keyLess(p, heap_[parent])) break;
+      place(i, heap_[parent]);
+      i = parent;
+      moved = true;
+    }
+    place(i, p);
+    return moved;
+  }
+
+  void siftDown(std::size_t i) {
+    const int p = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t c = 2 * i + 1;
+      if (c >= n) break;
+      if (c + 1 < n && keyLess(heap_[c + 1], heap_[c])) ++c;
+      if (!keyLess(heap_[c], p)) break;
+      place(i, heap_[c]);
+      i = c;
+    }
+    place(i, p);
+  }
+
+  void removeAt(std::size_t i) {
+    pos_[static_cast<std::size_t>(heap_[i])] = -1;
+    const int last = heap_.back();
+    heap_.pop_back();
+    if (i < heap_.size()) {
+      place(i, last);
+      if (!siftUp(i)) siftDown(i);
+    }
+  }
+
+  std::vector<Key> key_;  // per partition: its calendar head
+  std::vector<int> heap_;
+  std::vector<int> pos_;  // partition -> heap index, -1 when idle
+};
+
+}  // namespace nwc::sim

@@ -1,0 +1,81 @@
+// Logical process (partition) state for conservative PDES.
+//
+// The engine splits its calendar by partition: each partition owns a
+// CalendarQueue, a local clock, and an inbound mailbox for events posted by
+// other partitions during a parallel window. Cross-partition posts are
+// drained at window barriers in deterministic (t, src_partition, src_order)
+// order, so a partitioned run is reproducible independent of host thread
+// scheduling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "sim/calendar.hpp"
+
+namespace nwc::sim {
+
+/// Cross-partition event posted during a parallel window. Applied to the
+/// destination calendar at the next window barrier.
+struct MailEntry {
+  Tick t;
+  std::uint32_t src_partition;
+  std::uint64_t src_order;  // per-source post counter within the window
+  std::coroutine_handle<> h;
+};
+
+/// One logical process: its calendar slice plus the counters the engine
+/// folds into PdesStats. In serial and merged modes only partition state on
+/// the engine thread is touched; the mailbox mutex matters only for
+/// parallel windows.
+struct Partition {
+  CalendarQueue cal;
+  Tick now = 0;                  // local clock (parallel windows)
+  std::uint64_t events = 0;      // events executed by this partition
+  std::uint64_t seq = 0;         // parallel-mode local schedule counter
+  std::uint64_t mail_order = 0;  // outbound post counter (reset per window)
+  std::uint64_t mail_posts = 0;  // cross-partition schedules originated here
+  std::uint64_t mail_below_horizon = 0;  // posts below the active horizon
+  std::uint64_t violations = 0;  // lookahead violations originated here
+  std::uint64_t clamped = 0;     // scheduleAt calls clamped up to now()
+
+  std::mutex mail_mutex;
+  std::vector<MailEntry> mailbox;
+};
+
+/// Aggregated conservative-window statistics, assembled by
+/// Engine::pdesStats(). All zeros for a serial (1-partition) run.
+struct PdesStats {
+  std::uint64_t partitions = 1;
+  std::uint64_t windows = 0;
+  std::uint64_t mailbox_posts = 0;  // cross-partition schedules
+  std::uint64_t mailbox_below_horizon = 0;  // same-window deliveries (merged)
+  std::uint64_t lookahead_violations = 0;   // parallel mode: fatal
+  std::uint64_t clamped_schedules = 0;
+  Tick lookahead = 0;
+  /// Histogram of simulated-time progress per window: bucket i counts
+  /// windows whose global clock advanced in [2^(i-1), 2^i) ticks.
+  std::array<std::uint64_t, 65> window_advance_log2{};
+  std::uint64_t events_per_partition_max = 0;
+  std::vector<std::uint64_t> partition_events;
+
+  /// Max-over-mean of per-partition event counts; 1.0 is perfectly
+  /// balanced, `partitions` is fully serialized. 0 when no events ran.
+  double imbalance() const {
+    if (partition_events.empty()) return 0.0;
+    std::uint64_t total = 0;
+    std::uint64_t max = 0;
+    for (const std::uint64_t e : partition_events) {
+      total += e;
+      if (e > max) max = e;
+    }
+    if (total == 0) return 0.0;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(partition_events.size());
+    return static_cast<double>(max) / mean;
+  }
+};
+
+}  // namespace nwc::sim

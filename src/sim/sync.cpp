@@ -8,23 +8,25 @@ void CoMutex::unlock() {
     return;
   }
   // Hand the lock to the oldest waiter; `locked_` stays true.
-  auto h = waiters_.front();
+  const detail::SyncWaiter w = waiters_.front();
   waiters_.pop_front();
-  eng_->scheduleAt(eng_->now(), h);
+  eng_->scheduleOn(w.part, eng_->now(), w.h);
 }
 
 void CoSemaphore::release(std::int64_t n) {
   while (n > 0 && !waiters_.empty()) {
-    auto h = waiters_.front();
+    const detail::SyncWaiter w = waiters_.front();
     waiters_.pop_front();
-    eng_->scheduleAt(eng_->now(), h);
+    eng_->scheduleOn(w.part, eng_->now(), w.h);
     --n;
   }
   count_ += n;
 }
 
 void CoBarrier::releaseAll() {
-  for (auto h : waiters_) eng_->scheduleAt(eng_->now(), h);
+  for (const detail::SyncWaiter& w : waiters_) {
+    eng_->scheduleOn(w.part, eng_->now(), w.h);
+  }
   waiters_.clear();
   arrived_ = 0;
   ++generation_;

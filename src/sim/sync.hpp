@@ -13,6 +13,15 @@
 
 namespace nwc::sim {
 
+namespace detail {
+/// A suspended coroutine plus its home partition — wake-ups are scheduled
+/// back onto the partition where the waiter suspended.
+struct SyncWaiter {
+  std::coroutine_handle<> h;
+  int part;
+};
+}  // namespace detail
+
 /// FIFO mutex. Ownership is handed directly to the oldest waiter on unlock.
 class CoMutex {
  public:
@@ -27,7 +36,9 @@ class CoMutex {
       }
       return false;
     }
-    void await_suspend(std::coroutine_handle<> h) { m.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      m.waiters_.push_back({h, m.eng_->currentPartition()});
+    }
     void await_resume() const {}
   };
 
@@ -92,7 +103,7 @@ class CoMutex {
  private:
   friend struct LockAwaiter;
   Engine* eng_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<detail::SyncWaiter> waiters_;
   bool locked_ = false;
 };
 
@@ -110,7 +121,9 @@ class CoSemaphore {
       }
       return false;
     }
-    void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      s.waiters_.push_back({h, s.eng_->currentPartition()});
+    }
     void await_resume() const {}
   };
 
@@ -124,7 +137,7 @@ class CoSemaphore {
   friend struct AcquireAwaiter;
   Engine* eng_;
   std::int64_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<detail::SyncWaiter> waiters_;
 };
 
 /// Cyclic barrier for `n` parties. The last arriving party releases all.
@@ -143,7 +156,7 @@ class CoBarrier {
     }
     void await_suspend(std::coroutine_handle<> h) {
       ++b.arrived_;
-      b.waiters_.push_back(h);
+      b.waiters_.push_back({h, b.eng_->currentPartition()});
     }
     void await_resume() const {}
   };
@@ -163,7 +176,7 @@ class CoBarrier {
   int parties_;
   int arrived_ = 0;
   std::uint64_t generation_ = 0;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<detail::SyncWaiter> waiters_;
 };
 
 }  // namespace nwc::sim

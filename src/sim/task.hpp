@@ -11,8 +11,11 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
+
+#include "sim/frame_alloc.hpp"
 
 namespace nwc::sim {
 
@@ -25,6 +28,14 @@ struct PromiseBase {
   std::coroutine_handle<> continuation{};
   std::exception_ptr exception{};
   bool finished = false;
+
+  // Coroutine frames recycle through per-thread freelists (frame_alloc):
+  // hot-path tasks allocate millions of identical frames per run. The
+  // unsized overload frees with plain delete — recycled blocks are ordinary
+  // operator-new allocations, so that is always valid, just unpooled.
+  static void* operator new(std::size_t n) { return allocFrame(n); }
+  static void operator delete(void* p, std::size_t n) noexcept { freeFrame(p, n); }
+  static void operator delete(void* p) noexcept { ::operator delete(p); }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }

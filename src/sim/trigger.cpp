@@ -4,19 +4,20 @@ namespace nwc::sim {
 
 void Trigger::fire() {
   fired_ = true;
-  for (auto h : waiters_) eng_->scheduleAt(eng_->now(), h);
+  for (const Waiter& w : waiters_) eng_->scheduleOn(w.part, eng_->now(), w.h);
   waiters_.clear();
 }
 
 void Signal::notifyAll() {
-  for (auto h : waiters_) eng_->scheduleAt(eng_->now(), h);
+  for (const Waiter& w : waiters_) eng_->scheduleOn(w.part, eng_->now(), w.h);
   waiters_.clear();
 }
 
 bool Signal::notifyOne() {
   if (waiters_.empty()) return false;
-  eng_->scheduleAt(eng_->now(), waiters_.front());
+  const Waiter w = waiters_.front();
   waiters_.erase(waiters_.begin());
+  eng_->scheduleOn(w.part, eng_->now(), w.h);
   return true;
 }
 

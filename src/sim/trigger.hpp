@@ -25,7 +25,11 @@ class Trigger {
   struct Awaiter {
     Trigger& t;
     bool await_ready() const { return t.fired_; }
-    void await_suspend(std::coroutine_handle<> h) { t.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      // Remember the waiter's home partition: fire() may run on another
+      // partition, and the waiter must resume where it suspended.
+      t.waiters_.push_back({h, t.eng_->currentPartition()});
+    }
     void await_resume() const {}
   };
 
@@ -34,8 +38,12 @@ class Trigger {
 
  private:
   friend struct Awaiter;
+  struct Waiter {
+    std::coroutine_handle<> h;
+    int part;
+  };
   Engine* eng_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<Waiter> waiters_;
   bool fired_ = false;
 };
 
@@ -56,7 +64,9 @@ class Signal {
   struct Awaiter {
     Signal& s;
     bool await_ready() const { return false; }
-    void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      s.waiters_.push_back({h, s.eng_->currentPartition()});
+    }
     void await_resume() const {}
   };
 
@@ -71,8 +81,12 @@ class Signal {
   }
 
  private:
+  struct Waiter {
+    std::coroutine_handle<> h;
+    int part;
+  };
   Engine* eng_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<Waiter> waiters_;
 };
 
 }  // namespace nwc::sim

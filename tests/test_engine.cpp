@@ -1,9 +1,14 @@
-// Engine: calendar ordering, determinism, task lifecycle.
+// Engine: calendar ordering, determinism, task lifecycle, and the
+// conservative-PDES partition boundaries (merged-window mode).
 #include <gtest/gtest.h>
 
+#include <queue>
+#include <utility>
 #include <vector>
 
+#include "sim/calendar.hpp"
 #include "sim/engine.hpp"
+#include "sim/random.hpp"
 #include "sim/task.hpp"
 
 namespace nwc::sim {
@@ -187,6 +192,216 @@ TEST(Engine, DeterministicAcrossRuns) {
     return log;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// --- CalendarQueue -----------------------------------------------------
+
+TEST(CalendarQueue, TortureMatchesReferenceHeap) {
+  // Random push/pop interleaving against the std::priority_queue the
+  // calendar replaced. Pushes never go below the tick being drained (the
+  // engine clamps to now()), matching the queue's documented contract;
+  // offset 0 pushes land on the draining tick, hitting the batch-append
+  // path mid-drain.
+  CalendarQueue q;
+  using Ref = std::pair<Tick, std::uint64_t>;
+  auto greater = [](const Ref& a, const Ref& b) { return a > b; };
+  std::priority_queue<Ref, std::vector<Ref>, decltype(greater)> ref(greater);
+  Rng rng(0xca1);
+  std::uint64_t seq = 0;
+  Tick cur = 0;
+  for (int step = 0; step < 100000; ++step) {
+    if (ref.empty() || rng.below(8) < 5) {
+      const Tick t = cur + static_cast<Tick>(rng.below(16));
+      q.push(t, seq, {});
+      ref.push({t, seq});
+      ++seq;
+    } else {
+      ASSERT_FALSE(q.empty());
+      EXPECT_EQ(q.peek().t, ref.top().first);
+      const CalEntry e = q.pop();
+      ASSERT_EQ(e.t, ref.top().first);
+      ASSERT_EQ(e.seq, ref.top().second);
+      ref.pop();
+      cur = e.t;
+    }
+    EXPECT_EQ(q.size(), ref.size());
+  }
+  while (!ref.empty()) {
+    const CalEntry e = q.pop();
+    ASSERT_EQ(e.t, ref.top().first);
+    ASSERT_EQ(e.seq, ref.top().second);
+    ref.pop();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, SameTickAppendsWhileDraining) {
+  // A batch can grow *while* it drains (Signal::notifyAll storms do this):
+  // once tick 5 starts popping, new tick-5 pushes must append to the batch
+  // and still pop before tick 6 — including after the batch momentarily
+  // empties.
+  CalendarQueue q;
+  q.push(5, 0, {});
+  q.push(6, 1, {});
+  EXPECT_EQ(q.pop().seq, 0u);   // tick 5 is now draining (batch empty)
+  q.push(5, 2, {});             // late same-tick arrival
+  q.push(5, 3, {});
+  EXPECT_EQ(q.pop().seq, 2u);
+  q.push(5, 4, {});             // batch drained once already; still tick 5
+  EXPECT_EQ(q.pop().seq, 3u);
+  EXPECT_EQ(q.pop().seq, 4u);
+  EXPECT_EQ(q.pop().seq, 1u);   // only now does tick 6 fire
+  EXPECT_TRUE(q.empty());
+}
+
+// --- conservative PDES (merged windows) --------------------------------
+
+// Suspends the coroutine and resumes it on partition `dst` at absolute
+// time `t` — the only way model code crosses partitions.
+struct HopAwaiter {
+  Engine& e;
+  int dst;
+  Tick t;
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) const { e.scheduleOn(dst, t, h); }
+  void await_resume() const {}
+};
+
+// Ping-pongs around `parts` partitions, hopping exactly `hop` ticks ahead
+// each round, logging (time, round). With hop == lookahead every event
+// lands exactly ON the next window's horizon — the boundary case: it must
+// be excluded from the current window (horizon is exclusive) and fire
+// first in the next one.
+Task<> hopper(Engine& e, int parts, Tick hop, int rounds, std::vector<std::pair<Tick, int>>* log) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await HopAwaiter{e, (r + 1) % parts, e.now() + hop};
+    log->push_back({e.now(), r});
+  }
+}
+
+TEST(Engine, ConfigurePartitionsRejectsUsedEngine) {
+  Engine e;
+  std::vector<Tick> log;
+  e.spawn(delayer(e, 5, &log));
+  EXPECT_THROW(e.configurePartitions(4, 10), std::logic_error);
+}
+
+TEST(Engine, PastScheduleClampsAndCounts) {
+  Engine e;
+  struct PastAwaiter {
+    Engine& e;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      e.scheduleAt(e.now() - 10, h);  // silently clamped to now()
+    }
+    void await_resume() const {}
+  };
+  Tick fired = 0;
+  auto t = [&]() -> Task<> {
+    co_await e.delay(100);
+    co_await PastAwaiter{e};
+    fired = e.now();
+  };
+  e.spawn(t());
+  e.run();
+  EXPECT_EQ(fired, 100u);  // clamped, not time-travelled
+  EXPECT_EQ(e.clampedSchedules(), 1u);
+}
+
+TEST(Engine, MergedEventExactlyAtHorizonMatchesSerial) {
+  const Tick kLookahead = 10;
+  auto run_once = [&](int partitions) {
+    Engine e;
+    if (partitions > 1) e.configurePartitions(partitions, kLookahead);
+    std::vector<std::pair<Tick, int>> log;
+    e.spawnOn(0, hopper(e, partitions > 1 ? partitions : 4, kLookahead, 40, &log));
+    e.run();
+    return std::make_pair(log, e.eventsProcessed());
+  };
+  const auto serial = run_once(1);
+  const auto merged = run_once(4);
+  EXPECT_EQ(serial.first, merged.first);
+  EXPECT_EQ(serial.second, merged.second);
+}
+
+TEST(Engine, MergedCrossPartitionAtNowMatchesSerial) {
+  // hop == 0: every cross-partition event lands at the *current* tick —
+  // zero effective lookahead, the regime machine simulations live in.
+  // Merged mode must deliver immediately and stay byte-identical, while
+  // counting the would-be mailbox violations.
+  auto run_once = [&](int partitions) {
+    Engine e;
+    if (partitions > 1) e.configurePartitions(partitions, 10);
+    std::vector<std::pair<Tick, int>> log;
+    auto driver = [&e, &log, partitions]() -> Task<> {
+      for (int r = 0; r < 30; ++r) {
+        // Advance time a little, then hop at now() exactly.
+        co_await e.delay(static_cast<Tick>(r % 3));
+        co_await HopAwaiter{e, (r + 1) % (partitions > 1 ? partitions : 4),
+                            e.now()};
+        log.push_back({e.now(), r});
+      }
+    };
+    e.spawnOn(0, driver());
+    e.run();
+    return std::make_pair(log, e.pdesStats());
+  };
+  const auto serial = run_once(1);
+  const auto merged = run_once(4);
+  EXPECT_EQ(serial.first, merged.first);
+  EXPECT_GT(merged.second.mailbox_posts, 0u);
+  EXPECT_GT(merged.second.mailbox_below_horizon, 0u);
+  EXPECT_EQ(merged.second.lookahead_violations, 0u);  // merged never violates
+}
+
+TEST(Engine, StopMidWindowHaltsMergedRun) {
+  Engine e;
+  e.configurePartitions(2, 100);  // wide window: both lanes share one
+  int count = 0;
+  auto ticker = [&]() -> Task<> {
+    for (int i = 0; i < 10; ++i) {
+      co_await e.delay(10);
+      if (++count == 5) e.stop();
+    }
+  };
+  std::vector<Tick> other;
+  e.spawnOn(0, ticker());
+  e.spawnOn(1, delayer(e, 1000, &other));
+  e.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 50u);
+  EXPECT_GT(e.pendingEvents(), 0u);  // the stopped run left events behind
+  e.run();                           // and can resume cleanly
+  EXPECT_EQ(other.size(), 1u);
+}
+
+TEST(Engine, EmptyPartitionsAreHarmless) {
+  Engine e;
+  e.configurePartitions(4, 10);
+  std::vector<Tick> log;
+  // Everything on partition 0; partitions 1-3 never see an event.
+  for (int i = 0; i < 10; ++i) e.spawnOn(0, delayer(e, static_cast<Tick>(7 * i), &log));
+  e.run();
+  EXPECT_EQ(log.size(), 10u);
+  const PdesStats s = e.pdesStats();
+  EXPECT_EQ(s.partitions, 4u);
+  ASSERT_EQ(s.partition_events.size(), 4u);
+  EXPECT_GT(s.partition_events[0], 0u);
+  EXPECT_EQ(s.partition_events[1] + s.partition_events[2] + s.partition_events[3], 0u);
+  EXPECT_DOUBLE_EQ(s.imbalance(), 4.0);  // fully serialized on one LP
+}
+
+TEST(Engine, MergedRunUntilStopsAtBoundary) {
+  Engine e;
+  e.configurePartitions(2, 5);
+  std::vector<Tick> log;
+  e.spawnOn(0, delayer(e, 100, &log));
+  e.spawnOn(1, delayer(e, 200, &log));
+  e.runUntil(150);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(e.now(), 150u);
+  e.run();
+  EXPECT_EQ(log.size(), 2u);
 }
 
 }  // namespace

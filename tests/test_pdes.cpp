@@ -1,0 +1,224 @@
+// Conservative PDES end-to-end: partitioned machine runs must be
+// byte-identical to serial — the RunSummary, the exported metrics
+// catalog, and the sampler time series — across every SystemKind. Plus
+// the parallel-window mode (real lookahead, util::ThreadPool::runWindow)
+// on synthetic workloads: determinism across thread schedules and the
+// lookahead-violation guard.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "apps/batch.hpp"
+#include "apps/runner.hpp"
+#include "machine/config.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nwc {
+namespace {
+
+// --- machine byte-identity ---------------------------------------------
+
+struct RunOutputs {
+  std::string summary_json;  // apps::summaryJson — every RunSummary field
+  std::string metrics_json;  // full instrument catalog
+  std::string sample_json;   // periodic sampler series + health verdict
+  std::string invariants;
+  bool verified = false;
+};
+
+RunOutputs runOnce(machine::SystemKind sys, int sim_threads) {
+  machine::MachineConfig cfg;
+  cfg.withSystem(sys, machine::Prefetch::kOptimal);
+  cfg.seed = 0x5eed;
+  obs::MetricsRegistry reg;
+  obs::SamplerConfig scfg;
+  scfg.interval = 20'000;
+  obs::Sampler sampler(scfg, apps::healthContextFor(cfg));
+  apps::ObsSinks sinks;
+  sinks.registry = &reg;
+  sinks.sampler = &sampler;
+  sinks.sim_threads = sim_threads;
+  const double kScale = 0.05;
+  const apps::RunSummary s = apps::runApp(cfg, "radix", kScale, sinks);
+  RunOutputs out;
+  out.summary_json = apps::summaryJson(s, kScale);
+  out.metrics_json = reg.toJson();
+  out.sample_json = sampler.toJson();
+  out.invariants = s.invariant_violations;
+  out.verified = s.verified;
+  return out;
+}
+
+class PdesIdentity : public ::testing::TestWithParam<machine::SystemKind> {};
+
+TEST_P(PdesIdentity, PartitionedRunIsByteIdenticalToSerial) {
+  const RunOutputs serial = runOnce(GetParam(), 1);
+  const RunOutputs part4 = runOnce(GetParam(), 4);
+  EXPECT_TRUE(serial.verified);
+  EXPECT_TRUE(part4.verified);
+  EXPECT_EQ(serial.invariants, "");
+  EXPECT_EQ(part4.invariants, "");
+  EXPECT_EQ(serial.summary_json, part4.summary_json);
+  EXPECT_EQ(serial.metrics_json, part4.metrics_json);
+  EXPECT_EQ(serial.sample_json, part4.sample_json);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, PdesIdentity,
+                         ::testing::Values(machine::SystemKind::kStandard,
+                                           machine::SystemKind::kNWCache,
+                                           machine::SystemKind::kDCD,
+                                           machine::SystemKind::kRemoteMemory),
+                         [](const auto& info) {
+                           return std::string(machine::toString(info.param));
+                         });
+
+TEST(PdesMachine, PartitionStatsAreReported) {
+  machine::MachineConfig cfg;
+  cfg.withSystem(machine::SystemKind::kNWCache, machine::Prefetch::kOptimal);
+  cfg.seed = 0x5eed;
+  apps::ObsSinks sinks;
+  sinks.sim_threads = 4;
+  const apps::RunSummary s = apps::runApp(cfg, "radix", 0.02, sinks);
+  EXPECT_EQ(s.sim_partitions, 4);
+  EXPECT_GT(s.pdes.windows, 0u);
+  EXPECT_EQ(s.pdes.partitions, 4u);
+  EXPECT_GT(s.pdes.lookahead, 0u);
+  EXPECT_EQ(s.pdes.lookahead_violations, 0u);
+  ASSERT_EQ(s.pdes.partition_events.size(), 4u);
+  for (const std::uint64_t e : s.pdes.partition_events) EXPECT_GT(e, 0u);
+}
+
+TEST(PdesMachine, SimThreadsClampToNodeCount) {
+  machine::MachineConfig cfg;
+  cfg.withSystem(machine::SystemKind::kStandard, machine::Prefetch::kOptimal);
+  cfg.seed = 0x5eed;
+  apps::ObsSinks sinks;
+  sinks.sim_threads = 999;  // way past num_nodes
+  const apps::RunSummary s = apps::runApp(cfg, "gauss", 0.02, sinks);
+  EXPECT_TRUE(s.verified);
+  EXPECT_EQ(s.sim_partitions, cfg.num_nodes);
+}
+
+// --- parallel windows (real lookahead) ---------------------------------
+
+struct HopAwaiter {
+  sim::Engine& e;
+  int dst;
+  sim::Tick t;
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) const { e.scheduleOn(dst, t, h); }
+  void await_resume() const {}
+};
+
+// Local work plus cross-partition hops that always respect the lookahead.
+// Each lane owns its log — no shared mutation across windows.
+sim::Task<> lane(sim::Engine& e, int self, int parts, sim::Tick la, int rounds,
+                 std::vector<sim::Tick>* log) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await e.delay(static_cast<sim::Tick>((self + r) % 5));
+    log->push_back(e.now());
+    if (r % 3 == 0) {
+      const int dst = (self + 1) % parts;
+      co_await HopAwaiter{e, dst, e.now() + la};
+      co_await HopAwaiter{e, self, e.now() + la};  // and hop home
+      log->push_back(e.now());
+    }
+  }
+}
+
+std::vector<std::vector<sim::Tick>> runLanes(int partitions,
+                                             sim::Engine::WindowRunner runner) {
+  constexpr sim::Tick kLookahead = 8;
+  sim::Engine e;
+  if (partitions > 1) {
+    e.configurePartitions(partitions, kLookahead, std::move(runner));
+  }
+  const int parts = partitions > 1 ? partitions : 4;
+  std::vector<std::vector<sim::Tick>> logs(static_cast<std::size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    e.spawnOn(partitions > 1 ? p : 0,
+              lane(e, p, parts, kLookahead, 60, &logs[static_cast<std::size_t>(p)]));
+  }
+  e.run();
+  return logs;
+}
+
+TEST(PdesParallel, ThreadedWindowsMatchSerial) {
+  const auto serial = runLanes(1, {});
+  util::ThreadPool pool(2);
+  auto runner = [&pool](std::size_t n, const std::function<void(std::size_t)>& b) {
+    pool.runWindow(n, b);
+  };
+  const auto threaded1 = runLanes(4, runner);
+  const auto threaded2 = runLanes(4, runner);  // same schedule-independence
+  EXPECT_EQ(serial, threaded1);
+  EXPECT_EQ(threaded1, threaded2);
+}
+
+TEST(PdesParallel, LookaheadViolationThrows) {
+  util::ThreadPool pool(2);
+  sim::Engine e;
+  e.configurePartitions(2, 10,
+                        [&pool](std::size_t n,
+                                const std::function<void(std::size_t)>& b) {
+                          pool.runWindow(n, b);
+                        });
+  // Both partitions must be active in the window, or the single-LP fast
+  // path runs inline and the post comes from the engine thread.
+  auto violator = [&e]() -> sim::Task<> {
+    co_await e.delay(5);
+    co_await HopAwaiter{e, 1, e.now()};  // below the horizon: illegal
+  };
+  auto bystander = [&e]() -> sim::Task<> { co_await e.delay(5); };
+  e.spawnOn(0, violator());
+  e.spawnOn(1, bystander());
+  EXPECT_THROW(e.run(), std::logic_error);
+}
+
+// --- util::ThreadPool::runWindow ---------------------------------------
+
+TEST(RunWindow, ExecutesEveryIndexExactlyOnceAndBarriers) {
+  util::ThreadPool pool(3);
+  constexpr std::size_t kN = 64;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.runWindow(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  // The call returning IS the barrier: every body must have finished.
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(RunWindow, SmallWindowsAndZero) {
+  util::ThreadPool pool(2);
+  int ran = 0;
+  pool.runWindow(0, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 0);
+  pool.runWindow(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++ran;  // n==1 runs inline on the caller: no race
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(RunWindow, PropagatesFirstBodyException) {
+  util::ThreadPool pool(2);
+  EXPECT_THROW(pool.runWindow(8,
+                              [&](std::size_t i) {
+                                if (i == 3) throw std::runtime_error("boom");
+                              }),
+               std::runtime_error);
+  // The pool survives and keeps working after a throwing window.
+  std::atomic<int> n{0};
+  pool.runWindow(4, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 4);
+}
+
+}  // namespace
+}  // namespace nwc

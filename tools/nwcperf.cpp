@@ -2,15 +2,22 @@
 // gate on performance regressions.
 //
 //   nwcperf [--tolerance=F] [--min-ms=F] [--no-phases] [--gate]
-//           <baseline.json> <current.json>
+//           [--update-baseline] <baseline.json> <current.json>
 //
 // Prints a GitHub-flavored markdown table (one row per workload × metric)
-// with a PASS/FAIL verdict line. Exit status: 0 when no metric regressed
-// beyond tolerance, 1 on regression (with --gate it also prints the
-// offending rows to stderr), 2 on usage or I/O errors.
+// with a PASS/FAIL verdict line; metrics that got faster beyond tolerance
+// are broken out into their own "faster" section. Exit status: 0 when no
+// metric regressed beyond tolerance, 1 on regression (with --gate it also
+// prints the offending rows to stderr), 2 on usage or I/O errors.
+//
+// --update-baseline rewrites <baseline.json> with the current file's bytes
+// after a PASS, so an intentional improvement (or accepted drift) becomes
+// the new reference in the same invocation that validated it.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "obs/bench_compare.hpp"
@@ -19,11 +26,12 @@ int main(int argc, char** argv) {
   using namespace nwc::obs::bench;
   CompareOptions opts;
   bool gate = false;
+  bool update_baseline = false;
   std::string baseline_path;
   std::string current_path;
   const char* usage =
       "usage: nwcperf [--tolerance=F] [--min-ms=F] [--no-phases] [--gate] "
-      "<baseline.json> <current.json>\n";
+      "[--update-baseline] <baseline.json> <current.json>\n";
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--tolerance=", 0) == 0) {
@@ -38,6 +46,8 @@ int main(int argc, char** argv) {
       opts.include_phases = false;
     } else if (a == "--gate") {
       gate = true;
+    } else if (a == "--update-baseline") {
+      update_baseline = true;
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "%s"
@@ -47,7 +57,9 @@ int main(int argc, char** argv) {
           "                 never gated (default 5)\n"
           "  --no-phases    compare whole-workload metrics only, skip the\n"
           "                 per-phase wall-time rows\n"
-          "  --gate         echo regressing rows to stderr (for CI logs)\n",
+          "  --gate         echo regressing rows to stderr (for CI logs)\n"
+          "  --update-baseline  on PASS, overwrite <baseline.json> with the\n"
+          "                 current file (accept the new numbers as reference)\n",
           usage);
       return 0;
     } else if (a.rfind("--", 0) == 0) {
@@ -83,6 +95,25 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "nwcperf: REGRESSION %s %s: %.3f -> %.3f (x%.2f)\n",
                      r.workload.c_str(), r.metric.c_str(), r.baseline, r.current,
                      r.ratio);
+      }
+    }
+    if (update_baseline) {
+      if (!res.ok()) {
+        std::fprintf(stderr,
+                     "nwcperf: not updating %s — current file regressed\n",
+                     baseline_path.c_str());
+      } else {
+        // Byte-for-byte copy of the already-validated file, so the stored
+        // baseline is exactly what the gate just compared.
+        std::ifstream in(current_path, std::ios::binary);
+        std::ofstream out(baseline_path, std::ios::binary | std::ios::trunc);
+        out << in.rdbuf();
+        if (!in || !out) {
+          throw std::runtime_error("failed to copy " + current_path + " to " +
+                                   baseline_path);
+        }
+        std::printf("baseline updated: %s <- %s\n", baseline_path.c_str(),
+                    current_path.c_str());
       }
     }
     return res.ok() ? 0 : 1;
