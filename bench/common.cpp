@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "apps/registry.hpp"
+#include "apps/workload.hpp"
 #include "machine/config_io.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
@@ -69,9 +70,17 @@ apps::RunSummary simulate(const machine::MachineConfig& cfg, const std::string& 
   std::snprintf(hash, sizeof(hash), "%08llx",
                 static_cast<unsigned long long>(
                     obs::fnv1aHash(cacheKey(cfg, app, opt.scale)) & 0xffffffffULL));
+  // Workload specs carry filename-hostile characters (':', ';', '/'); fold
+  // them to '-' (the hash suffix keeps distinct specs distinct).
+  std::string safe_app = app;
+  for (char& c : safe_app) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '-';
+  }
   std::string path = opt.metrics_dir;
   path += '/';
-  path += app;
+  path += safe_app;
   path += '_';
   path += machine::toString(cfg.system);
   path += '_';
@@ -164,8 +173,8 @@ Options parseArgs(int argc, char** argv, const std::string& bench_name,
 std::vector<std::string> appList(const Options& opt) {
   if (!opt.apps.empty()) {
     for (const auto& a : opt.apps) {
-      if (apps::findApp(a) == nullptr) {
-        std::fprintf(stderr, "unknown application: %s\n", a.c_str());
+      if (const std::string err = apps::workloadSpecError(a); !err.empty()) {
+        std::fprintf(stderr, "%s\n", err.c_str());
         std::exit(2);
       }
     }

@@ -348,7 +348,20 @@ int main(int argc, char** argv) {
           }).result);
     }
 
-    // 5) Engine/calendar micro: event-loop churn with no machine model on
+    // 5) Block-trace front end: synthetic generation (inside the runner's
+    // "setup" phase) plus the blockAccess serve loop — the storage-workload
+    // hot path nwcgen-produced traces replay through. Scaled like the
+    // kernels so --scale trims it proportionally.
+    {
+      const machine::MachineConfig cfg = pinnedConfig(machine::SystemKind::kNWCache);
+      static const char* kSpec =
+          "synth:clients=32;objects=8192;ops=20000;seed=24301";
+      workloads.push_back(measure("synth/blockserve", opt, [&] {
+                            return apps::runApp(cfg, kSpec, opt.scale);
+                          }).result);
+    }
+
+    // 6) Engine/calendar micro: event-loop churn with no machine model on
     // top, isolating CalendarQueue push/pop and coroutine frame recycling.
     // The summary is fabricated (there is no app to verify); exec_time pins
     // determinism across trials like every other workload.

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "apps/registry.hpp"
+#include "apps/workload.hpp"
 #include "machine/arena.hpp"
 #include "machine/config_io.hpp"
 #include "obs/run_meta.hpp"
@@ -49,7 +50,11 @@ BatchSpec BatchSpec::fromIni(const util::IniFile& ini) {
   if (const auto v = ini.get("batch.apps")) {
     spec.apps = splitList(*v);
     for (const auto& a : spec.apps) {
-      if (findApp(a) == nullptr) throw std::runtime_error("batch: unknown app " + a);
+      // Kernel names and workload specs (synth:/trace:) are both valid;
+      // specs use ';' between knobs, so the comma list stays unambiguous.
+      if (const std::string err = workloadSpecError(a); !err.empty()) {
+        throw std::runtime_error("batch: " + err);
+      }
     }
   } else {
     for (const auto& a : appRegistry()) spec.apps.push_back(a.name);
@@ -150,6 +155,12 @@ std::string summaryJson(const RunSummary& s, double scale) {
   // goldens) keep their exact historical bytes.
   if (!s.health_verdict.empty()) {
     o.add("health", s.health_verdict).add("health_trips", s.health_trips);
+  }
+  // Same conditional-output discipline for the block-stream front end:
+  // kernel runs never issue block requests, so their bytes are unchanged.
+  if (m.block_reads != 0 || m.block_writes != 0) {
+    o.add("block_reads", static_cast<std::uint64_t>(m.block_reads))
+        .add("block_writes", static_cast<std::uint64_t>(m.block_writes));
   }
   return o.str();
 }
@@ -339,11 +350,21 @@ BatchResult runBatch(const BatchSpec& spec, std::ostream* progress) {
   }
 
   // "cell0007_radix_nwcache_optimal_s1" — shared by the run_meta and
-  // time-series file names (and echoed on the status stream).
+  // time-series file names (and echoed on the status stream). Workload
+  // specs carry ':', ';', '=' and '/', so anything outside the filesystem-
+  // safe set folds to '-'.
+  auto sanitize = [](std::string s) {
+    for (char& c : s) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+      if (!ok) c = '-';
+    }
+    return s;
+  };
   auto cellStem = [&](std::size_t i) {
     char cell[32];
     std::snprintf(cell, sizeof(cell), "cell%04zu_", i);
-    return cell + grid[i].app + "_" +
+    return cell + sanitize(grid[i].app) + "_" +
            std::string(machine::toString(grid[i].cfg.system)) + "_" +
            machine::toString(grid[i].cfg.prefetch) + "_s" +
            std::to_string(grid[i].cfg.seed);

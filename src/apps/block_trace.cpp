@@ -1,0 +1,438 @@
+#include "apps/block_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rand.hpp"
+
+namespace nwc::apps {
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'N', 'W', 'C', 'B'};
+constexpr std::uint8_t kBinaryVersion = 1;
+constexpr const char* kTextSignature = "# nwc-block-trace-v1";
+
+[[noreturn]] void specError(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("synthetic spec '" + spec + "': " + why);
+}
+
+std::uint64_t parseU64(const std::string& spec, const std::string& key,
+                       const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long n = std::stoull(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return n;
+  } catch (const std::exception&) {
+    specError(spec, key + " wants an unsigned integer, got '" + v + "'");
+  }
+}
+
+double parseF64(const std::string& spec, const std::string& key,
+                const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return d;
+  } catch (const std::exception&) {
+    specError(spec, key + " wants a number, got '" + v + "'");
+  }
+}
+
+std::string fmtF64(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+void putVarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+class ByteReader {
+ public:
+  ByteReader(const char* data, std::size_t size, std::string path)
+      : p_(data), end_(data + size), path_(std::move(path)) {}
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (p_ == end_) fail("truncated varint");
+      const std::uint8_t b = static_cast<std::uint8_t>(*p_++);
+      if (shift >= 64) fail("varint overflow");
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  bool atEnd() const { return p_ == end_; }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error(path_ + ": malformed block trace (" + why + ")");
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+  std::string path_;
+};
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(path + ": cannot open block trace");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+BlockTrace parseBinary(const std::string& path, const std::string& bytes) {
+  ByteReader r(bytes.data() + sizeof(kBinaryMagic) + 1,
+               bytes.size() - sizeof(kBinaryMagic) - 1, path);
+  if (static_cast<std::uint8_t>(bytes[sizeof(kBinaryMagic)]) != kBinaryVersion) {
+    r.fail("unsupported version");
+  }
+  BlockTrace t;
+  t.objects = r.varint();
+  const std::uint64_t nclients = r.varint();
+  if (nclients > (1u << 20)) r.fail("implausible client count");
+  t.clients.resize(nclients);
+  for (auto& ops : t.clients) {
+    const std::uint64_t n = r.varint();
+    ops.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t gw = r.varint();
+      BlockOp op;
+      op.gap = gw >> 1;
+      op.write = (gw & 1) != 0;
+      op.obj = r.varint();
+      if (op.obj >= t.objects) r.fail("object id out of range");
+      ops.push_back(op);
+    }
+  }
+  if (!r.atEnd()) r.fail("trailing bytes");
+  return t;
+}
+
+BlockTrace parseText(const std::string& path, const std::string& bytes) {
+  std::istringstream in(bytes);
+  std::string line;
+  auto fail = [&](const std::string& why) -> void {
+    throw std::runtime_error(path + ": malformed block trace (" + why + ")");
+  };
+  auto nextLine = [&]() -> bool {
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty() || line[0] == '#') continue;
+      return true;
+    }
+    return false;
+  };
+  BlockTrace t;
+  std::uint64_t nclients = 0;
+  {
+    if (!nextLine()) fail("missing objects line");
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw >> t.objects) || kw != "objects") fail("expected 'objects N'");
+  }
+  {
+    if (!nextLine()) fail("missing clients line");
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw >> nclients) || kw != "clients") fail("expected 'clients N'");
+  }
+  t.clients.resize(nclients);
+  for (std::uint64_t c = 0; c < nclients; ++c) {
+    if (!nextLine()) fail("missing client header");
+    std::uint64_t idx = 0, nops = 0;
+    {
+      std::istringstream ls(line);
+      std::string kw;
+      if (!(ls >> kw >> idx >> nops) || kw != "client" || idx != c) {
+        fail("expected 'client " + std::to_string(c) + " N'");
+      }
+    }
+    auto& ops = t.clients[c];
+    ops.reserve(nops);
+    for (std::uint64_t i = 0; i < nops; ++i) {
+      if (!nextLine()) fail("truncated op list");
+      std::istringstream ls(line);
+      BlockOp op;
+      std::string rw;
+      if (!(ls >> op.gap >> op.obj >> rw) || (rw != "r" && rw != "w")) {
+        fail("expected 'gap obj r|w'");
+      }
+      if (op.obj >= t.objects) fail("object id out of range");
+      op.write = rw == "w";
+      ops.push_back(op);
+    }
+  }
+  if (nextLine()) fail("trailing lines");
+  return t;
+}
+
+}  // namespace
+
+SyntheticSpec SyntheticSpec::parse(const std::string& spec) {
+  std::string body = spec;
+  if (body.rfind("synth:", 0) == 0) {
+    body = body.substr(6);
+  } else if (body == "synth") {
+    body.clear();
+  }
+  SyntheticSpec s;
+  std::istringstream in(body);
+  std::string kv;
+  while (std::getline(in, kv, ';')) {
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) specError(spec, "expected key=value, got '" + kv + "'");
+    const std::string k = kv.substr(0, eq);
+    const std::string v = kv.substr(eq + 1);
+    if (k == "clients") {
+      s.clients = parseU64(spec, k, v);
+    } else if (k == "objects") {
+      s.objects = parseU64(spec, k, v);
+    } else if (k == "ops") {
+      s.ops = parseU64(spec, k, v);
+    } else if (k == "read_ratio") {
+      s.read_ratio = parseF64(spec, k, v);
+    } else if (k == "zipf_theta" || k == "theta") {
+      s.zipf_theta = parseF64(spec, k, v);
+    } else if (k == "burst_prob") {
+      s.burst_prob = parseF64(spec, k, v);
+    } else if (k == "burst_len") {
+      s.burst_len = parseU64(spec, k, v);
+    } else if (k == "diurnal_amp") {
+      s.diurnal_amp = parseF64(spec, k, v);
+    } else if (k == "diurnal_period") {
+      s.diurnal_period = parseU64(spec, k, v);
+    } else if (k == "think_mean") {
+      s.think_mean = parseF64(spec, k, v);
+    } else if (k == "seed") {
+      s.seed = parseU64(spec, k, v);
+    } else {
+      specError(spec, "unknown key '" + k + "'");
+    }
+  }
+  if (s.clients == 0) specError(spec, "clients must be >= 1");
+  if (s.objects == 0) specError(spec, "objects must be >= 1");
+  if (s.ops == 0) specError(spec, "ops must be >= 1");
+  if (s.read_ratio < 0.0 || s.read_ratio > 1.0)
+    specError(spec, "read_ratio must be in [0, 1]");
+  if (s.zipf_theta < 0.0) specError(spec, "zipf_theta must be >= 0");
+  if (s.burst_prob < 0.0 || s.burst_prob > 1.0)
+    specError(spec, "burst_prob must be in [0, 1]");
+  if (s.diurnal_amp < 0.0 || s.diurnal_amp >= 1.0)
+    specError(spec, "diurnal_amp must be in [0, 1)");
+  if (s.diurnal_period == 0) specError(spec, "diurnal_period must be >= 1");
+  if (s.think_mean <= 0.0) specError(spec, "think_mean must be > 0");
+  return s;
+}
+
+std::string SyntheticSpec::canonical() const {
+  std::string out = "synth:";
+  out += "clients=" + std::to_string(clients);
+  out += ";objects=" + std::to_string(objects);
+  out += ";ops=" + std::to_string(ops);
+  out += ";read_ratio=" + fmtF64(read_ratio);
+  out += ";zipf_theta=" + fmtF64(zipf_theta);
+  out += ";burst_prob=" + fmtF64(burst_prob);
+  out += ";burst_len=" + std::to_string(burst_len);
+  out += ";diurnal_amp=" + fmtF64(diurnal_amp);
+  out += ";diurnal_period=" + std::to_string(diurnal_period);
+  out += ";think_mean=" + fmtF64(think_mean);
+  out += ";seed=" + std::to_string(seed);
+  return out;
+}
+
+BlockTrace generateBlockTrace(const SyntheticSpec& spec, double scale) {
+  const std::uint64_t ops_per_client = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(spec.ops) * scale));
+
+  util::Xoshiro256ss root(spec.seed);
+
+  // Zipf ranks map to scattered object ids via a seeded permutation so hot
+  // objects spread across the address space (and thus across disks/nodes)
+  // instead of clustering at low addresses.
+  std::vector<std::uint64_t> perm(spec.objects);
+  std::iota(perm.begin(), perm.end(), std::uint64_t{0});
+  {
+    util::Xoshiro256ss shuffle = root.fork(0x0b7ec7);
+    for (std::uint64_t i = spec.objects - 1; i > 0; --i) {
+      const std::uint64_t j = shuffle.below(i + 1);
+      std::swap(perm[i], perm[j]);
+    }
+  }
+  const util::ZipfianSampler zipf(spec.objects, spec.zipf_theta);
+
+  BlockTrace t;
+  t.objects = spec.objects;
+  t.clients.resize(spec.clients);
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  for (std::uint64_t c = 0; c < spec.clients; ++c) {
+    // One independent stream per client: adding clients never perturbs the
+    // draws of existing ones, and generation order (or host threading)
+    // cannot change the result.
+    util::Xoshiro256ss rng = root.fork(c + 1);
+    auto& ops = t.clients[c];
+    ops.reserve(ops_per_client);
+    std::uint64_t burst_left = 0;
+    std::uint64_t clock = 0;  // this client's scheduled-arrival clock
+    for (std::uint64_t i = 0; i < ops_per_client; ++i) {
+      BlockOp op;
+      op.obj = perm[zipf.sample(rng.uniform())];
+      if (burst_left > 0) {
+        op.write = true;
+        --burst_left;
+      } else if (spec.burst_len > 0 && rng.chance(spec.burst_prob)) {
+        op.write = true;
+        burst_left = spec.burst_len - 1;
+      } else {
+        op.write = !rng.chance(spec.read_ratio);
+      }
+      // Open-loop think time, modulated by the diurnal load curve: higher
+      // load(t) compresses gaps (more requests per tick).
+      const double load =
+          1.0 + spec.diurnal_amp *
+                    std::sin(two_pi * static_cast<double>(clock) /
+                             static_cast<double>(spec.diurnal_period));
+      op.gap = static_cast<std::uint64_t>(rng.exponential(spec.think_mean) / load);
+      clock += op.gap;
+      ops.push_back(op);
+    }
+  }
+  return t;
+}
+
+void writeBlockTrace(const std::string& path, const BlockTrace& trace) {
+  std::string out;
+  out.append(kBinaryMagic, sizeof(kBinaryMagic));
+  out.push_back(static_cast<char>(kBinaryVersion));
+  putVarint(out, trace.objects);
+  putVarint(out, trace.clients.size());
+  for (const auto& ops : trace.clients) {
+    putVarint(out, ops.size());
+    for (const BlockOp& op : ops) {
+      putVarint(out, (op.gap << 1) | (op.write ? 1u : 0u));
+      putVarint(out, op.obj);
+    }
+  }
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f || !f.write(out.data(), static_cast<std::streamsize>(out.size()))) {
+    throw std::runtime_error(path + ": cannot write block trace");
+  }
+}
+
+void writeBlockTraceText(const std::string& path, const BlockTrace& trace) {
+  std::ostringstream out;
+  out << kTextSignature << "\n";
+  out << "objects " << trace.objects << "\n";
+  out << "clients " << trace.clients.size() << "\n";
+  for (std::size_t c = 0; c < trace.clients.size(); ++c) {
+    out << "client " << c << " " << trace.clients[c].size() << "\n";
+    for (const BlockOp& op : trace.clients[c]) {
+      out << op.gap << " " << op.obj << " " << (op.write ? "w" : "r") << "\n";
+    }
+  }
+  const std::string s = out.str();
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f || !f.write(s.data(), static_cast<std::streamsize>(s.size()))) {
+    throw std::runtime_error(path + ": cannot write block trace");
+  }
+}
+
+BlockTrace readBlockTrace(const std::string& path) {
+  const std::string bytes = readFile(path);
+  if (bytes.size() > sizeof(kBinaryMagic) &&
+      std::memcmp(bytes.data(), kBinaryMagic, sizeof(kBinaryMagic)) == 0) {
+    return parseBinary(path, bytes);
+  }
+  if (bytes.rfind(kTextSignature, 0) == 0) {
+    return parseText(path, bytes);
+  }
+  throw std::runtime_error(
+      path + ": not a block trace (want \"NWCB\" binary magic or a \"" +
+      kTextSignature + "\" header)");
+}
+
+bool isBlockTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char head[32] = {};
+  in.read(head, sizeof(head));
+  const std::size_t got = static_cast<std::size_t>(in.gcount());
+  if (got >= sizeof(kBinaryMagic) &&
+      std::memcmp(head, kBinaryMagic, sizeof(kBinaryMagic)) == 0) {
+    return true;
+  }
+  const std::size_t sig_len = std::strlen(kTextSignature);
+  return got >= sig_len && std::memcmp(head, kTextSignature, sig_len) == 0;
+}
+
+BlockTraceStats summarizeBlockTrace(const BlockTrace& trace) {
+  BlockTraceStats s;
+  s.clients = trace.clients.size();
+  s.objects = trace.objects;
+  std::vector<std::uint64_t> counts(trace.objects, 0);
+  for (const auto& ops : trace.clients) {
+    std::uint64_t span = 0;
+    for (const BlockOp& op : ops) {
+      ++s.total_ops;
+      if (op.write) {
+        ++s.writes;
+      } else {
+        ++s.reads;
+      }
+      span += op.gap;
+      if (op.obj < counts.size()) ++counts[op.obj];
+    }
+    s.span_ticks = std::max(s.span_ticks, span);
+  }
+  for (const std::uint64_t c : counts) {
+    if (c > 0) ++s.unique_objects;
+  }
+  s.est_zipf_theta = estimateZipfTheta(counts);
+  return s;
+}
+
+double estimateZipfTheta(const std::vector<std::uint64_t>& counts) {
+  std::vector<std::uint64_t> hot;
+  for (const std::uint64_t c : counts) {
+    if (c > 0) hot.push_back(c);
+  }
+  if (hot.size() < 2) return 0.0;
+  std::sort(hot.begin(), hot.end(), std::greater<>());
+  // Least-squares fit of log(freq) = a - theta * log(rank): the slope of
+  // the popularity curve on log-log axes.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const double n = static_cast<double>(hot.size());
+  for (std::size_t i = 0; i < hot.size(); ++i) {
+    const double x = std::log(static_cast<double>(i + 1));
+    const double y = std::log(static_cast<double>(hot[i]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom <= 0.0) return 0.0;
+  const double slope = (n * sxy - sx * sy) / denom;
+  return std::max(0.0, -slope);
+}
+
+}  // namespace nwc::apps

@@ -1,43 +1,65 @@
 #include "apps/replay.hpp"
 
-#include <optional>
 #include <stdexcept>
+#include <vector>
 
 #include "apps/app_context.hpp"
-#include "obs/profiler.hpp"
-#include "obs/registry.hpp"
-#include "obs/sampler.hpp"
+#include "apps/workload.hpp"
 
 namespace nwc::apps {
 
 namespace {
 
-// Mirrors runner.cpp's cpuMain: recorded ops in order, then the final
-// fence + cpuDone that cpuMain adds around every kernel. Compute and
-// barrier go through AppContext so scaling/fencing use the exact same
-// expressions as execution-driven runs (byte-identity depends on it).
-sim::Task<> replayCpu(AppContext& ctx, sim::RefStreamReader& r,
-                      const std::vector<std::uint64_t>& bases, int cpu) {
-  machine::Machine& m = ctx.machine();
-  sim::RefEvent e;
-  while (r.next(e)) {
-    switch (e.op) {
-      case sim::RefOp::kAccess:
-        if (e.region >= bases.size())
-          throw std::runtime_error("kernel trace: region index out of range");
-        co_await m.access(cpu, bases[e.region] + e.offset, e.write);
-        break;
-      case sim::RefOp::kCompute:
-        ctx.compute(cpu, static_cast<sim::Tick>(e.cycles));
-        break;
-      case sim::RefOp::kBarrier:
-        co_await ctx.barrier(cpu);
-        break;
+// A recorded kernel reference stream behind the WorkloadSource seam.
+// Compute and barrier go through AppContext so scaling/fencing use the
+// exact same expressions as execution-driven runs (byte-identity depends
+// on it); the driver appends the final fence + cpuDone, exactly like the
+// execution-driven kernels get.
+class ReplayWorkload final : public WorkloadSource {
+ public:
+  explicit ReplayWorkload(const KernelTrace& trace) : trace_(trace) {}
+
+  std::string name() const override { return trace_.app; }
+
+  void setup(AppContext& ctx) override {
+    machine::Machine& m = ctx.machine();
+    bases_.reserve(trace_.regions.size());
+    for (const auto& r : trace_.regions) {
+      bases_.push_back(m.allocRegion(r.bytes, r.name));
+    }
+    readers_.reserve(trace_.streams.size());
+    for (const auto& s : trace_.streams) readers_.emplace_back(s);
+  }
+
+  sim::Task<> drive(AppContext& ctx, int cpu) override {
+    machine::Machine& m = ctx.machine();
+    sim::RefStreamReader& r = readers_[static_cast<std::size_t>(cpu)];
+    sim::RefEvent e;
+    while (r.next(e)) {
+      switch (e.op) {
+        case sim::RefOp::kAccess:
+          if (e.region >= bases_.size())
+            throw std::runtime_error("kernel trace: region index out of range");
+          co_await m.access(cpu, bases_[e.region] + e.offset, e.write);
+          break;
+        case sim::RefOp::kCompute:
+          ctx.compute(cpu, static_cast<sim::Tick>(e.cycles));
+          break;
+        case sim::RefOp::kBarrier:
+          co_await ctx.barrier(cpu);
+          break;
+      }
     }
   }
-  co_await m.fence(cpu);
-  m.cpuDone(cpu);
-}
+
+  bool verify() const override { return trace_.verified; }
+  std::uint64_t dataBytes() const override { return trace_.data_bytes; }
+
+ private:
+  const KernelTrace& trace_;
+  std::vector<std::uint64_t> bases_;
+  std::vector<sim::RefStreamReader> readers_;
+};
 
 }  // namespace
 
@@ -50,73 +72,8 @@ RunSummary replayKernelTrace(const machine::MachineConfig& cfg,
         std::to_string(trace.num_nodes) +
         " (the interleave is baked into the streams; re-record)");
   }
-
-  std::optional<machine::Machine> mm;
-  {
-    obs::prof::Scope scope("setup");
-    mm.emplace(cfg, sinks.arena);
-    if (sinks.sim_threads > 1) mm->configureSimThreads(sinks.sim_threads);
-  }
-  machine::Machine& m = *mm;
-  if (sinks.trace != nullptr) m.attachTrace(sinks.trace);
-  if (sinks.timeline != nullptr) m.attachEventTimeline(sinks.timeline);
-  if (sinks.attr_records != nullptr) m.attachAttrRecords(sinks.attr_records);
-  // Re-recording a replay yields an identical trace (round-trip tests).
-  if (sinks.ref_recorder != nullptr) m.attachRefRecorder(sinks.ref_recorder);
-  if (sinks.sampler != nullptr) {
-    sinks.sampler->attachTimeline(sinks.timeline);
-    m.attachSampler(sinks.sampler);
-  }
-
-  AppContext ctx(m);
-  std::vector<sim::RefStreamReader> readers;
-  std::vector<std::uint64_t> bases;
-  {
-    obs::prof::Scope scope("warmup");
-    bases.reserve(trace.regions.size());
-    for (const auto& r : trace.regions) {
-      bases.push_back(m.allocRegion(r.bytes, r.name));
-    }
-    m.start();
-
-    readers.reserve(trace.streams.size());
-    for (const auto& s : trace.streams) readers.emplace_back(s);
-    for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
-      m.engine().spawnOn(
-          m.partitionOf(cpu),
-          replayCpu(ctx, readers[static_cast<std::size_t>(cpu)], bases, cpu));
-    }
-  }
-  {
-    obs::prof::Scope scope("event-loop");
-    m.engine().run();
-    if (const std::uint64_t drain0 = m.hostDrainStartNs(); drain0 != 0) {
-      obs::prof::addSample("destage-drain", obs::prof::nowNs() - drain0);
-    }
-  }
-
-  obs::prof::Scope finalize_scope("finalize");
-  RunSummary s;
-  s.app = trace.app;
-  s.cfg = cfg;
-  s.metrics = m.metrics();
-  s.exec_time = m.metrics().executionTime();
-  s.verified = trace.verified;
-  s.invariant_violations = m.checkInvariants();
-  s.engine_events = m.engine().eventsProcessed();
-  s.data_bytes = trace.data_bytes;
-  s.sim_partitions = m.engine().partitionCount();
-  if (s.sim_partitions > 1) {
-    s.pdes = m.engine().pdesStats();
-    obs::prof::notePdes(s.pdes);
-  }
-  if (sinks.registry != nullptr) m.publishMetrics(*sinks.registry);
-  if (sinks.sampler != nullptr) {
-    s.health_verdict = sinks.sampler->health().verdict();
-    s.health_trips = sinks.sampler->health().totalTrips();
-    if (sinks.registry != nullptr) sinks.sampler->publishMetrics(*sinks.registry);
-  }
-  return s;
+  ReplayWorkload src(trace);
+  return runWorkload(cfg, src, sinks);
 }
 
 }  // namespace nwc::apps

@@ -1,26 +1,14 @@
 #include "apps/runner.hpp"
 
-#include <optional>
+#include <memory>
 #include <stdexcept>
 
-#include "apps/app_context.hpp"
+#include "apps/workload.hpp"
+#include "obs/health.hpp"
 #include "obs/profiler.hpp"
-#include "obs/registry.hpp"
-#include "obs/sampler.hpp"
-#include "obs/timeline.hpp"
 #include "util/units.hpp"
 
 namespace nwc::apps {
-
-namespace {
-
-sim::Task<> cpuMain(AppContext& ctx, AppInstance& app, int cpu) {
-  co_await app.run(ctx, cpu);
-  co_await ctx.machine().fence(cpu);
-  ctx.machine().cpuDone(cpu);
-}
-
-}  // namespace
 
 RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name,
                   double scale, machine::TraceBuffer* trace) {
@@ -29,67 +17,22 @@ RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name
 
 RunSummary runApp(const machine::MachineConfig& cfg, const std::string& app_name,
                   double scale, const ObsSinks& sinks) {
-  const AppInfo* info = findApp(app_name);
-  if (info == nullptr) {
-    throw std::invalid_argument("unknown application: " + app_name);
-  }
-
-  std::optional<machine::Machine> m;
-  std::unique_ptr<AppInstance> app;
+  std::unique_ptr<WorkloadSource> src;
   {
+    // Workload construction (kernel instance, trace load, or synthetic
+    // generation) is setup work; scoped so profiles attribute it there.
     obs::prof::Scope scope("setup");
-    m.emplace(cfg, sinks.arena);
-    if (sinks.sim_threads > 1) m->configureSimThreads(sinks.sim_threads);
-    if (sinks.trace != nullptr) m->attachTrace(sinks.trace);
-    if (sinks.timeline != nullptr) m->attachEventTimeline(sinks.timeline);
-    if (sinks.attr_records != nullptr) m->attachAttrRecords(sinks.attr_records);
-    if (sinks.ref_recorder != nullptr) m->attachRefRecorder(sinks.ref_recorder);
-    if (sinks.sampler != nullptr) {
-      sinks.sampler->attachTimeline(sinks.timeline);
-      m->attachSampler(sinks.sampler);
-    }
-    app = info->make(scale);
-  }
-
-  AppContext ctx(*m);
-  {
-    obs::prof::Scope scope("warmup");
-    app->setup(ctx);
-    m->start();
-    for (int cpu = 0; cpu < cfg.num_nodes; ++cpu) {
-      m->engine().spawnOn(m->partitionOf(cpu), cpuMain(ctx, *app, cpu));
+    if (isWorkloadSpec(app_name)) {
+      src = makeWorkload(app_name, scale);
+    } else {
+      const AppInfo* info = findApp(app_name);
+      if (info == nullptr) {
+        throw std::invalid_argument("unknown application: " + app_name);
+      }
+      src = std::make_unique<KernelWorkload>(info->name, info->make(scale));
     }
   }
-  {
-    obs::prof::Scope scope("event-loop");
-    m->engine().run();
-    if (const std::uint64_t drain0 = m->hostDrainStartNs(); drain0 != 0) {
-      obs::prof::addSample("destage-drain", obs::prof::nowNs() - drain0);
-    }
-  }
-
-  obs::prof::Scope finalize_scope("finalize");
-  RunSummary s;
-  s.app = info->name;
-  s.cfg = cfg;
-  s.metrics = m->metrics();
-  s.exec_time = m->metrics().executionTime();
-  s.verified = app->verify();
-  s.invariant_violations = m->checkInvariants();
-  s.engine_events = m->engine().eventsProcessed();
-  s.data_bytes = app->dataBytes();
-  s.sim_partitions = m->engine().partitionCount();
-  if (s.sim_partitions > 1) {
-    s.pdes = m->engine().pdesStats();
-    obs::prof::notePdes(s.pdes);
-  }
-  if (sinks.registry != nullptr) m->publishMetrics(*sinks.registry);
-  if (sinks.sampler != nullptr) {
-    s.health_verdict = sinks.sampler->health().verdict();
-    s.health_trips = sinks.sampler->health().totalTrips();
-    if (sinks.registry != nullptr) sinks.sampler->publishMetrics(*sinks.registry);
-  }
-  return s;
+  return runWorkload(cfg, *src, sinks);
 }
 
 obs::HealthContext healthContextFor(const machine::MachineConfig& cfg) {

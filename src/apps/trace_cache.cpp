@@ -5,6 +5,7 @@
 #include <system_error>
 
 #include "apps/replay.hpp"
+#include "apps/workload.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 
@@ -108,8 +109,10 @@ RunSummary runAppCached(const machine::MachineConfig& cfg,
   if (result != nullptr) result->kernel_hash = hash;
 
   // A caller-attached recorder owns the machine's single recorder slot, so
-  // the cache cannot also record; run plain in that case.
-  if (!tc.enabled() || sinks.ref_recorder != nullptr) {
+  // the cache cannot also record; run plain in that case. Workload specs
+  // (synth:/trace:) carry their own stream — the kernel trace cache would
+  // add nothing but a redundant re-encode — so they also run plain.
+  if (!tc.enabled() || sinks.ref_recorder != nullptr || isWorkloadSpec(app_name)) {
     traceCacheStats().executes.fetch_add(1);
     return runApp(cfg, app_name, scale, sinks);
   }

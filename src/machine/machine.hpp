@@ -156,6 +156,14 @@ class Machine {
     return AccessAwaiter{*this, cpu, vaddr, write};
   }
 
+  /// One block-grain storage request issued from node `cpu` (the workload
+  /// front end's entry point into the swap/fault/destage datapath). Faults
+  /// the page in through the configured IoBackend exactly like a memory
+  /// reference would — same attribution, sampler and health coverage — but
+  /// skips the processor-side TLB/L1/L2/write-buffer model: storage traffic
+  /// is served at page grain, not via processor loads. (block_io.cpp)
+  sim::Task<> blockAccess(int cpu, std::uint64_t vaddr, bool write);
+
   /// Marks `cpu` finished (records its finish time).
   void cpuDone(int cpu);
 

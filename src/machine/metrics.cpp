@@ -30,6 +30,8 @@ void Metrics::reset(int num_cpus) {
   policy_admits = 0;
   policy_rejects = 0;
   policy_ghost_hits = 0;
+  block_reads = 0;
+  block_writes = 0;
   remote_stores = 0;
   remote_fetches = 0;
   remote_evictions = 0;

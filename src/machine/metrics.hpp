@@ -85,6 +85,10 @@ class Metrics {
   std::uint64_t policy_admits = 0;
   std::uint64_t policy_rejects = 0;
   std::uint64_t policy_ghost_hits = 0;  // sieve ghost-cache promotions
+  // Block-stream front end (Machine::blockAccess): storage requests served
+  // through the swap/fault/destage datapath without the processor caches.
+  std::uint64_t block_reads = 0;
+  std::uint64_t block_writes = 0;
   // Remote-memory baseline (Felten & Zahorjan [3]).
   std::uint64_t remote_stores = 0;     // swap-outs parked in a donor's frame
   std::uint64_t remote_fetches = 0;    // faults served from a donor's memory

@@ -88,6 +88,14 @@ void Machine::publishMetrics(obs::MetricsRegistry& reg) const {
   reg.counter("swap.remote_evictions", metrics_->remote_evictions);
   reg.counter("swap.remote_fallbacks", metrics_->remote_fallbacks);
 
+  // --- block-stream front end (Machine::blockAccess) ------------------------
+  // Published only when block traffic ran: kernel-only runs (and their
+  // committed CI goldens) keep their exact historical catalogs.
+  if (metrics_->block_reads != 0 || metrics_->block_writes != 0) {
+    reg.counter("block.reads", metrics_->block_reads);
+    reg.counter("block.writes", metrics_->block_writes);
+  }
+
   // --- destage (write-behind batches + DCD log copies) ----------------------
   reg.counter("destage.writes", metrics_->destage_writes);
   reg.counter("destage.pages", metrics_->destage_pages);

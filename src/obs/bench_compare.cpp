@@ -25,14 +25,22 @@ std::string rawJson(const util::JsonValue& v) {
       std::snprintf(buf, sizeof(buf), "%.17g", v.number);
       return buf;
     }
-    case util::JsonValue::Type::kString:
-      return "\"" + util::jsonEscape(v.string) + "\"";
+    case util::JsonValue::Type::kString: {
+      // Built with += (not operator+ chains): g++ 12's -Wrestrict misfires
+      // on the temporary-splicing pattern at -O3, which -Werror turns fatal.
+      std::string out = "\"";
+      out += util::jsonEscape(v.string);
+      out += "\"";
+      return out;
+    }
     case util::JsonValue::Type::kObject: {
       std::string out = "{";
       for (std::size_t i = 0; i < v.object.size(); ++i) {
         if (i != 0) out += ",";
-        out += "\"" + util::jsonEscape(v.object[i].first) + "\":" +
-               rawJson(v.object[i].second);
+        out += "\"";
+        out += util::jsonEscape(v.object[i].first);
+        out += "\":";
+        out += rawJson(v.object[i].second);
       }
       return out + "}";
     }

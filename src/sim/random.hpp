@@ -2,45 +2,54 @@
 //
 // Every stochastic model component owns its own stream so that adding or
 // removing a component never perturbs the draws seen by the others.
+//
+// The generator itself lives in util/rand.hpp so that workload generators
+// and tools can share it without linking the sim layer; this wrapper keeps
+// the historical sim::Rng spelling and its exact draw sequences.
 #pragma once
 
 #include <cstdint>
 
+#include "util/rand.hpp"
+
 namespace nwc::sim {
 
 /// splitmix64: used to expand a single seed into stream states.
-std::uint64_t splitmix64(std::uint64_t& state);
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  return util::splitmix64(state);
+}
 
 /// xoshiro256** 1.0 (Blackman & Vigna). Not cryptographic; fast and
 /// statistically sound for simulation use.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : core_(seed) {}
 
   /// Derives an independent stream: same seed + different tag => different
   /// but reproducible sequence.
-  Rng fork(std::uint64_t tag) const;
+  Rng fork(std::uint64_t tag) const { return Rng(core_.forkSeed(tag)); }
 
-  std::uint64_t next();
+  std::uint64_t next() { return core_.next(); }
 
   /// Uniform in [0, n). n must be > 0.
-  std::uint64_t below(std::uint64_t n);
+  std::uint64_t below(std::uint64_t n) { return core_.below(n); }
 
   /// Uniform in [lo, hi] inclusive.
-  std::int64_t range(std::int64_t lo, std::int64_t hi);
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return core_.range(lo, hi);
+  }
 
   /// Uniform double in [0, 1).
-  double uniform();
+  double uniform() { return core_.uniform(); }
 
   /// Exponential with the given mean (> 0).
-  double exponential(double mean);
+  double exponential(double mean) { return core_.exponential(mean); }
 
   /// Bernoulli trial.
-  bool chance(double p);
+  bool chance(double p) { return core_.chance(p); }
 
  private:
-  std::uint64_t s_[4];
-  std::uint64_t seed_;
+  util::Xoshiro256ss core_;
 };
 
 }  // namespace nwc::sim

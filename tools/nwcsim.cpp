@@ -21,6 +21,7 @@
 #include "apps/batch.hpp"
 #include "apps/registry.hpp"
 #include "apps/runner.hpp"
+#include "apps/workload.hpp"
 #include "machine/config_io.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
@@ -36,7 +37,10 @@ namespace {
   std::printf(
       "usage: nwcsim --app=NAME[,NAME...] [options]\n"
       "  --app=NAMES           em3d|fft|gauss|lu|mg|radix|sor, comma list,\n"
-      "                        or \"all\" for the full suite\n"
+      "                        or \"all\" for the full suite. Also accepts\n"
+      "                        workload specs: \"synth[:k=v;k=v...]\" (seeded\n"
+      "                        synthetic block workload) and \"trace:PATH\"\n"
+      "                        (recorded block trace) — see docs/WORKLOADS.md\n"
       "  --scale=F             input scale in (0,1], default 1.0\n"
       "  --system=KIND         standard|nwcache|dcd|remote (default standard)\n"
       "  --prefetch=POLICY     optimal|naive (default optimal)\n"
@@ -241,8 +245,8 @@ int main(int argc, char** argv) {
     const std::vector<std::string> app_names = parseAppList(app);
     if (app_names.empty()) usage(2);
     for (const auto& name : app_names) {
-      if (apps::findApp(name) == nullptr) {
-        std::fprintf(stderr, "nwcsim: unknown application: %s\n", name.c_str());
+      if (const std::string err = apps::workloadSpecError(name); !err.empty()) {
+        std::fprintf(stderr, "nwcsim: %s\n", err.c_str());
         return 2;
       }
     }

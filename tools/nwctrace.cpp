@@ -1,27 +1,75 @@
-// nwctrace: inspect kernel trace files (.nwct) written by the trace cache.
+// nwctrace: inspect trace files — kernel traces (.nwct) written by the
+// trace cache, and block traces (.nwcb binary / text) written by nwcgen.
 //
-//   nwctrace info <trace.nwct>            header + region table
-//   nwctrace stat <trace.nwct>            per-cpu stream statistics
-//   nwctrace diff <a.nwct> <b.nwct>       compare two traces
+//   nwctrace info <trace>                 header + region/client table
+//   nwctrace stat <trace>                 per-cpu / per-trace statistics
+//   nwctrace diff <a.nwct> <b.nwct>       compare two kernel traces
 //
-// `diff` exits 0 when the traces would replay identically (same kernel
-// hash and byte-identical streams), 1 when they differ, 2 on usage/read
-// errors.
+// `info`/`stat` sniff the format; block traces report counts, read/write
+// mix and a popularity-skew estimate. `diff` exits 0 when the traces would
+// replay identically (same kernel hash and byte-identical streams), 1 when
+// they differ, 2 on usage/read errors.
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <string>
 
+#include "apps/block_trace.hpp"
 #include "apps/kernel_trace.hpp"
 #include "obs/run_meta.hpp"
 #include "util/host.hpp"
 
 namespace {
 
+using nwc::apps::BlockTrace;
+using nwc::apps::BlockTraceStats;
 using nwc::apps::KernelTrace;
 using nwc::apps::StreamStats;
 
 KernelTrace load(const char* path) { return nwc::apps::readKernelTrace(path); }
+
+int cmdBlockInfo(const char* path, const BlockTrace& t) {
+  const BlockTraceStats s = nwc::apps::summarizeBlockTrace(t);
+  std::printf("format:      block trace (%s)\n", path);
+  std::printf("objects:     %llu (%llu referenced)\n",
+              static_cast<unsigned long long>(s.objects),
+              static_cast<unsigned long long>(s.unique_objects));
+  std::printf("clients:     %llu\n", static_cast<unsigned long long>(s.clients));
+  std::printf("ops:         %llu\n", static_cast<unsigned long long>(s.total_ops));
+  std::printf("span:        %llu ticks (max client)\n",
+              static_cast<unsigned long long>(s.span_ticks));
+  return 0;
+}
+
+int cmdBlockStat(const BlockTrace& t) {
+  const BlockTraceStats s = nwc::apps::summarizeBlockTrace(t);
+  std::printf("%-8s %12s %12s %12s %10s\n", "client", "ops", "reads", "writes",
+              "span");
+  for (std::size_t c = 0; c < t.clients.size(); ++c) {
+    unsigned long long reads = 0, writes = 0, span = 0;
+    for (const nwc::apps::BlockOp& op : t.clients[c]) {
+      if (op.write) {
+        ++writes;
+      } else {
+        ++reads;
+      }
+      span += op.gap;
+    }
+    std::printf("%-8zu %12zu %12llu %12llu %10llu\n", c, t.clients[c].size(),
+                reads, writes, span);
+  }
+  std::printf("%-8s %12llu %12llu %12llu %10llu\n", "total",
+              static_cast<unsigned long long>(s.total_ops),
+              static_cast<unsigned long long>(s.reads),
+              static_cast<unsigned long long>(s.writes),
+              static_cast<unsigned long long>(s.span_ticks));
+  if (s.total_ops > 0) {
+    std::printf("read ratio:       %.3f\n",
+                static_cast<double>(s.reads) / static_cast<double>(s.total_ops));
+  }
+  std::printf("est. zipf theta:  %.3f\n", s.est_zipf_theta);
+  return 0;
+}
 
 int cmdInfo(const KernelTrace& t) {
   std::printf("app:         %s\n", t.app.c_str());
@@ -144,8 +192,8 @@ int cmdDiff(const KernelTrace& a, const KernelTrace& b) {
 
 int main(int argc, char** argv) {
   const char* usage =
-      "usage: nwctrace info <trace.nwct>\n"
-      "       nwctrace stat <trace.nwct>\n"
+      "usage: nwctrace info <trace>   (.nwct kernel or .nwcb/text block trace)\n"
+      "       nwctrace stat <trace>\n"
       "       nwctrace diff <a.nwct> <b.nwct>\n";
   if (argc < 2) {
     std::fputs(usage, stderr);
@@ -154,6 +202,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if ((cmd == "info" || cmd == "stat") && argc == 3) {
+      if (nwc::apps::isBlockTraceFile(argv[2])) {
+        const BlockTrace bt = nwc::apps::readBlockTrace(argv[2]);
+        return cmd == "info" ? cmdBlockInfo(argv[2], bt) : cmdBlockStat(bt);
+      }
       const KernelTrace t = load(argv[2]);
       return cmd == "info" ? cmdInfo(t) : cmdStat(t);
     }
